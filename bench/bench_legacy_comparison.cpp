@@ -1,0 +1,104 @@
+// SoftCell vs today's LTE EPC (the paper's introduction, quantified).
+//
+// The legacy baseline tunnels every UE's traffic to a centralized P-GW
+// where all functions live; SoftCell classifies at the access edge and
+// steers through distributed middleboxes.  Measured on the same topology:
+//   * mobile-to-mobile path length (P-GW hairpin vs direct path, section 7);
+//   * state concentration at the Internet boundary (per-bearer + per-flow
+//     contexts at the P-GW vs SoftCell's policy-bounded gateway table);
+//   * path cost to a pod-local service function.
+#include <cstdio>
+
+#include "legacy/epc.hpp"
+#include "sim/network.hpp"
+#include "util/stats.hpp"
+
+using namespace softcell;
+
+int main() {
+  std::printf("=== SoftCell vs legacy EPC (P-GW) on the same topology ===\n\n");
+
+  SoftCellConfig config;
+  config.topo = {.k = 4, .seed = 55};
+  // Exercise the flexibility the legacy EPC lacks: middleboxes placed in
+  // the pods, near the traffic they serve.
+  config.controller.placement = InstancePlacement::kPodLocal;
+  SoftCellNetwork net(config, make_table1_policy());
+  legacy::LegacyEpc epc(net.topology());
+
+  SubscriberProfile profile;
+  profile.plan = BillingPlan::kSilver;
+  Rng rng(5);
+  const auto nbs = net.topology().num_base_stations();
+
+  // Link hops, middlebox detours excluded, so both stacks count the same
+  // thing (the legacy P-GW's functions happen "inside" its node).
+  const auto link_hops = [](const SoftCellNetwork::Delivery& d) {
+    return d.hops.size() - 1 - 2 * d.middlebox_sequence.size();
+  };
+
+  SampleSet sc_m2m, epc_m2m, sc_inet, epc_inet, sc_m2m_pod, epc_m2m_pod;
+  std::uint64_t flows = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    const bool same_pod = trial % 2 == 0;
+    const auto bs_a = static_cast<std::uint32_t>(rng.next_below(nbs));
+    auto bs_b = bs_a;
+    const auto per_pod = nbs / net.topology().params().k;
+    while (bs_b == bs_a ||
+           (same_pod &&
+            net.topology().pod_of_bs(bs_b) != net.topology().pod_of_bs(bs_a)))
+      bs_b = same_pod ? (bs_a / per_pod) * per_pod +
+                            static_cast<std::uint32_t>(rng.next_below(per_pod))
+                      : static_cast<std::uint32_t>(rng.next_below(nbs));
+
+    const UeId a = net.add_subscriber(profile);
+    const UeId b = net.add_subscriber(profile);
+    net.attach(a, bs_a);
+    net.attach(b, bs_b);
+    epc.attach(a, bs_a);
+    epc.attach(b, bs_b);
+
+    // Internet-bound flow.
+    const auto f = net.open_flow(a, 0x08000000u + static_cast<Ipv4Addr>(trial), 80);
+    const auto up = net.send_uplink(f, TcpFlag::kSyn);
+    if (up.delivered) {
+      sc_inet.add_count(link_hops(up));
+      epc_inet.add_count(epc.internet_path(a).hops);
+      ++flows;
+    }
+    // Device-to-device flow.
+    const auto m = net.open_m2m_flow(a, b, 80);
+    const auto d = net.send_m2m(m, true, TcpFlag::kSyn);
+    if (d.delivered) {
+      (same_pod ? sc_m2m_pod : sc_m2m).add_count(link_hops(d));
+      (same_pod ? epc_m2m_pod : epc_m2m).add_count(epc.m2m_path(a, b).hops);
+      ++flows;
+    }
+  }
+
+  std::printf("  %-34s | %9s | %9s\n", "one-way path length (hops)",
+              "SoftCell", "legacy");
+  std::printf("  -----------------------------------+-----------+----------\n");
+  std::printf("  %-34s | %9.1f | %9.1f\n", "UE -> Internet (median)",
+              sc_inet.median(), epc_inet.median());
+  std::printf("  %-34s | %9.1f | %9.1f\n", "UE -> UE, cross-pod (median)",
+              sc_m2m.median(), epc_m2m.median());
+  std::printf("  %-34s | %9.1f | %9.1f\n", "UE -> UE, same pod (median)",
+              sc_m2m_pod.median(), epc_m2m_pod.median());
+  std::printf("  %-34s | %9.1f | %9.1f\n", "UE -> UE, same pod (p90)",
+              sc_m2m_pod.percentile(90), epc_m2m_pod.percentile(90));
+
+  const auto gw_rules =
+      net.controller().engine().table(net.topology().gateway()).rule_count();
+  std::printf("\n  %-34s | %9zu | %9zu (+1 NAT/flow ctx per flow)\n",
+              "state at the Internet boundary", gw_rules,
+              epc.pgw_bearer_contexts());
+  std::printf("\nSoftCell's Internet paths include the middlebox detours the"
+              " policy demands (the legacy P-GW applies the same functions"
+              " centrally, invisible to hop counts); its M2M paths skip the"
+              " gateway hairpin entirely, and the gateway table stays"
+              " policy-bounded while the P-GW holds per-UE + per-flow state"
+              " (%llu flows here).\n",
+              static_cast<unsigned long long>(flows));
+  return 0;
+}

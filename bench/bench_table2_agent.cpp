@@ -1,0 +1,45 @@
+// Table 2 -- local agent throughput vs. classifier cache-hit ratio.
+//
+// The local agent handles each new flow against its cached packet
+// classifiers; on a miss it must ask the central controller to install the
+// policy path.  The paper reports throughput rising with the hit ratio,
+// bottoming out at 1.8K flows/s when every flow needs a controller round
+// trip.  This harness drives a real LocalAgent against a real Controller
+// (path installs included) with a controlled hit ratio; absolute numbers
+// are higher (in-process C++ vs. JVM + RPC), the dependence on the hit
+// ratio is the reproduced result.
+#include <cstdio>
+
+#include "workload/cbench.hpp"
+
+using namespace softcell;
+
+int main() {
+  std::printf("=== Table 2: local agent throughput vs cache-hit ratio ===\n");
+  std::printf("(paper: throughput grows with hit ratio; 1.8K flows/s at 0%%"
+              " hits on Floodlight)\n\n");
+  std::printf("  %9s | %12s | %8s | %8s | %10s\n", "hit ratio", "flows/s",
+              "hits", "misses", "slowdown");
+  std::printf("  ----------+--------------+----------+----------+-----------\n");
+
+  double best = 0;
+  for (double ratio : {1.0, 0.8, 0.6, 0.4, 0.2, 0.0}) {
+    AgentBenchConfig cfg;
+    cfg.hit_ratio = ratio;
+    cfg.ops = ratio == 1.0 ? 400'000 : 60'000;
+    const auto r = bench_agent_flows(cfg);
+    const double rate = r.total.per_second();
+    if (best == 0) best = rate;
+    std::printf("  %8.0f%% | %12.0f | %8llu | %8llu | %9.1fx\n", ratio * 100,
+                rate, static_cast<unsigned long long>(r.hits),
+                static_cast<unsigned long long>(r.misses),
+                best / rate);
+  }
+
+  std::printf("\nEach miss performs the full controller path computation"
+              " (instance selection, two path expansions, Algorithm-1"
+              " install in both directions); hits are handled entirely at"
+              " the access edge -- the hierarchical control plane of"
+              " section 4.2.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// The section-7 feature tour: mobile-to-mobile direct paths, public-IP
+// services for Internet-initiated traffic, TCAM capacity enforcement, and
+// offline recompaction.
+#include <cstdio>
+
+#include "sim/network.hpp"
+#include "util/stats.hpp"
+
+using namespace softcell;
+
+int main() {
+  SoftCellConfig config;
+  config.topo = {.k = 4, .seed = 3};
+  SoftCellNetwork net(config, make_table1_policy());
+
+  SubscriberProfile profile;
+  profile.plan = BillingPlan::kSilver;
+  const UeId alice = net.add_subscriber(profile);
+  const UeId bob = net.add_subscriber(profile);
+  net.attach(alice, 2);
+  net.attach(bob, 97);
+
+  std::printf("--- mobile-to-mobile: no P-GW detour ---\n");
+  const auto call = net.open_m2m_flow(alice, bob, 80);
+  const auto fwd = net.send_m2m(call, /*a_to_b=*/true, TcpFlag::kSyn);
+  std::printf("alice -> bob: %s over %zu hops,",
+              fwd.delivered ? "delivered" : fwd.drop_reason.c_str(),
+              fwd.hops.size());
+  for (const auto mb : fwd.middlebox_sequence)
+    std::printf(" [%s]", std::string(net.middlebox(mb).kind()).c_str());
+  bool via_gateway = false;
+  for (const auto n : fwd.hops) via_gateway |= n == net.topology().gateway();
+  std::printf("%s\n", via_gateway ? " (via gateway!)" : " (gateway never touched)");
+  const auto rev = net.send_m2m(call, false);
+  std::printf("bob -> alice: %s through the same stateful firewall\n",
+              rev.delivered ? "delivered" : rev.drop_reason.c_str());
+
+  std::printf("\n--- Internet-initiated traffic: public-IP service ---\n");
+  const auto svc = net.expose_service(alice, 80);
+  std::printf("alice's web server published at %s:%u (gateway classifier"
+              " installed once)\n",
+              to_dotted(svc.public_ip).c_str(), svc.port);
+  const auto in1 = net.send_inbound(svc, 0x08080808u, 51000, TcpFlag::kSyn);
+  std::printf("inbound SYN: %s (policy path:",
+              in1.delivered ? "delivered" : in1.drop_reason.c_str());
+  for (const auto mb : in1.middlebox_sequence)
+    std::printf(" [%s]", std::string(net.middlebox(mb).kind()).c_str());
+  std::printf(")\n");
+  const auto reply = net.send_service_reply(svc, 0x08080808u, 51000);
+  std::printf("alice's reply: %s, server sees %s:%u (stable endpoint)\n",
+              reply.delivered ? "delivered" : reply.drop_reason.c_str(),
+              to_dotted(reply.final_packet.key.src_ip).c_str(),
+              reply.final_packet.key.src_port);
+
+  std::printf("\n--- offline recompaction (section 3.2 discussion) ---\n");
+  // Load more paths in scattered order, then rebuild clause-major.
+  for (std::uint32_t bs = 10; bs < 40; bs += 3) {
+    const UeId ue = net.add_subscriber(profile);
+    net.attach(ue, bs);
+    (void)net.send_uplink(net.open_flow(ue, 0x09090909u, 1935), TcpFlag::kSyn);
+    (void)net.send_uplink(net.open_flow(ue, 0x09090909u, 5060), TcpFlag::kSyn);
+  }
+  const auto r = net.controller().recompact();
+  std::printf("rules %zu -> %zu, tags %zu -> %zu after the offline rebuild\n",
+              r.rules_before, r.rules_after, r.tags_before, r.tags_after);
+
+  std::printf("\n--- per-switch table budget ---\n");
+  const auto stats = net.controller().engine().table_stats();
+  SampleSet sizes;
+  for (auto v : stats.fabric_sizes) sizes.add_count(v);
+  std::printf("fabric tables: max %.0f, median %.0f rules (type1 %zu /"
+              " type2 %zu / type3 %zu)\n",
+              sizes.max(), sizes.median(), stats.type1, stats.type2,
+              stats.type3);
+  return 0;
+}

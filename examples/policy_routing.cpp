@@ -1,0 +1,107 @@
+// Fine-grained service policies in action: the full Table-1 scenario.
+//
+// Five subscribers with different attributes open flows of different
+// applications; the example prints, for each, the clause that matched and
+// the actual middlebox instances their packets traversed -- silver video
+// through firewall+transcoder, VoIP through firewall+echo-canceller,
+// roaming partners firewalled, unknown carriers dropped, and an M2M fleet
+// tracker on the low-latency class.  Also demonstrates the IDS middlebox
+// grouping flows by UE id (the third aggregation dimension).
+#include <cstdio>
+#include <string>
+
+#include "sim/network.hpp"
+
+using namespace softcell;
+
+namespace {
+
+void show_flow(SoftCellNetwork& net, const char* who, UeId ue,
+               std::uint16_t dst_port, Ipv4Addr remote) {
+  const auto flow = net.open_flow(ue, remote, dst_port);
+  const auto up = net.send_uplink(flow, TcpFlag::kSyn);
+  std::printf("  %-26s port %5u -> ", who, dst_port);
+  if (!up.delivered) {
+    std::printf("DROPPED (%s)\n", up.drop_reason.c_str());
+    return;
+  }
+  std::printf("delivered via");
+  if (up.middlebox_sequence.empty()) std::printf(" (no middleboxes)");
+  for (const auto mb : up.middlebox_sequence)
+    std::printf(" [%s]", std::string(net.middlebox(mb).kind()).c_str());
+  const auto down = net.send_downlink(flow);
+  std::printf("; reply %s\n",
+              down.delivered ? "delivered" : down.drop_reason.c_str());
+}
+
+}  // namespace
+
+int main() {
+  SoftCellConfig config;
+  config.topo = {.k = 4, .seed = 5};
+  SoftCellNetwork net(config, make_table1_policy());
+
+  std::printf("service policy (Table 1 of the paper):\n");
+  for (const auto& clause : net.controller().policy().clauses())
+    std::printf("  prio %2u: %-46s -> %s\n", clause.priority,
+                clause.predicate.to_string().c_str(),
+                clause.comment.c_str());
+
+  // The cast: one subscriber per policy clause of interest.
+  SubscriberProfile silver;
+  silver.plan = BillingPlan::kSilver;
+  const UeId alice = net.add_subscriber(silver);
+
+  SubscriberProfile gold = silver;
+  gold.plan = BillingPlan::kGold;
+  const UeId bob = net.add_subscriber(gold);
+
+  SubscriberProfile partner;
+  partner.provider = 1;  // carrier B, the roaming partner
+  const UeId roamer = net.add_subscriber(partner);
+
+  SubscriberProfile stranger;
+  stranger.provider = 9;  // unknown carrier
+  const UeId intruder = net.add_subscriber(stranger);
+
+  SubscriberProfile tracker;
+  tracker.device = DeviceClass::kM2mFleetTracker;
+  const UeId van = net.add_subscriber(tracker);
+
+  for (const UeId ue : {alice, bob, roamer, intruder, van}) net.attach(ue, 42);
+
+  std::printf("\ntraffic at base station 42:\n");
+  show_flow(net, "alice (silver) video", alice, 1935, 0x08080801u);
+  show_flow(net, "alice (silver) web", alice, 80, 0x08080801u);
+  show_flow(net, "bob (gold) video", bob, 1935, 0x08080802u);
+  show_flow(net, "alice VoIP call", alice, 5060, 0x08080803u);
+  show_flow(net, "partner roamer web", roamer, 80, 0x08080804u);
+  show_flow(net, "unknown carrier web", intruder, 80, 0x08080805u);
+  show_flow(net, "fleet tracker telemetry", van, 8883, 0x08080806u);
+
+  // The IDS (type 3) groups flows by UE id: open many flows from one UE
+  // through a clause that includes it to trigger an alert.
+  std::printf("\nIDS demo: per-UE flow grouping via the LocIP UE-id field\n");
+  ServicePolicy ids_policy;
+  ids_policy.add_clause(1, Predicate::any(),
+                        ServiceAction{true, {mb::kIds}, QosClass::kBestEffort});
+  SoftCellConfig cfg2;
+  cfg2.topo = {.k = 4, .seed = 6};
+  SoftCellNetwork net2(cfg2, std::move(ids_policy));
+  const UeId chatty = net2.add_subscriber(SubscriberProfile{});
+  net2.attach(chatty, 0);
+  NodeId ids_node{};
+  for (int i = 0; i < 70; ++i) {
+    const auto f =
+        net2.open_flow(chatty, 0x08080808u + static_cast<Ipv4Addr>(i), 80);
+    const auto d = net2.send_uplink(f, TcpFlag::kSyn);
+    if (d.delivered && !d.middlebox_sequence.empty())
+      ids_node = d.middlebox_sequence[0];
+  }
+  const auto& ids = dynamic_cast<Ids&>(net2.middlebox(ids_node));
+  std::printf("  70 flows from one UE -> IDS tracked %zu UE(s), %llu"
+              " threshold alerts\n",
+              ids.tracked_ues(),
+              static_cast<unsigned long long>(ids.alerts()));
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: bring up a SoftCell core network, attach a subscriber, and
+// push one web flow through it in both directions.
+//
+//   $ ./examples/quickstart
+//
+// Shows the essential moving parts: the policy (Table 1 of the paper), the
+// k-parameterized topology, LocIP address translation at the access edge,
+// the policy tag embedded in the source port (Fig. 4), and the middlebox
+// traversal enforced by the fabric rules.
+#include <cstdio>
+
+#include "sim/network.hpp"
+
+using namespace softcell;
+
+int main() {
+  // A k=4 cellular core: 160 base stations in rings of 10, 16+16
+  // aggregation/core switches, one gateway, four middlebox types.
+  SoftCellConfig config;
+  config.topo = {.k = 4, .seed = 1};
+  SoftCellNetwork net(config, make_table1_policy());
+  std::printf("topology: %u base stations, %zu nodes, %zu links\n",
+              net.topology().num_base_stations(),
+              net.topology().graph().node_count(),
+              net.topology().graph().link_count());
+
+  // A silver-plan smartphone subscriber attaches at base station 7.
+  SubscriberProfile profile;
+  profile.plan = BillingPlan::kSilver;
+  profile.device = DeviceClass::kSmartphone;
+  const UeId alice = net.add_subscriber(profile);
+  net.attach(alice, 7);
+  std::printf("alice attached at base station %u\n", *net.serving_bs(alice));
+
+  // First packet of a web flow: classified at the access edge, the policy
+  // path is installed on demand, the packet is delivered to the Internet.
+  const auto flow = net.open_flow(alice, /*remote=*/0x5DB8D822u, /*port=*/80);
+  const auto up = net.send_uplink(flow, TcpFlag::kSyn);
+  if (!up.delivered) {
+    std::printf("uplink dropped: %s\n", up.drop_reason.c_str());
+    return 1;
+  }
+  std::printf("uplink delivered over %zu hops through:", up.hops.size());
+  for (const auto mb : up.middlebox_sequence)
+    std::printf(" [%s]", std::string(net.middlebox(mb).kind()).c_str());
+  std::printf("\n");
+
+  // Fig. 4: the server sees a location-dependent address and a tagged port.
+  const auto& hdr = up.final_packet.key;
+  const auto fields = net.plan().decode(hdr.src_ip);
+  std::printf("server-visible source: %s:%u  (base station %u, UE %u,"
+              " policy tag %u)\n",
+              to_dotted(hdr.src_ip).c_str(), hdr.src_port, fields->bs_index,
+              fields->ue.value(), net.codec().tag_of(hdr.src_port).value());
+
+  // The reply is forwarded by the dumb gateway on dst address/port alone,
+  // traverses the same middleboxes in reverse, and reaches Alice.
+  const auto down = net.send_downlink(flow);
+  std::printf("downlink delivered: %s -> %s:%u\n",
+              down.delivered ? "yes" : down.drop_reason.c_str(),
+              to_dotted(down.final_packet.key.dst_ip).c_str(),
+              down.final_packet.key.dst_port);
+
+  std::printf("\nfabric rules at the gateway: %zu (independent of flows)\n",
+              net.controller()
+                  .engine()
+                  .table(net.topology().gateway())
+                  .rule_count());
+  std::printf("microflow rules at alice's access switch: %zu\n",
+              net.access(7).flows().size());
+  return 0;
+}

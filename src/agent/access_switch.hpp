@@ -1,0 +1,58 @@
+// The access-edge data plane of one base station (paper section 4.1).
+//
+// An access switch is a software switch next to the base station.  It holds:
+//   * the microflow table: one exact-match rule per flow, rewriting the
+//     permanent UE address to the LocIP and embedding the policy tag in the
+//     source port (uplink), and undoing the translation (downlink);
+//   * one static default route toward its aggregation switch (uplink needs
+//     no per-path rules at the access edge);
+//   * the tunnel table used as mobility anchor (section 5.1): downlink
+//     packets addressed to the old LocIP of a departed UE are tunneled to
+//     the UE's new access switch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "dataplane/microflow.hpp"
+#include "packet/locip.hpp"
+#include "util/ids.hpp"
+
+namespace softcell {
+
+class AccessSwitch {
+ public:
+  AccessSwitch(NodeId node, std::uint32_t bs_index, NodeId uplink_next)
+      : node_(node), bs_index_(bs_index), uplink_next_(uplink_next) {}
+
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] std::uint32_t bs_index() const { return bs_index_; }
+  // Static default: where uplink traffic leaves toward the fabric.
+  [[nodiscard]] NodeId uplink_next() const { return uplink_next_; }
+
+  [[nodiscard]] MicroflowTable& flows() { return flows_; }
+  [[nodiscard]] const MicroflowTable& flows() const { return flows_; }
+
+  // --- mobility anchor -------------------------------------------------------
+  // Tunnels a departed UE's old LocIP to its new access switch.
+  void add_tunnel(Ipv4Addr old_locip, NodeId new_access) {
+    tunnels_[old_locip] = new_access;
+  }
+  void remove_tunnel(Ipv4Addr old_locip) { tunnels_.erase(old_locip); }
+  [[nodiscard]] std::optional<NodeId> tunnel_for(Ipv4Addr locip) const {
+    const auto it = tunnels_.find(locip);
+    if (it == tunnels_.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] std::size_t tunnel_count() const { return tunnels_.size(); }
+
+ private:
+  NodeId node_;
+  std::uint32_t bs_index_;
+  NodeId uplink_next_;
+  MicroflowTable flows_;
+  std::unordered_map<Ipv4Addr, NodeId> tunnels_;
+};
+
+}  // namespace softcell

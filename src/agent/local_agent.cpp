@@ -1,0 +1,263 @@
+#include "agent/local_agent.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace softcell {
+
+LocalAgent::LocalAgent(std::uint32_t bs_index, AddressPlan plan,
+                       PortCodec codec, Controller& controller,
+                       AccessSwitch& access)
+    : bs_index_(bs_index),
+      plan_(plan),
+      codec_(codec),
+      controller_(&controller),
+      access_(&access) {}
+
+LocalUeId LocalAgent::alloc_local_id() {
+  const auto limit = plan_.max_ues_per_bs();
+  for (std::uint32_t probe = 0; probe < limit; ++probe) {
+    const LocalUeId id(next_id_);
+    next_id_ = static_cast<std::uint16_t>((next_id_ + 1) % limit);
+    if (!used_ids_.contains(id) && !quarantine_.contains(id)) {
+      used_ids_.insert(id);
+      return id;
+    }
+  }
+  throw std::runtime_error("LocalAgent: out of local UE ids");
+}
+
+Ipv4Addr LocalAgent::ue_arrive(UeId ue, Ipv4Addr permanent_ip) {
+  if (ues_.contains(ue))
+    throw std::invalid_argument("ue_arrive: already attached");
+  UeState st;
+  st.local = alloc_local_id();
+  st.permanent_ip = permanent_ip;
+  controller_->attach_ue(ue, bs_index_, st.local);
+  st.classifiers = controller_->fetch_classifiers(ue, bs_index_);
+  const Ipv4Addr locip = plan_.encode(bs_index_, st.local);
+  ues_.emplace(ue, std::move(st));
+  return locip;
+}
+
+void LocalAgent::ue_depart(UeId ue) {
+  const auto it = ues_.find(ue);
+  if (it == ues_.end()) throw std::invalid_argument("ue_depart: not attached");
+  for (const auto& [flow, entry] : it->second.slots) {
+    access_->flows().remove(flow);
+    access_->flows().remove(entry.down_key);
+  }
+  used_ids_.erase(it->second.local);
+  controller_->detach_ue(ue);
+  ues_.erase(it);
+}
+
+std::optional<Ipv4Addr> LocalAgent::locip_of(UeId ue) const {
+  const auto it = ues_.find(ue);
+  if (it == ues_.end()) return std::nullopt;
+  return plan_.encode(bs_index_, it->second.local);
+}
+
+std::optional<Ipv4Addr> LocalAgent::permanent_ip_of(UeId ue) const {
+  const auto it = ues_.find(ue);
+  if (it == ues_.end()) return std::nullopt;
+  return it->second.permanent_ip;
+}
+
+std::optional<LocalUeId> LocalAgent::local_of(UeId ue) const {
+  const auto it = ues_.find(ue);
+  if (it == ues_.end()) return std::nullopt;
+  return it->second.local;
+}
+
+std::vector<LocalAgent::ActiveFlow> LocalAgent::active_flows(UeId ue) const {
+  std::vector<ActiveFlow> out;
+  const auto it = ues_.find(ue);
+  if (it == ues_.end()) return out;
+  out.reserve(it->second.slots.size());
+  for (const auto& [key, entry] : it->second.slots)
+    out.push_back(ActiveFlow{key, entry.tag, entry.clause});
+  return out;
+}
+
+const PacketClassifier* LocalAgent::classify(const UeState& st,
+                                             AppType app) const {
+  const PacketClassifier* wildcard = nullptr;
+  for (const auto& c : st.classifiers) {
+    if (c.app == app) return &c;
+    if (c.app == AppType::kOther) wildcard = &c;
+  }
+  return wildcard;
+}
+
+void LocalAgent::install_microflow(UeState& st, const FlowKey& flow,
+                                   PolicyTag tag, ClauseId clause) {
+  const Ipv4Addr locip = plan_.encode(bs_index_, st.local);
+  auto [sit, fresh] = st.slots.try_emplace(
+      flow, UeState::FlowEntry{static_cast<std::uint16_t>(st.next_slot), {}});
+  if (fresh)
+    st.next_slot =
+        static_cast<std::uint16_t>((st.next_slot + 1) %
+                                   codec_.max_flows_per_ue());
+  const std::uint16_t port = codec_.encode(tag, sit->second.slot);
+
+  // Uplink: permanent 5-tuple -> LocIP + tagged port, toward the fabric.
+  MicroflowAction up;
+  up.set_src_ip = locip;
+  up.set_src_port = port;
+  up.out_to = access_->uplink_next();
+  access_->flows().install(flow, up);
+
+  // Downlink: the translated reverse flow -> permanent address, deliver.
+  FlowKey down;
+  down.src_ip = flow.dst_ip;
+  down.src_port = flow.dst_port;
+  down.dst_ip = locip;
+  down.dst_port = port;
+  down.proto = flow.proto;
+  MicroflowAction dn;
+  dn.set_dst_ip = st.permanent_ip;
+  dn.set_dst_port = flow.src_port;
+  access_->flows().install(down, dn);
+  sit->second.down_key = down;
+  sit->second.tag = tag;
+  sit->second.clause = clause;
+}
+
+LocalAgent::FlowResult LocalAgent::handle_new_flow(UeId ue,
+                                                   const FlowKey& flow) {
+  const auto it = ues_.find(ue);
+  if (it == ues_.end()) return FlowResult{};
+  UeState& st = it->second;
+
+  const AppType app = app_from_dst_port(flow.dst_port);
+  const PacketClassifier* cls = classify(st, app);
+  FlowResult out;
+  if (cls == nullptr || !cls->allow) {
+    out.verdict = FlowVerdict::kDenied;
+    return out;
+  }
+  out.clause = cls->clause;
+  if (cls->tag) {
+    // Cache hit: the policy path exists, handle entirely locally.
+    out.cache_hit = true;
+    ++hits_;
+    out.tag = *cls->tag;
+  } else {
+    // Miss: the first flow at this base station needing this policy path.
+    ++misses_;
+    out.tag = controller_->request_policy_path(bs_index_, cls->clause);
+    // Update the cached classifier so later flows hit.
+    for (auto& c : st.classifiers)
+      if (c.clause == cls->clause) c.tag = out.tag;
+  }
+  install_microflow(st, flow, out.tag, out.clause);
+  out.verdict = FlowVerdict::kInstalled;
+  return out;
+}
+
+Ipv4Addr LocalAgent::ue_handoff_in(UeId ue, Ipv4Addr permanent_ip,
+                                   const AccessSwitch& old_access,
+                                   std::vector<Ipv4Addr>* moved_locips) {
+  if (ues_.contains(ue))
+    throw std::invalid_argument("ue_handoff_in: already attached");
+  UeState st;
+  st.local = alloc_local_id();
+  st.permanent_ip = permanent_ip;
+  controller_->update_location(ue, bs_index_, st.local);
+  st.classifiers = controller_->fetch_classifiers(ue, bs_index_);
+
+  // Copy the UE's microflow rules from the old access switch so in-flight
+  // flows keep using their established LocIPs (section 5.1).  Uplink rules
+  // are keyed by the permanent source address; downlink rules are the ones
+  // that translate back to it.
+  //
+  // Uplink packets of an in-flight flow must enter the fabric where its
+  // LocIP's (tag, prefix) rules live: at the *anchor* access switch that
+  // owns the LocIP.  A rule that injected locally at the old switch is
+  // therefore re-pointed through the inter-BS tunnel to that switch; a rule
+  // that already tunneled to an earlier anchor (chained handoffs) keeps its
+  // target.
+  for (const auto& [key, action] : old_access.flows().rules()) {
+    const bool uplink_rule = key.src_ip == permanent_ip;
+    const bool downlink_rule = action.set_dst_ip == permanent_ip;
+    if (!uplink_rule && !downlink_rule) continue;
+    MicroflowAction copy = action;
+    if (uplink_rule && action.out_to == old_access.uplink_next())
+      copy.out_to = old_access.node();
+    access_->flows().install(key, copy);
+    if (downlink_rule && moved_locips != nullptr)
+      moved_locips->push_back(key.dst_ip);
+  }
+  const Ipv4Addr locip = plan_.encode(bs_index_, st.local);
+  ues_.emplace(ue, std::move(st));
+  return locip;
+}
+
+void LocalAgent::update_classifier_tag(ClauseId clause, PolicyTag tag) {
+  for (auto& [ue, st] : ues_)
+    for (auto& c : st.classifiers)
+      if (c.clause == clause && c.allow) c.tag = tag;
+}
+
+void LocalAgent::ue_handoff_out(UeId ue) {
+  const auto it = ues_.find(ue);
+  if (it == ues_.end())
+    throw std::invalid_argument("ue_handoff_out: not attached");
+  quarantine_.insert(it->second.local);
+  used_ids_.erase(it->second.local);
+  ues_.erase(it);
+}
+
+void LocalAgent::release_quarantine(LocalUeId id) { quarantine_.erase(id); }
+
+void LocalAgent::restart() {
+  // All soft state is lost...
+  const auto before = std::move(ues_);
+  ues_.clear();
+  hits_ = 0;
+  misses_ = 0;
+  // ...and rebuilt read-only from the controller (section 5.2): local ids
+  // come from the controller's location map, classifiers are refetched, and
+  // flow slots are recovered from the access switch's surviving rules.
+  for (const auto& [ue, old_st] : before) {
+    const auto loc = controller_->ue_location(ue);
+    if (!loc || loc->bs != bs_index_)
+      throw std::logic_error("restart: controller lost a UE location");
+    UeState st;
+    st.local = loc->local;
+    st.permanent_ip = old_st.permanent_ip;
+    st.classifiers = controller_->fetch_classifiers(ue, bs_index_);
+    const Ipv4Addr locip = plan_.encode(bs_index_, st.local);
+    std::uint16_t max_slot = 0;
+    for (const auto& [key, action] : access_->flows().rules()) {
+      if (key.src_ip != st.permanent_ip) continue;
+      if (!action.set_src_port) continue;
+      if (action.set_src_ip != locip) continue;  // old-LocIP copies excluded
+      const auto slot = codec_.flow_slot_of(*action.set_src_port);
+      FlowKey down;
+      down.src_ip = key.dst_ip;
+      down.src_port = key.dst_port;
+      down.dst_ip = locip;
+      down.dst_port = *action.set_src_port;
+      down.proto = key.proto;
+      const PolicyTag tag = codec_.tag_of(*action.set_src_port);
+      ClauseId clause{};
+      for (const auto& cl : st.classifiers)
+        if (cl.tag == tag) clause = cl.clause;
+      st.slots[key] = UeState::FlowEntry{slot, down, tag, clause};
+      max_slot = std::max<std::uint16_t>(max_slot,
+                                         static_cast<std::uint16_t>(slot + 1));
+    }
+    st.next_slot = max_slot;
+    ues_.emplace(ue, std::move(st));
+  }
+}
+
+void LocalAgent::enumerate_ues(
+    const std::function<void(UeId, UeLocation)>& fn) const {
+  for (const auto& [ue, st] : ues_)
+    fn(ue, UeLocation{bs_index_, st.local});
+}
+
+}  // namespace softcell

@@ -1,0 +1,48 @@
+#include "core/baselines.hpp"
+
+namespace softcell {
+
+namespace {
+
+std::vector<std::size_t> fabric_sizes_from(
+    const Graph& g, const std::unordered_map<NodeId, std::size_t>& rules) {
+  std::vector<std::size_t> out;
+  for (std::uint32_t i = 0; i < g.node_count(); ++i) {
+    const NodeId id(i);
+    if (g.is_fabric_switch(id)) {
+      const auto it = rules.find(id);
+      out.push_back(it == rules.end() ? 0 : it->second);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> FlatTagBaseline::fabric_sizes() const {
+  return fabric_sizes_from(*graph_, rules_);
+}
+
+std::vector<std::size_t> MicroflowBaseline::fabric_sizes() const {
+  return fabric_sizes_from(*graph_, rules_);
+}
+
+void LocationOnlyBaseline::install_delivery(const ExpandedPath& path,
+                                            Prefix origin) {
+  for (const PathHop& hop : path.fabric) {
+    SwitchTable& tbl = tables_.at(hop.sw.value());
+    tbl.add_location_rule(path.dir, origin, RuleAction{hop.out_to, std::nullopt});
+  }
+}
+
+std::vector<std::size_t> LocationOnlyBaseline::fabric_sizes() const {
+  std::vector<std::size_t> out;
+  for (std::uint32_t i = 0; i < graph_->node_count(); ++i) {
+    const NodeId id(i);
+    if (graph_->is_fabric_switch(id))
+      out.push_back(tables_[i].rule_count());
+  }
+  return out;
+}
+
+}  // namespace softcell

@@ -1,0 +1,80 @@
+// Baseline routing schemes SoftCell is compared against (section 3.1
+// motivates multi-dimensional aggregation by contrasting pure tag-based and
+// pure location-based routing; bench_ablation_agg regenerates the
+// comparison).
+//
+// Each baseline answers the same question as the aggregation engine: "how
+// many rules does every switch need to carry this set of policy paths?"
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/path.hpp"
+#include "dataplane/switch_table.hpp"
+#include "topo/graph.hpp"
+#include "util/stats.hpp"
+
+namespace softcell {
+
+// Pure tag-based ("flat") routing: every policy path gets its own tag and a
+// tag-only rule at every hop.  No aggregation across paths is possible --
+// this is the MPLS-without-label-merging strawman of section 3.1.
+class FlatTagBaseline {
+ public:
+  explicit FlatTagBaseline(const Graph& graph) : graph_(&graph) {}
+
+  void install(const ExpandedPath& path) {
+    for (const PathHop& hop : path.fabric) ++rules_[hop.sw];
+    ++paths_;
+  }
+
+  [[nodiscard]] std::uint64_t tags_used() const { return paths_; }
+  [[nodiscard]] std::vector<std::size_t> fabric_sizes() const;
+
+ private:
+  const Graph* graph_;
+  std::unordered_map<NodeId, std::size_t> rules_;
+  std::uint64_t paths_ = 0;
+};
+
+// Per-microflow rules everywhere (no classification push-down at all):
+// every flow needs one rule per hop.  `flows_per_path` scales path count to
+// flow count.
+class MicroflowBaseline {
+ public:
+  MicroflowBaseline(const Graph& graph, std::uint32_t flows_per_path)
+      : graph_(&graph), flows_per_path_(flows_per_path) {}
+
+  void install(const ExpandedPath& path) {
+    for (const PathHop& hop : path.fabric) rules_[hop.sw] += flows_per_path_;
+  }
+
+  [[nodiscard]] std::vector<std::size_t> fabric_sizes() const;
+
+ private:
+  const Graph* graph_;
+  std::uint32_t flows_per_path_;
+  std::unordered_map<NodeId, std::size_t> rules_;
+};
+
+// Pure location (destination-prefix) routing with CIDR aggregation.  Cannot
+// express middlebox steering at all -- included as the lower bound on table
+// state and to show what the location dimension alone buys.
+class LocationOnlyBaseline {
+ public:
+  explicit LocationOnlyBaseline(const Graph& graph)
+      : graph_(&graph), tables_(graph.node_count()) {}
+
+  // Installs the shortest gateway->BS delivery path (no middleboxes).
+  void install_delivery(const ExpandedPath& path, Prefix origin);
+
+  [[nodiscard]] std::vector<std::size_t> fabric_sizes() const;
+
+ private:
+  const Graph* graph_;
+  std::vector<SwitchTable> tables_;
+};
+
+}  // namespace softcell

@@ -1,0 +1,592 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace softcell {
+
+namespace {
+
+// Key for the structural conflict map: (switch, in-link/class, segment).
+std::uint64_t plan_key(NodeId sw, NodeId cls_in, std::uint32_t seg) {
+  std::uint64_t v = (static_cast<std::uint64_t>(sw.value()) << 32) ^
+                    (static_cast<std::uint64_t>(cls_in.value()) * 0x9E3779B9u) ^
+                    seg;
+  v = (v ^ (v >> 30)) * 0xBF58476D1CE4E5B9ull;
+  return v ^ (v >> 31);
+}
+
+}  // namespace
+
+AggregationEngine::AggregationEngine(const Graph& graph, EngineOptions options)
+    : graph_(&graph), options_(options), tables_(graph.node_count()) {
+  // Tag 0 is reserved for the shared delivery tier and never recycled.
+  next_tag_ = kDeliveryTag.value() + 1;
+  tag_refs_[kDeliveryTag] = 1;
+  if (options_.switch_capacity != 0) {
+    for (std::size_t i = 0; i < tables_.size(); ++i)
+      if (graph.is_fabric_switch(NodeId(static_cast<std::uint32_t>(i))))
+        tables_[i].set_capacity(options_.switch_capacity);
+  }
+}
+
+SwitchTable& AggregationEngine::mutable_table(NodeId sw) {
+  return tables_.at(sw.value());
+}
+
+const SwitchTable& AggregationEngine::table(NodeId sw) const {
+  return tables_.at(sw.value());
+}
+
+// --- structural planning -----------------------------------------------------
+
+AggregationEngine::PathPlan AggregationEngine::plan_structure(
+    std::span<const PathHop> hops) {
+  PathPlan plan;
+  plan.hops.assign(hops.size(), HopPlan{});
+  if (hops.empty()) return plan;
+
+  // Two hops of the same path can interfere in three ways:
+  //   * same (switch, in-link, segment): the lookup key is identical, so the
+  //     outs (and tag-swap actions) must match -- otherwise the path is a
+  //     same-link loop and must be split into tag segments (section 3.2);
+  //   * same (switch, segment), different in-links, both in the wildcard
+  //     class with different outs: their (tag, prefix) rules would collide,
+  //     so both are forced into in-port-specific classes;
+  //   * hops in specific classes never clash with wildcard hops on other
+  //     in-links: lookups probe the specific class of their own in-link
+  //     first and fall through to the wildcard class on miss.
+  std::set<std::size_t> splits;  // hop index that starts a new segment
+  std::set<std::size_t> forced;  // hops pinned to in-port-specific classes
+  for (int pass = 0; pass < 1024; ++pass) {
+    std::unordered_map<std::uint64_t, std::size_t> by_inlink;
+    std::unordered_map<std::uint64_t, std::size_t> by_wildcard;
+    bool redo = false;
+    std::uint32_t seg = 0;
+    const auto swap_of = [&](std::size_t x) -> std::optional<std::size_t> {
+      if (splits.contains(x + 1)) return x + 1;  // identifies the swap target
+      return std::nullopt;
+    };
+    for (std::size_t i = 0; i < hops.size() && !redo; ++i) {
+      if (splits.contains(i)) ++seg;
+      plan.hops[i].segment = seg;
+      plan.hops[i].force_inport = forced.contains(i);
+      plan.hops[i].swap_next = splits.contains(i + 1);
+      const bool specific = hops[i].from_middlebox || forced.contains(i);
+
+      const auto inkey = plan_key(hops[i].sw, hops[i].in_from, seg);
+      if (const auto [it, fresh] = by_inlink.emplace(inkey, i); !fresh) {
+        const std::size_t j = it->second;
+        const bool same_rule =
+            hops[j].out_to == hops[i].out_to && swap_of(j) == swap_of(i);
+        if (!same_rule) {
+          // Same-link re-entry: split the path here; the previous hop gets
+          // a tag-swap action.
+          if (i == 0)
+            throw std::logic_error("plan_structure: conflict at first hop");
+          splits.insert(i);
+          redo = true;
+          continue;
+        }
+      }
+      if (!specific) {
+        const auto wkey = plan_key(hops[i].sw, NodeId{}, seg);
+        if (const auto [it, fresh] = by_wildcard.emplace(wkey, i); !fresh) {
+          const std::size_t j = it->second;
+          const bool same_rule =
+              hops[j].out_to == hops[i].out_to && swap_of(j) == swap_of(i);
+          if (!same_rule) {
+            if (hops[j].in_from == hops[i].in_from)
+              throw std::logic_error("plan_structure: unreachable clash");
+            // Different in-links: disambiguate by in-port matching.
+            forced.insert(i);
+            forced.insert(j);
+            redo = true;
+            continue;
+          }
+        }
+      }
+    }
+    if (!redo) {
+      plan.segments = seg + 1;
+      return plan;
+    }
+  }
+  throw std::logic_error("plan_structure: did not converge");
+}
+
+// --- tag bookkeeping -----------------------------------------------------------
+
+PolicyTag AggregationEngine::alloc_tag() {
+  // A freed tag can be resurrected before it is popped here: it lingers in
+  // the MRU list, gets picked as a candidate and re-referenced.  Skip any
+  // such live tags instead of handing them out twice.
+  while (!free_tags_.empty()) {
+    const PolicyTag t = free_tags_.back();
+    free_tags_.pop_back();
+    if (!tag_refs_.contains(t)) return t;
+  }
+  const std::uint32_t bound =
+      options_.max_tags != 0
+          ? options_.max_tags
+          : static_cast<std::uint32_t>(PolicyTag::kInvalid);
+  if (next_tag_ >= bound)
+    throw std::runtime_error(
+        "AggregationEngine: tag space exhausted (grow the PortCodec tag "
+        "bits or reduce policy scale)");
+  return PolicyTag(static_cast<PolicyTag::rep_type>(next_tag_++));
+}
+
+void AggregationEngine::ref_tag(PolicyTag t, std::uint64_t bs_dir) {
+  ++tag_refs_[t];
+  if (!bs_tags_[bs_dir].insert(t).second)
+    throw std::logic_error("ref_tag: tag already used by this base station");
+}
+
+void AggregationEngine::unref_tag(PolicyTag t, std::uint64_t bs_dir) {
+  bs_tags_[bs_dir].erase(t);
+  auto it = tag_refs_.find(t);
+  if (it == tag_refs_.end()) throw std::logic_error("unref_tag: unknown tag");
+  if (--it->second == 0) {
+    tag_refs_.erase(it);
+    free_tags_.push_back(t);
+  }
+}
+
+bool AggregationEngine::tag_used_by_bs(std::uint64_t bs, PolicyTag t) const {
+  const auto it = bs_tags_.find(bs);
+  return it != bs_tags_.end() && it->second.contains(t);
+}
+
+void AggregationEngine::touch_mru(PolicyTag t) {
+  if (!mru_.empty() && mru_.front() == t) return;
+  mru_.push_front(t);
+  if (mru_.size() > 64) mru_.pop_back();
+}
+
+// --- committing a single rule -----------------------------------------------
+
+std::int32_t AggregationEngine::commit_rule(NodeId sw, InPortSpec in,
+                                            PolicyTag tag,
+                                            const RuleAction& desired,
+                                            Prefix origin, Direction dir,
+                                            bool class_only, PathRecord* rec) {
+  SwitchTable& tbl = mutable_table(sw);
+  const auto before = static_cast<std::int32_t>(tbl.rule_count());
+
+  const auto res =
+      tbl.resolve(dir, in, tag, origin, /*fall_through=*/!class_only);
+  if (res && res->action == desired) {
+    // Re-reference the entry that already treats us correctly.
+    if (res->is_default) {
+      tbl.add_default(dir, res->cls, tag, desired);
+      emit(RuleOp::Kind::kAddDefault, sw, dir, res->cls, tag, {}, desired);
+      if (rec)
+        rec->reliances.push_back(Reliance{Reliance::Kind::kDefault, sw,
+                                          res->cls, tag, Prefix{}, dir});
+    } else {
+      tbl.add_prefix_rule(dir, res->cls, tag, origin, desired);
+      emit(RuleOp::Kind::kAddPrefix, sw, dir, res->cls, tag, origin, desired);
+      if (rec)
+        rec->reliances.push_back(Reliance{Reliance::Kind::kPrefix, sw,
+                                          res->cls, tag, origin, dir});
+    }
+  } else if (!res && in.wildcard()) {
+    // First rule for this tag here: a tag-only default -- the cheapest,
+    // most aggregated form (Step 2 of Algorithm 1 installs the most general
+    // rule that is still correct).  Defaults live only in the wildcard
+    // in-port class: a default in a specific class would shadow wildcard
+    // entries that paths entering through the same link already rely on.
+    tbl.add_default(dir, in, tag, desired);
+    emit(RuleOp::Kind::kAddDefault, sw, dir, in, tag, {}, desired);
+    if (rec)
+      rec->reliances.push_back(
+          Reliance{Reliance::Kind::kDefault, sw, in, tag, Prefix{}, dir});
+  } else {
+    // Divergence from existing rules: a (tag, prefix) override, merged with
+    // contiguous siblings by the table (canAggregate/aggregateRule).
+    tbl.add_prefix_rule(dir, in, tag, origin, desired);
+    emit(RuleOp::Kind::kAddPrefix, sw, dir, in, tag, origin, desired);
+    if (rec)
+      rec->reliances.push_back(
+          Reliance{Reliance::Kind::kPrefix, sw, in, tag, origin, dir});
+  }
+  return static_cast<std::int32_t>(tbl.rule_count()) - before;
+}
+
+// --- install ---------------------------------------------------------------------
+
+AggregationEngine::InstallResult AggregationEngine::install(
+    const ExpandedPath& path, std::uint32_t bs_index, Prefix origin,
+    std::optional<PolicyTag> hint, bool pin,
+    std::optional<std::uint64_t> exclude_also) {
+  const Direction dir = path.dir;
+  const std::uint64_t bsd = bs_key(bs_index, dir);
+  if (pin && !hint)
+    throw std::invalid_argument("install: pin requires a hint tag");
+
+  // --- split the path at the delivery boundary ---
+  // Everything after the last middlebox is pure delivery: with the shared
+  // delivery tier (multi-table mode, section 7), those hops are served by
+  // prefix rules under the reserved delivery tag, shared by *all* policy
+  // paths.  The hop at the boundary becomes a hand-off rule that rewrites
+  // the transit tag and resubmits.
+  const std::size_t n = path.fabric.size();
+  const bool use_delivery = options_.shared_delivery && n > 0;
+  std::size_t boundary = n;
+  if (use_delivery) {
+    boundary = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (path.fabric[i].from_middlebox) boundary = i;
+  }
+
+  std::vector<PathHop> planned(
+      path.fabric.begin(),
+      path.fabric.begin() +
+          static_cast<std::ptrdiff_t>(use_delivery ? boundary + 1 : n));
+  if (use_delivery) {
+    // The hand-off rule shares with nothing that forwards somewhere: give
+    // it a sentinel out so the planner treats clashes at its (switch,
+    // in-link) correctly.
+    planned[boundary].out_to = NodeId{};
+  }
+  const PathPlan plan = plan_structure(planned);
+
+  static const RuleAction kHandOff{NodeId{}, kDeliveryTag, /*resubmit=*/true};
+
+  // --- Step 1 of Algorithm 1: pick the tag minimizing new rules. ---
+  const auto hop_cost = [&](std::size_t i, PolicyTag tag0) -> std::uint32_t {
+    const PathHop& hop = planned[i];
+    const HopPlan& hp = plan.hops[i];
+    if (hp.swap_next) return 1;  // carries a path-specific set-tag action
+    const SwitchTable& tbl = table(hop.sw);
+    const bool specific = hop.from_middlebox || hp.force_inport;
+    const InPortSpec in =
+        specific ? InPortSpec::from(hop.in_from) : InPortSpec::any();
+    const RuleAction desired = (use_delivery && i == boundary)
+                                   ? kHandOff
+                                   : RuleAction{hop.out_to, std::nullopt};
+    const auto res = tbl.resolve(dir, in, tag0, origin, !specific);
+    if (res && res->action == desired) return 0;
+    if (!res) return 1;  // fresh tag-only default
+    return tbl.can_aggregate(dir, in, tag0, origin, desired) ? 0 : 1;
+  };
+
+  std::size_t seg0_hops = 0;
+  for (std::size_t i = 0; i < plan.hops.size() && plan.hops[i].segment == 0;
+       ++i)
+    ++seg0_hops;
+
+  const auto cost_of = [&](PolicyTag tag0, std::uint32_t best) {
+    std::uint32_t cost = 0;
+    for (std::size_t i = 0; i < seg0_hops; ++i) {
+      cost += hop_cost(i, tag0);
+      if (cost >= best) return cost;
+    }
+    return cost;
+  };
+
+  // Candidate gathering: the clause hint first, then recently used tags,
+  // then tags present on the path's switches (the candTag of Algorithm 1).
+  std::vector<PolicyTag> cands;
+  std::unordered_set<PolicyTag> dedup;
+  const std::size_t cap = options_.max_candidates;
+  const auto consider = [&](PolicyTag t) -> bool {
+    if (cap != 0 && cands.size() >= cap) return false;
+    if (!t.valid() || t == kDeliveryTag || dedup.contains(t) ||
+        tag_used_by_bs(bsd, t) ||
+        (exclude_also && tag_used_by_bs(*exclude_also, t)))
+      return true;
+    dedup.insert(t);
+    cands.push_back(t);
+    return true;
+  };
+  if (options_.reuse_tags && !pin) {
+    if (hint) consider(*hint);
+    std::size_t mru_taken = 0;
+    for (PolicyTag t : mru_) {
+      if (mru_taken++ >= options_.mru_candidates) break;
+      if (!consider(t)) break;
+    }
+    // Scan tags present on the path's switches, with a hard budget on
+    // entries examined: without it the scan degenerates to O(total tags)
+    // per install once the candidate pool is larger than the cap.
+    std::size_t scanned = 0;
+    const std::size_t scan_budget = cap == 0 ? SIZE_MAX : cap * 8;
+    bool full = false;
+    for (const PathHop& hop : planned) {
+      for (const auto& [t, cnt] : table(hop.sw).tag_usage(dir)) {
+        if (++scanned > scan_budget || !consider(t)) {
+          full = true;
+          break;
+        }
+      }
+      if (full) break;
+    }
+  }
+
+  auto best_cost = static_cast<std::uint32_t>(seg0_hops);  // brand-new tag
+  PolicyTag best_tag{};
+  if (pin) {
+    if (tag_used_by_bs(bsd, *hint))
+      throw std::logic_error("install: pinned tag already used here");
+    best_tag = *hint;
+    best_cost = cost_of(*hint, std::numeric_limits<std::uint32_t>::max());
+  }
+  for (PolicyTag t : cands) {
+    const std::uint32_t c = cost_of(t, best_cost + (best_tag.valid() ? 0 : 1));
+    // Prefer reuse on ties with the fresh-tag baseline (conserves tags);
+    // among candidates, strictly better wins (hint/MRU first on ties).
+    if (c < best_cost || (!best_tag.valid() && c == best_cost)) {
+      best_cost = c;
+      best_tag = t;
+      if (c == 0) break;
+    }
+  }
+
+  // --- Step 2: install. ---
+  InstallResult result;
+  result.reused_tag = best_tag.valid();
+  std::vector<PolicyTag> seg_tags(plan.segments);
+  if (!best_tag.valid()) {
+    // Fresh allocation; skip tags live in the excluded partner namespace.
+    std::vector<PolicyTag> skipped;
+    best_tag = alloc_tag();
+    while (exclude_also && tag_used_by_bs(*exclude_also, best_tag)) {
+      skipped.push_back(best_tag);
+      best_tag = alloc_tag();
+    }
+    for (PolicyTag t : skipped) free_tags_.push_back(t);
+    result.reused_tag = false;
+    seg_tags[0] = best_tag;
+  } else {
+    seg_tags[0] = best_tag;
+  }
+  const auto seg_key = [&](std::uint32_t s) {
+    return (static_cast<std::uint64_t>(seg_tags[0].value()) << 8) | s;
+  };
+  for (std::uint32_t s = 1; s < plan.segments; ++s) {
+    // Prefer the tag other paths with the same primary tag used for this
+    // segment -- their segment rules then share and aggregate too.
+    PolicyTag cand{};
+    if (const auto it = seg_hints_.find(seg_key(s)); it != seg_hints_.end())
+      cand = it->second;
+    bool usable = cand.valid() && !tag_used_by_bs(bsd, cand);
+    for (std::uint32_t j = 0; usable && j < s; ++j)
+      if (seg_tags[j] == cand) usable = false;
+    seg_tags[s] = usable ? cand : alloc_tag();
+  }
+  for (PolicyTag t : seg_tags) ref_tag(t, bsd);
+  for (std::uint32_t s = 1; s < plan.segments; ++s)
+    seg_hints_[seg_key(s)] = seg_tags[s];
+
+  // The reliance log doubles as the rollback log, so it is always built;
+  // it is only *retained* when track_paths is set.
+  PathRecord rec;
+  rec.bs_dir = bsd;
+  rec.tags = seg_tags;
+  PathRecord* recp = &rec;
+
+  std::int32_t delta = 0;
+  NodeId committing{};  // switch being programmed (for PathRejected::sw)
+  try {
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+      const PathHop& hop = planned[i];
+      committing = hop.sw;
+      const HopPlan& hp = plan.hops[i];
+      const bool specific = hop.from_middlebox || hp.force_inport;
+      const InPortSpec in =
+          specific ? InPortSpec::from(hop.in_from) : InPortSpec::any();
+      RuleAction desired;
+      if (use_delivery && i == boundary) {
+        desired = kHandOff;
+      } else {
+        desired.out_to = hop.out_to;
+        if (hp.swap_next) desired.set_tag = seg_tags[hp.segment + 1];
+      }
+      delta += commit_rule(hop.sw, in, seg_tags[hp.segment], desired, origin,
+                           dir, specific, recp);
+    }
+
+    // Delivery hops under the shared tag: location-keyed prefix rules on
+    // the downlink, a destination-independent default chain toward the
+    // gateway on the uplink.  These rules are shared by every policy path.
+    if (use_delivery) {
+      for (std::size_t i = boundary; i < n; ++i) {
+        const PathHop& hop = path.fabric[i];
+        committing = hop.sw;
+        const RuleAction act{hop.out_to, std::nullopt};
+        const Prefix match = dir == Direction::kDownlink ? origin : Prefix{};
+        delta += commit_rule(hop.sw, InPortSpec::any(), kDeliveryTag, act,
+                             match, dir, /*class_only=*/false, recp);
+      }
+    }
+
+    // Delivery tail through ring access switches: location-only rules.
+    for (const PathHop& hop : path.access_tail) {
+      committing = hop.sw;
+      SwitchTable& tbl = mutable_table(hop.sw);
+      const auto before = static_cast<std::int32_t>(tbl.rule_count());
+      tbl.add_location_rule(dir, origin, RuleAction{hop.out_to, std::nullopt});
+      emit(RuleOp::Kind::kAddLocation, hop.sw, dir, InPortSpec::any(),
+           PolicyTag{}, origin, RuleAction{hop.out_to, std::nullopt});
+      delta += static_cast<std::int32_t>(tbl.rule_count()) - before;
+      recp->reliances.push_back(Reliance{Reliance::Kind::kLocation, hop.sw,
+                                         InPortSpec::any(), PolicyTag{},
+                                         origin, dir});
+    }
+  } catch (const SwitchTable::TableFull&) {
+    // Roll the whole path back (section 7: the request is denied, never
+    // half-installed).
+    release_reliances(rec);
+    for (PolicyTag t : seg_tags) unref_tag(t, bsd);
+    throw PathRejected(committing);
+  }
+
+  touch_mru(seg_tags[0]);
+
+  result.tag = seg_tags[0];
+  result.new_rules = delta;
+  result.extra_tags = plan.segments - 1;
+  if (options_.track_paths) {
+    result.path = PathId(next_path_++);
+    records_.emplace(result.path, std::move(rec));
+  }
+  return result;
+}
+
+PathId AggregationEngine::install_ue_shortcut(
+    Direction dir, PolicyTag tag, Prefix ue32,
+    const std::vector<PathHop>& hops) {
+  if (!options_.track_paths)
+    throw std::logic_error("install_ue_shortcut: requires track_paths");
+  if (ue32.len() != 32)
+    throw std::invalid_argument("install_ue_shortcut: need a /32 LocIP");
+  PathRecord rec;
+  for (const PathHop& hop : hops) {
+    SwitchTable& tbl = mutable_table(hop.sw);
+    const InPortSpec in = hop.from_middlebox ? InPortSpec::from(hop.in_from)
+                                             : InPortSpec::any();
+    tbl.add_prefix_rule(dir, in, tag, ue32,
+                        RuleAction{hop.out_to, std::nullopt});
+    emit(RuleOp::Kind::kAddPrefix, hop.sw, dir, in, tag, ue32,
+         RuleAction{hop.out_to, std::nullopt});
+    rec.reliances.push_back(
+        Reliance{Reliance::Kind::kPrefix, hop.sw, in, tag, ue32, dir});
+  }
+  const PathId id(next_path_++);
+  records_.emplace(id, std::move(rec));
+  return id;
+}
+
+void AggregationEngine::release_reliances(const PathRecord& rec) {
+  for (const Reliance& r : rec.reliances) {
+    SwitchTable& tbl = mutable_table(r.sw);
+    switch (r.kind) {
+      case Reliance::Kind::kDefault:
+        tbl.release_default(r.dir, r.in, r.tag);
+        emit(RuleOp::Kind::kReleaseDefault, r.sw, r.dir, r.in, r.tag, {}, {});
+        break;
+      case Reliance::Kind::kPrefix:
+        tbl.release_prefix_rule(r.dir, r.in, r.tag, r.pre);
+        emit(RuleOp::Kind::kReleasePrefix, r.sw, r.dir, r.in, r.tag, r.pre,
+             {});
+        break;
+      case Reliance::Kind::kLocation:
+        tbl.release_location_rule(r.dir, r.pre);
+        emit(RuleOp::Kind::kReleaseLocation, r.sw, r.dir, r.in, PolicyTag{},
+             r.pre, {});
+        break;
+    }
+  }
+}
+
+void AggregationEngine::remove(PathId id) {
+  const auto it = records_.find(id);
+  if (it == records_.end())
+    throw std::invalid_argument("AggregationEngine::remove: unknown path");
+  const PathRecord& rec = it->second;
+  release_reliances(rec);
+  for (PolicyTag t : rec.tags) unref_tag(t, rec.bs_dir);
+  records_.erase(it);
+}
+
+// --- verification ----------------------------------------------------------------
+
+AggregationEngine::WalkResult AggregationEngine::walk(const ExpandedPath& path,
+                                                      PolicyTag tag,
+                                                      Prefix origin) const {
+  WalkResult out;
+  PolicyTag cur = tag;
+  const Ipv4Addr addr = origin.addr();
+
+  std::vector<const PathHop*> hops;
+  hops.reserve(path.fabric.size() + path.access_tail.size());
+  for (const auto& h : path.fabric) hops.push_back(&h);
+  for (const auto& h : path.access_tail) hops.push_back(&h);
+
+  for (const PathHop* h : hops) {
+    auto hit = table(h->sw).lookup(path.dir, h->in_from, cur, addr);
+    // Resubmits (multi-table goto) re-match at the same switch with the
+    // rewritten transit tag.
+    for (int depth = 0; hit && hit->action.resubmit; ++depth) {
+      if (depth > 4) {
+        out.error = "resubmit loop";
+        return out;
+      }
+      if (hit->action.set_tag) cur = *hit->action.set_tag;
+      hit = table(h->sw).lookup(path.dir, h->in_from, cur, addr);
+    }
+    if (!hit) {
+      std::ostringstream os;
+      os << "no rule at node " << h->sw.value() << " for tag " << cur.value();
+      out.error = os.str();
+      return out;
+    }
+    if (hit->action.out_to != h->out_to) {
+      std::ostringstream os;
+      os << "misrouted at node " << h->sw.value() << ": got "
+         << hit->action.out_to.value() << " want " << h->out_to.value();
+      out.error = os.str();
+      return out;
+    }
+    if (hit->action.set_tag) cur = *hit->action.set_tag;
+    out.steps.push_back(WalkStep{h->sw, cur});
+  }
+  out.ok = true;
+  return out;
+}
+
+// --- stats -------------------------------------------------------------------------
+
+std::size_t AggregationEngine::total_rules() const {
+  std::size_t n = 0;
+  for (const auto& t : tables_) n += t.rule_count();
+  return n;
+}
+
+AggregationEngine::TableStats AggregationEngine::table_stats() const {
+  TableStats s;
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    const NodeId id(static_cast<std::uint32_t>(i));
+    const auto kind = graph_->kind(id);
+    if (kind == NodeKind::kAggSwitch || kind == NodeKind::kCoreSwitch ||
+        kind == NodeKind::kGatewaySwitch) {
+      s.fabric_sizes.push_back(tables_[i].rule_count());
+      s.type1 += tables_[i].type1_count();
+      s.type2 += tables_[i].type2_count();
+      s.type3 += tables_[i].type3_count();
+    } else if (kind == NodeKind::kAccessSwitch) {
+      s.access_sizes.push_back(tables_[i].rule_count());
+      s.type1 += tables_[i].type1_count();
+      s.type2 += tables_[i].type2_count();
+      s.type3 += tables_[i].type3_count();
+    }
+  }
+  return s;
+}
+
+}  // namespace softcell

@@ -1,0 +1,266 @@
+// The SoftCell multi-dimensional aggregation engine -- Algorithm 1 of the
+// paper, extended with the loop handling of section 3.2 and the optional
+// location-only (Type 3) tier of section 7.
+//
+// Responsibilities:
+//   * choose a policy tag for each new policy path: reuse the candidate tag
+//     that minimizes the number of new switch rules, or allocate a fresh one
+//     (Step 1 of Algorithm 1);
+//   * install the path's rules, aggregating tag-only defaults and
+//     contiguous location prefixes (Step 2);
+//   * disambiguate loops: different in-links by in-port matching, same-link
+//     re-entry by splitting the path into tag segments joined by tag-swap
+//     rules;
+//   * keep (tag, origin prefix) unique per origin base station (footnote 2:
+//     paths from the same access switch must not share a tag, or the core
+//     could not tell them apart);
+//   * support online removal via per-path reliance records and entry
+//     reference counts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <functional>
+
+#include "core/path.hpp"
+#include "dataplane/switch_table.hpp"
+#include "packet/prefix.hpp"
+#include "topo/graph.hpp"
+
+namespace softcell {
+
+// One table mutation, as the engine performs it.  Streaming these to an
+// observer is how the southbound protocol layer (src/ofp/) mirrors the
+// controller's intent into flow-mod messages; re-references are emitted too
+// so a remote replica maintains identical reference counts.
+struct RuleOp {
+  enum class Kind : std::uint8_t {
+    kAddDefault,
+    kAddPrefix,
+    kAddLocation,
+    kReleaseDefault,
+    kReleasePrefix,
+    kReleaseLocation,
+  };
+  Kind kind = Kind::kAddDefault;
+  NodeId sw{};
+  Direction dir = Direction::kDownlink;
+  InPortSpec in;
+  PolicyTag tag{};
+  Prefix pre;          // meaningful for prefix/location ops
+  RuleAction action;   // meaningful for add ops
+
+  friend bool operator==(const RuleOp&, const RuleOp&) = default;
+};
+using RuleOpSink = std::function<void(const RuleOp&)>;
+
+struct EngineOptions {
+  // Candidate tags examined per install (0 = unlimited, the paper-faithful
+  // full candTag scan; the default bounds work for large-scale sweeps --
+  // the candidate ordering heuristics make the bound nearly lossless, see
+  // bench_ablation_agg).
+  std::size_t max_candidates = 32;
+  // Recently-used tags kept as extra candidates.
+  std::size_t mru_candidates = 16;
+  // Disable Step 1 entirely: every path gets a fresh tag (ablation of the
+  // policy-dimension aggregation).
+  bool reuse_tags = true;
+  // Shared delivery tier (multi-table mode, paper section 7): the hops
+  // after a path's last middlebox are served by prefix rules under the
+  // reserved delivery tag, shared by all policy paths; the last
+  // from-middlebox rule rewrites the transit tag and resubmits.  Disabling
+  // it keeps all forwarding per-policy-tag (ablated in bench_ablation_agg).
+  bool shared_delivery = true;
+  // Record per-path reliances so paths can be removed.  Disable for
+  // install-only, memory-tight sweeps (Fig. 7 at k=20).
+  bool track_paths = true;
+  // Upper bound on allocatable tags (0 = the full 16-bit space).  The
+  // deployed bound comes from the port-embedding split (PortCodec::
+  // max_tags, Fig. 4); exceeding it means the policy scale outgrew the
+  // port bits reserved for tags.
+  std::uint32_t max_tags = 0;
+  // Per-switch TCAM capacity applied to fabric switches (agg/core/gateway);
+  // 0 = unbounded.  When an install would overflow a table, the whole path
+  // is rolled back and PathRejected is thrown (section 7: "the policy path
+  // request will be denied").
+  std::size_t switch_capacity = 0;
+};
+
+class AggregationEngine {
+ public:
+  // Transit tag reserved for the shared delivery tier.
+  static constexpr PolicyTag kDeliveryTag{0};
+
+  // A policy path could not be installed within the switches' TCAM
+  // capacities; all of its partial state was rolled back.
+  struct PathRejected : std::runtime_error {
+    explicit PathRejected(NodeId at)
+        : std::runtime_error("policy path rejected: switch table full"),
+          sw(at) {}
+    NodeId sw;
+  };
+
+  AggregationEngine(const Graph& graph, EngineOptions options = {});
+
+  struct InstallResult {
+    PathId path{};               // handle for remove(); invalid if !track_paths
+    PolicyTag tag{};             // primary tag (segment 0)
+    std::int32_t new_rules = 0;  // net rule delta network-wide (merges can
+                                 // make an install *shrink* tables)
+    std::uint32_t extra_tags = 0;  // loop-split segments beyond the first
+    bool reused_tag = false;
+  };
+
+  // Installs one policy path originating at base station `bs_index` with
+  // location prefix `origin`.  `hint` is tried first as a candidate (the
+  // controller passes the tag it chose for the same clause before).  With
+  // `pin` set, `hint` is used unconditionally and no tag search runs -- the
+  // controller pins the downlink direction to the tag the uplink install
+  // chose, so the access switch embeds a single tag per connection.
+  // `exclude_also`: an additional (bs, direction) namespace whose tags the
+  // candidate search must avoid -- the controller excludes the downlink
+  // namespace while choosing the uplink tag it will later pin downlink.
+  InstallResult install(const ExpandedPath& path, std::uint32_t bs_index,
+                        Prefix origin,
+                        std::optional<PolicyTag> hint = std::nullopt,
+                        bool pin = false,
+                        std::optional<std::uint64_t> exclude_also = std::nullopt);
+
+  // Removes a previously installed path (requires track_paths).
+  void remove(PathId id);
+
+  // Mobility shortcut (section 5.1): installs high-priority (tag, /32)
+  // redirect rules along `hops` so downlink packets of one in-flight flow
+  // (tag `tag`, destination = the UE's old LocIP `ue32`) leave the old
+  // policy path after its last middlebox and head straight to the UE's new
+  // base station.  The first hop is matched on its middlebox in-port so
+  // packets that have not finished their middlebox traversal are never
+  // hijacked.  Returns a removal handle (requires track_paths).  The
+  // underlying policy path must outlive the shortcut.
+  PathId install_ue_shortcut(Direction dir, PolicyTag tag, Prefix ue32,
+                             const std::vector<PathHop>& hops);
+
+  // --- verification ----------------------------------------------------
+  struct WalkStep {
+    NodeId node{};
+    PolicyTag tag{};  // tag carried when *leaving* this node
+  };
+  struct WalkResult {
+    bool ok = false;
+    std::vector<WalkStep> steps;
+    std::string error;
+  };
+  // Forwards a probe "packet" (tag, addr in `origin`) from the first fabric
+  // hop and checks it traverses exactly the expected hops.
+  [[nodiscard]] WalkResult walk(const ExpandedPath& path, PolicyTag tag,
+                                Prefix origin) const;
+
+  // --- introspection -----------------------------------------------------
+  [[nodiscard]] const SwitchTable& table(NodeId sw) const;
+  [[nodiscard]] std::size_t tags_allocated() const { return next_tag_; }
+  [[nodiscard]] std::size_t tags_in_use() const { return tag_refs_.size(); }
+  [[nodiscard]] std::size_t total_rules() const;
+
+  struct TableStats {
+    std::vector<std::size_t> fabric_sizes;  // per agg/core/gateway switch
+    std::vector<std::size_t> access_sizes;  // per access switch (ring tails)
+    std::size_t type1 = 0, type2 = 0, type3 = 0;
+  };
+  [[nodiscard]] TableStats table_stats() const;
+
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+
+  // Streams every table mutation (including re-references/releases) to
+  // `sink` -- the feed the southbound flow-mod layer encodes.
+  void set_op_sink(RuleOpSink sink) { sink_ = std::move(sink); }
+
+ private:
+  // Structural pre-pass: assigns a tag segment to every fabric hop and
+  // decides which hops need in-port-specific rules or tag swaps.
+  struct HopPlan {
+    std::uint32_t segment = 0;
+    bool force_inport = false;  // install in in-port-specific class
+    bool swap_next = false;     // rewrite the transit tag to the next segment
+  };
+  struct PathPlan {
+    std::vector<HopPlan> hops;
+    std::uint32_t segments = 1;
+  };
+  [[nodiscard]] static PathPlan plan_structure(std::span<const PathHop> hops);
+
+  struct Reliance {
+    enum class Kind : std::uint8_t { kDefault, kPrefix, kLocation };
+    Kind kind = Kind::kDefault;
+    NodeId sw{};
+    InPortSpec in;
+    PolicyTag tag{};
+    Prefix pre;
+    Direction dir = Direction::kDownlink;
+  };
+  struct PathRecord {
+    std::uint64_t bs_dir = 0;
+    std::vector<PolicyTag> tags;  // segment tags (refcounted globally)
+    std::vector<Reliance> reliances;
+  };
+
+ public:
+  // (tag, origin prefix) pairs must be unique per direction -- uplink and
+  // downlink rules live in separate match spaces, and the controller
+  // deliberately shares one tag across the two directions of a path.
+  // Public so callers can name a namespace for install()'s exclude_also.
+  static std::uint64_t bs_key(std::uint32_t bs, Direction dir) {
+    return (static_cast<std::uint64_t>(bs) << 1) |
+           static_cast<std::uint64_t>(dir);
+  }
+
+ private:
+  PolicyTag alloc_tag();
+  void ref_tag(PolicyTag t, std::uint64_t bs_dir);
+  void unref_tag(PolicyTag t, std::uint64_t bs_dir);
+  void touch_mru(PolicyTag t);
+  [[nodiscard]] bool tag_used_by_bs(std::uint64_t bs_dir, PolicyTag t) const;
+
+  SwitchTable& mutable_table(NodeId sw);
+  void release_reliances(const PathRecord& rec);
+
+  // Installs or re-references one rule (resolve -> re-ref / default /
+  // prefix override) and logs the reliance.  Returns the net rule-count
+  // delta at that switch.  `class_only` resolves strictly within the given
+  // in-port class (required for in-port-specific hops).
+  std::int32_t commit_rule(NodeId sw, InPortSpec in, PolicyTag tag,
+                           const RuleAction& desired, Prefix origin,
+                           Direction dir, bool class_only, PathRecord* rec);
+
+  const Graph* graph_;
+  EngineOptions options_;
+  std::vector<SwitchTable> tables_;  // indexed by NodeId
+
+  std::uint32_t next_tag_ = 0;
+  std::vector<PolicyTag> free_tags_;
+  std::unordered_map<PolicyTag, std::uint32_t> tag_refs_;
+  std::unordered_map<std::uint64_t, std::unordered_set<PolicyTag>> bs_tags_;
+  std::deque<PolicyTag> mru_;
+  // Loop-split segments reuse tags across paths: all paths sharing primary
+  // tag T reuse the same tag for their s-th segment (their segment rules
+  // then aggregate exactly like primary-segment rules).
+  std::unordered_map<std::uint64_t, PolicyTag> seg_hints_;
+
+  std::uint64_t next_path_ = 1;
+  std::unordered_map<PathId, PathRecord> records_;
+  RuleOpSink sink_;
+
+  void emit(RuleOp::Kind kind, NodeId sw, Direction dir, InPortSpec in,
+            PolicyTag tag, Prefix pre, const RuleAction& action) const {
+    if (sink_)
+      sink_(RuleOp{kind, sw, dir, in, tag, pre, action});
+  }
+};
+
+}  // namespace softcell

@@ -1,0 +1,130 @@
+#include "core/path.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace softcell {
+
+namespace {
+
+NodeId host_of(const Graph& g, NodeId mb) {
+  if (g.kind(mb) != NodeKind::kMiddlebox)
+    throw std::invalid_argument("expand_policy_path: waypoint not a middlebox");
+  const auto& nbrs = g.neighbors(mb);
+  if (nbrs.size() != 1)
+    throw std::logic_error("expand_policy_path: middlebox must be a leaf");
+  return nbrs.front();
+}
+
+}  // namespace
+
+ExpandedPath expand_policy_path(const Graph& graph, const RoutingOracle& routes,
+                                Direction dir, NodeId access_switch,
+                                std::span<const NodeId> mb_instances,
+                                NodeId gateway, NodeId internet) {
+  // Build the full node walk in travel order, including middlebox detours.
+  std::vector<NodeId> walk;
+  walk.reserve(16 + 8 * mb_instances.size());
+
+  const bool up = dir == Direction::kUplink;
+  // Waypoint switches in travel order; middlebox order reverses on downlink
+  // (the connection must traverse the same instances in both directions,
+  // section 2.1).
+  std::vector<NodeId> mbs(mb_instances.begin(), mb_instances.end());
+  if (!up) std::ranges::reverse(mbs);
+  const NodeId start = up ? access_switch : gateway;
+  const NodeId end = up ? gateway : access_switch;
+
+  if (up) walk.push_back(start);  // uplink starts at the access switch
+  else walk.push_back(internet);  // downlink packets come from the Internet
+
+  if (!up) walk.push_back(gateway);
+  NodeId cur = start;
+  for (NodeId mb : mbs) {
+    const NodeId host = host_of(graph, mb);
+    auto seg = routes.path(cur, host);
+    // Skip the first node (already in walk).
+    walk.insert(walk.end(), seg.begin() + 1, seg.end());
+    if (seg.size() == 1 && cur != host)
+      throw std::logic_error("expand_policy_path: bad segment");
+    walk.push_back(mb);
+    walk.push_back(host);  // return from the middlebox to its host switch
+    cur = host;
+  }
+  {
+    auto seg = routes.path(cur, end);
+    walk.insert(walk.end(), seg.begin() + 1, seg.end());
+  }
+  if (up) walk.push_back(internet);
+
+  // Convert the walk into hops.  A rule is needed at every *switch* node
+  // that forwards to a successor.  Uplink hops at access switches are static
+  // defaults (see header); downlink hops at access switches form the tail.
+  ExpandedPath out;
+  out.dir = dir;
+  const std::size_t first = up ? 0 : 1;  // skip the leading Internet node
+  for (std::size_t i = first; i + 1 < walk.size(); ++i) {
+    const NodeId sw = walk[i];
+    if (graph.kind(sw) == NodeKind::kMiddlebox) continue;  // not a rule point
+    PathHop hop;
+    hop.sw = sw;
+    hop.in_from = i > first ? walk[i - 1] : NodeId{};
+    hop.out_to = walk[i + 1];
+    hop.from_middlebox =
+        hop.in_from.valid() && graph.kind(hop.in_from) == NodeKind::kMiddlebox;
+    if (graph.kind(sw) == NodeKind::kAccessSwitch) {
+      if (!up) out.access_tail.push_back(hop);
+      // uplink: static default, no per-path rule
+    } else {
+      out.fabric.push_back(hop);
+    }
+  }
+  return out;
+}
+
+ExpandedPath expand_m2m_path(const Graph& graph, const RoutingOracle& routes,
+                             NodeId src_access,
+                             std::span<const NodeId> mb_instances,
+                             NodeId dst_access) {
+  if (src_access == dst_access)
+    throw std::invalid_argument("expand_m2m_path: same access switch");
+  std::vector<NodeId> walk;
+  walk.push_back(src_access);
+  NodeId cur = src_access;
+  for (NodeId mb : mb_instances) {
+    const NodeId host = host_of(graph, mb);
+    auto seg = routes.path(cur, host);
+    walk.insert(walk.end(), seg.begin() + 1, seg.end());
+    walk.push_back(mb);
+    walk.push_back(host);
+    cur = host;
+  }
+  {
+    auto seg = routes.path(cur, dst_access);
+    walk.insert(walk.end(), seg.begin() + 1, seg.end());
+  }
+
+  ExpandedPath out;
+  out.dir = Direction::kDownlink;  // rules match the peer's (dst) LocIP
+  for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+    const NodeId sw = walk[i];
+    if (graph.kind(sw) == NodeKind::kMiddlebox) continue;
+    PathHop hop;
+    hop.sw = sw;
+    hop.in_from = i > 0 ? walk[i - 1] : NodeId{};
+    hop.out_to = walk[i + 1];
+    hop.from_middlebox =
+        hop.in_from.valid() && graph.kind(hop.in_from) == NodeKind::kMiddlebox;
+    // The source access switch forwards by its microflow rule (i == 0).
+    // Every other hop -- ring transit included -- goes through the tag
+    // machinery: an intra-ring path can cross the same access switch on its
+    // outbound and delivery legs with different next hops, which the
+    // location tier cannot disambiguate but the engine's structural planner
+    // can (in-port classes / tag segments).  Access switches are software
+    // switches, so holding tag rules there is free.
+    if (i > 0) out.fabric.push_back(hop);
+  }
+  return out;
+}
+
+}  // namespace softcell

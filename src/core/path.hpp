@@ -1,0 +1,63 @@
+// Policy-path expansion: from waypoints (access switch, middlebox instances,
+// gateway) to the per-switch hop list Algorithm 1 consumes.
+//
+// A hop is "the rule needed at switch `sw` to send (this path's) traffic
+// arriving from `in_from` out toward `out_to`".  Middlebox traversal becomes
+// two hops at the host switch: one toward the middlebox and one -- matched on
+// the middlebox in-port (paper footnote 1) -- onward.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dataplane/rule.hpp"
+#include "topo/graph.hpp"
+#include "topo/routing.hpp"
+#include "util/ids.hpp"
+
+namespace softcell {
+
+struct PathHop {
+  NodeId sw{};           // switch holding the rule
+  NodeId in_from{};      // where the packet comes from (invalid: path start)
+  NodeId out_to{};       // where the packet goes next
+  bool from_middlebox = false;  // rule lives in the in-port-specific class
+};
+
+// A policy path expanded into installable hops, split by where the rules
+// live:
+//   * fabric hops -- agg/core/gateway switches, installed by Algorithm 1
+//     with (tag, prefix) aggregation; these are what Fig. 7 counts;
+//   * access-tail hops -- downlink delivery through backhaul-ring access
+//     switches, installed as location-only rules on software switches
+//     (uplink ring transit needs no per-path rules at all: every access
+//     switch has one static default toward its aggregation switch).
+struct ExpandedPath {
+  Direction dir = Direction::kDownlink;
+  std::vector<PathHop> fabric;
+  std::vector<PathHop> access_tail;
+};
+
+// Expands the policy path for `dir`:
+//   uplink:   access -> mb[0] -> ... -> mb[m-1] -> gateway -> Internet
+//   downlink: gateway -> mb[m-1] -> ... -> mb[0] -> access
+// `mb_instances` is always given in uplink order and holds middlebox *nodes*
+// (their host switch is found from the graph).
+[[nodiscard]] ExpandedPath expand_policy_path(
+    const Graph& graph, const RoutingOracle& routes, Direction dir,
+    NodeId access_switch, std::span<const NodeId> mb_instances,
+    NodeId gateway, NodeId internet);
+
+// Mobile-to-mobile half-path (paper section 7): from the source UE's access
+// switch through the clause's middleboxes straight to the destination UE's
+// access switch -- no gateway detour.  Rules match destination fields (the
+// peer's LocIP), so the result is a kDownlink-style path whose fabric part
+// starts at the source access switch's first fabric hop.
+[[nodiscard]] ExpandedPath expand_m2m_path(const Graph& graph,
+                                           const RoutingOracle& routes,
+                                           NodeId src_access,
+                                           std::span<const NodeId> mb_instances,
+                                           NodeId dst_access);
+
+}  // namespace softcell

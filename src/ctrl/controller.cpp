@@ -1,0 +1,313 @@
+#include "ctrl/controller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+namespace softcell {
+
+Controller::Controller(const CellularTopology& topo, ServicePolicy policy,
+                       ControllerOptions options)
+    : topo_(&topo),
+      policy_(std::move(policy)),
+      options_(options),
+      routes_(topo.graph()),
+      engine_(topo.graph(), options.engine),
+      store_(options.store_replicas) {}
+
+void Controller::provision_subscriber(UeId ue,
+                                      const SubscriberProfile& profile) {
+  std::unique_lock lock(mu_);
+  store_.put_profile(ue, profile);
+}
+
+void Controller::attach_ue(UeId ue, std::uint32_t bs, LocalUeId local) {
+  std::unique_lock lock(mu_);
+  if (store_.profile(ue) == nullptr)
+    throw std::invalid_argument("attach_ue: unknown subscriber");
+  store_.set_location(ue, UeLocation{bs, local});
+}
+
+void Controller::detach_ue(UeId ue) {
+  std::unique_lock lock(mu_);
+  store_.clear_location(ue);
+}
+
+void Controller::update_location(UeId ue, std::uint32_t bs, LocalUeId local) {
+  std::unique_lock lock(mu_);
+  store_.set_location(ue, UeLocation{bs, local});
+}
+
+std::optional<UeLocation> Controller::ue_location(UeId ue) const {
+  std::shared_lock lock(mu_);
+  return store_.location(ue);
+}
+
+std::vector<PacketClassifier> Controller::fetch_classifiers(
+    UeId ue, std::uint32_t bs) const {
+  std::shared_lock lock(mu_);
+  const SubscriberProfile* profile = store_.profile(ue);
+  if (profile == nullptr)
+    throw std::invalid_argument("fetch_classifiers: unknown subscriber");
+
+  // One classifier per application type: the UE-specific instantiation of
+  // the service policy (section 4.2).  kOther doubles as the wildcard.
+  std::vector<PacketClassifier> out;
+  for (AppType app : {AppType::kWeb, AppType::kVideo, AppType::kVoip,
+                      AppType::kM2mTelemetry, AppType::kOther}) {
+    const PolicyClause* clause = policy_.match(*profile, app);
+    if (clause == nullptr) {
+      out.push_back(PacketClassifier{app, ClauseId{}, false, std::nullopt});
+      continue;
+    }
+    PacketClassifier c;
+    c.app = app;
+    c.clause = clause->id;
+    c.allow = clause->action.allow;
+    if (c.allow) c.tag = store_.path(clause->id, bs);  // nullopt if missing
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<NodeId> Controller::select_instances(std::uint32_t bs,
+                                                 ClauseId clause) const {
+  if (const auto it = selected_.find(SlowState::PathKey{clause, bs});
+      it != selected_.end())
+    return it->second;
+  const PolicyClause& c = policy_.clause(clause);
+  const std::uint32_t pod = topo_->pod_of_bs(bs);
+  std::vector<NodeId> out;
+  out.reserve(c.action.middleboxes.size());
+  for (MbType type : c.action.middleboxes) {
+    if (type >= topo_->num_middlebox_types())
+      throw std::out_of_range("select_instances: no such middlebox type");
+    // Low-latency traffic (e.g. M2M fleet tracking, Table 1 clause 5) stays
+    // on pod-local instances: the shortest path that still satisfies the
+    // middlebox sequence ("the action does not indicate a specific instance
+    // ... allowing the controller to select instances and network paths
+    // that minimize latency and load", section 2.2).
+    if (c.action.qos == QosClass::kLowLatency) {
+      out.push_back(topo_->pod_instance(type, pod).node);
+      continue;
+    }
+    switch (options_.placement) {
+      case InstancePlacement::kPodLocal:
+        out.push_back(topo_->pod_instance(type, pod).node);
+        break;
+      case InstancePlacement::kCoreOnly:
+        out.push_back(topo_->core_instance(type, pod % 2).node);
+        break;
+      case InstancePlacement::kGatewayHeavy:
+        // Firewalls screen Internet traffic near the gateway (section 2.3
+        // discussion); everything else is served pod-locally.
+        if (type == mb::kFirewall)
+          out.push_back(topo_->core_instance(type, pod % 2).node);
+        else
+          out.push_back(topo_->pod_instance(type, pod).node);
+        break;
+      case InstancePlacement::kLeastLoaded: {
+        // "the controller ... automatically select[s] middlebox instances
+        // ... that minimize latency and load" (section 2.2): among the
+        // nearby candidates, pick the one with the fewest assigned paths.
+        const NodeId candidates[3] = {topo_->pod_instance(type, pod).node,
+                                      topo_->core_instance(type, 0).node,
+                                      topo_->core_instance(type, 1).node};
+        NodeId best = candidates[0];
+        for (const NodeId cand : candidates)
+          if (instance_load(cand) < instance_load(best)) best = cand;
+        out.push_back(best);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+using InstallResultAlias = AggregationEngine::InstallResult;
+
+Controller::InstalledPath Controller::install_path_locked(
+    std::uint32_t bs, ClauseId clause, std::optional<PolicyTag> hint) {
+  const auto instances = select_instances(bs, clause);
+  selected_[SlowState::PathKey{clause, bs}] = instances;
+  const auto up = expand_policy_path(topo_->graph(), routes_,
+                                     Direction::kUplink,
+                                     topo_->access_switch(bs), instances,
+                                     topo_->gateway(), topo_->internet());
+  const auto down = expand_policy_path(topo_->graph(), routes_,
+                                       Direction::kDownlink,
+                                       topo_->access_switch(bs), instances,
+                                       topo_->gateway(), topo_->internet());
+  const Prefix origin = topo_->bs_prefix(bs);
+  // Both directions share the tag so the access switch embeds one tag and
+  // the gateway sees the same one piggybacked back (section 4.1).
+  // The uplink tag choice must avoid anything live in this base station's
+  // downlink namespace (e.g. tags of M2M half-paths toward it), because the
+  // downlink direction is pinned to the same tag next.
+  for (const NodeId mb : instances) ++instance_load_[mb];
+  const auto up_res = engine_.install(
+      up, bs, origin, hint, /*pin=*/false,
+      AggregationEngine::bs_key(bs, Direction::kDownlink));
+  InstallResultAlias down_res;
+  try {
+    down_res = engine_.install(down, bs, origin, up_res.tag, /*pin=*/true);
+  } catch (const AggregationEngine::PathRejected&) {
+    // Deny the whole request, never a half-installed direction.
+    engine_.remove(up_res.path);
+    throw;
+  }
+  ++path_installs_;
+  return InstalledPath{up_res.tag, up_res.path, down_res.path};
+}
+
+PolicyTag Controller::request_policy_path(std::uint32_t bs, ClauseId clause) {
+  std::unique_lock lock(mu_);
+  const SlowState::PathKey key{clause, bs};
+  if (const auto it = installed_.find(key); it != installed_.end())
+    return it->second.tag;
+
+  std::optional<PolicyTag> hint;
+  if (const auto h = clause_hints_.find(clause); h != clause_hints_.end())
+    hint = h->second;
+  const auto path = install_path_locked(bs, clause, hint);
+  installed_.emplace(key, path);
+  clause_hints_[clause] = path.tag;
+  store_.put_path(clause, bs, path.tag);
+  return path.tag;
+}
+
+PolicyTag Controller::request_m2m_path(std::uint32_t src_bs,
+                                       std::uint32_t dst_bs,
+                                       ClauseId clause) {
+  std::unique_lock lock(mu_);
+  const M2mKey key{clause, src_bs, dst_bs};
+  if (const auto it = m2m_installed_.find(key); it != m2m_installed_.end())
+    return it->second;
+
+  // Both directions of a connection must traverse the same middlebox
+  // instances (section 2.1), so instance selection is symmetric in the
+  // endpoint pair (keyed by the smaller base station id) and the reverse
+  // direction traverses them in reverse order.  Rules match the peer's
+  // LocIP prefix, so tag uniqueness is tracked against the destination
+  // base station (same namespace as gateway-downlink paths).
+  auto instances = select_instances(std::min(src_bs, dst_bs), clause);
+  if (src_bs > dst_bs) std::reverse(instances.begin(), instances.end());
+  const auto path = expand_m2m_path(topo_->graph(), routes_,
+                                    topo_->access_switch(src_bs), instances,
+                                    topo_->access_switch(dst_bs));
+  const auto r =
+      engine_.install(path, dst_bs, topo_->bs_prefix(dst_bs), std::nullopt);
+  ++path_installs_;
+  m2m_installed_.emplace(key, r.tag);
+  return r.tag;
+}
+
+Controller::Migration Controller::migrate_path(std::uint32_t bs,
+                                               ClauseId clause) {
+  std::unique_lock lock(mu_);
+  const SlowState::PathKey key{clause, bs};
+  const auto it = installed_.find(key);
+  if (it == installed_.end())
+    throw std::invalid_argument("migrate_path: path not installed");
+  const PolicyTag old_tag = it->second.tag;
+
+  // Phase 1: install the new version under a fresh tag.  Forcing "no hint"
+  // is not enough (the engine may legally reuse any tag not used by this
+  // bs); pass the old tag as *excluded* by relying on per-bs uniqueness:
+  // the old path still holds the tag at this bs, so the engine cannot pick
+  // it again.
+  const auto fresh = install_path_locked(bs, clause, std::nullopt);
+  // Phase 2: flip what new flows see (classifier tag in the store).
+  store_.put_path(clause, bs, fresh.tag);
+  // Old rules stay installed until drained (phase 3, drain_old_path).
+  InstalledPath old = it->second;
+  it->second = fresh;
+  clause_hints_[clause] = fresh.tag;
+  draining_.emplace(DrainKey{key, old_tag}, old);
+  if (listener_) listener_(bs, clause, fresh.tag);
+  return Migration{old_tag, fresh.tag};
+}
+
+void Controller::drain_old_path(std::uint32_t bs, ClauseId clause,
+                                PolicyTag old_tag) {
+  std::unique_lock lock(mu_);
+  const auto it = draining_.find(DrainKey{{clause, bs}, old_tag});
+  if (it == draining_.end())
+    throw std::invalid_argument("drain_old_path: nothing draining");
+  engine_.remove(it->second.up);
+  engine_.remove(it->second.down);
+  draining_.erase(it);
+}
+
+Controller::RecompactResult Controller::recompact() {
+  std::unique_lock lock(mu_);
+  if (!draining_.empty())
+    throw std::logic_error("recompact: drain pending migrations first");
+
+  RecompactResult result;
+  result.rules_before = engine_.total_rules();
+  result.tags_before = engine_.tags_in_use();
+
+  // Clause-major order maximizes tag sharing on the rebuild.
+  std::vector<SlowState::PathKey> keys;
+  keys.reserve(installed_.size());
+  for (const auto& [key, path] : installed_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.clause, a.bs) < std::tie(b.clause, b.bs);
+  });
+  std::vector<M2mKey> m2m_keys;
+  m2m_keys.reserve(m2m_installed_.size());
+  for (const auto& [key, tag] : m2m_installed_) m2m_keys.push_back(key);
+  std::sort(m2m_keys.begin(), m2m_keys.end(),
+            [](const auto& a, const auto& b) {
+              return std::tie(a.clause, a.src, a.dst) <
+                     std::tie(b.clause, b.src, b.dst);
+            });
+
+  engine_ = AggregationEngine(topo_->graph(), options_.engine);
+  installed_.clear();
+  clause_hints_.clear();
+  m2m_installed_.clear();
+  selected_.clear();
+  instance_load_.clear();
+
+  for (const auto& key : keys) {
+    std::optional<PolicyTag> hint;
+    if (const auto h = clause_hints_.find(key.clause);
+        h != clause_hints_.end())
+      hint = h->second;
+    const auto path = install_path_locked(key.bs, key.clause, hint);
+    installed_.emplace(key, path);
+    clause_hints_[key.clause] = path.tag;
+    store_.put_path(key.clause, key.bs, path.tag);
+    if (listener_) listener_(key.bs, key.clause, path.tag);
+  }
+  for (const auto& key : m2m_keys) {
+    auto instances = select_instances(std::min(key.src, key.dst), key.clause);
+    if (key.src > key.dst) std::reverse(instances.begin(), instances.end());
+    const auto path = expand_m2m_path(topo_->graph(), routes_,
+                                      topo_->access_switch(key.src), instances,
+                                      topo_->access_switch(key.dst));
+    const auto r = engine_.install(path, key.dst, topo_->bs_prefix(key.dst),
+                                   std::nullopt);
+    m2m_installed_.emplace(key, r.tag);
+  }
+
+  result.rules_after = engine_.total_rules();
+  result.tags_after = engine_.tags_in_use();
+  return result;
+}
+
+void Controller::fail_primary_replica() {
+  std::unique_lock lock(mu_);
+  store_.fail_primary();
+}
+
+void Controller::rebuild_locations(
+    const std::function<void(const std::function<void(UeId, UeLocation)>&)>&
+        query) {
+  std::unique_lock lock(mu_);
+  store_.rebuild_locations(query);
+}
+
+}  // namespace softcell

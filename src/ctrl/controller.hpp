@@ -1,0 +1,215 @@
+// The SoftCell central controller.
+//
+// Responsibilities (sections 2.1, 4.2, 5):
+//   * track subscriber attributes and UE locations (via the ControlStore);
+//   * compile per-UE packet classifiers from the service policy, for local
+//     agents to cache;
+//   * on a local agent's path request, select middlebox instances, expand
+//     the policy path, and install it through the aggregation engine in both
+//     directions (one shared path per (clause, base station));
+//   * support consistent path migration (install-new / flip-tag / drain-old,
+//     the version-tag construction of consistent updates);
+//   * survive primary failure: slow state by replication, UE locations by
+//     re-querying local agents.
+//
+// The classifier-fetch and path-request entry points are thread-safe: the
+// controller micro-benchmark (section 6.2) drives them from many threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "ctrl/store.hpp"
+#include "policy/policy.hpp"
+#include "topo/cellular.hpp"
+#include "topo/routing.hpp"
+
+namespace softcell {
+
+// A UE-specific packet classifier, cached by local agents (section 4.2).
+// Matches on the application (i.e. its well-known destination ports;
+// kOther acts as the wildcard classifier) and yields either a ready policy
+// tag or "send to controller" when the policy path is not installed yet.
+struct PacketClassifier {
+  AppType app = AppType::kOther;
+  ClauseId clause{};
+  bool allow = true;
+  std::optional<PolicyTag> tag;  // nullopt => path not installed yet
+};
+
+// How the controller picks middlebox instances for a (clause, bs) path.
+enum class InstancePlacement {
+  kPodLocal,       // always the instance in the UE's pod
+  kGatewayHeavy,   // firewalls (type 0) near the gateway, rest pod-local
+  kCoreOnly,       // always a core-layer instance (hashed by bs)
+  kLeastLoaded,    // among {pod-local, both core instances}, fewest paths
+};
+
+struct ControllerOptions {
+  InstancePlacement placement = InstancePlacement::kGatewayHeavy;
+  std::size_t store_replicas = 3;
+  EngineOptions engine;
+};
+
+class Controller {
+ public:
+  Controller(const CellularTopology& topo, ServicePolicy policy,
+             ControllerOptions options = {});
+
+  // --- provisioning ---------------------------------------------------------
+  void provision_subscriber(UeId ue, const SubscriberProfile& profile);
+
+  // --- UE lifecycle (called by local agents) --------------------------------
+  // Registers the UE at `bs` with the agent-assigned local id.
+  void attach_ue(UeId ue, std::uint32_t bs, LocalUeId local);
+  void detach_ue(UeId ue);
+  void update_location(UeId ue, std::uint32_t bs, LocalUeId local);
+  [[nodiscard]] std::optional<UeLocation> ue_location(UeId ue) const;
+
+  // Compiles the packet classifiers for a UE at `bs` (read-mostly hot path;
+  // this is what Cbench-style load hammers).
+  [[nodiscard]] std::vector<PacketClassifier> fetch_classifiers(
+      UeId ue, std::uint32_t bs) const;
+
+  // Ensures the (clause, bs) policy path exists and returns its tag.
+  PolicyTag request_policy_path(std::uint32_t bs, ClauseId clause);
+
+  // Mobile-to-mobile half-path (section 7): from `src_bs` through the
+  // clause's middleboxes straight to `dst_bs`, no gateway detour.  Returns
+  // the transit tag the source edge must embed.  One half-path per
+  // direction; the reverse direction is a separate request with the roles
+  // swapped.
+  PolicyTag request_m2m_path(std::uint32_t src_bs, std::uint32_t dst_bs,
+                             ClauseId clause);
+
+  // --- consistent updates (section 3.2 / Reitblatt et al.) ------------------
+  // Re-installs the (clause, bs) path under a fresh tag and returns
+  // {old, new}.  Packets tagged old keep seeing exactly the old rules,
+  // packets tagged new exactly the new ones -- per-packet consistency by
+  // tag versioning.  Call drain_old_path() once old flows have finished.
+  struct Migration {
+    PolicyTag old_tag;
+    PolicyTag new_tag;
+  };
+  Migration migrate_path(std::uint32_t bs, ClauseId clause);
+  void drain_old_path(std::uint32_t bs, ClauseId clause, PolicyTag old_tag);
+
+  // Classifier push channel: invoked whenever the tag of an installed
+  // (clause, bs) path changes, so local agents can update their caches "at
+  // the behest of the controller" (section 4.2).
+  using ClassifierListener =
+      std::function<void(std::uint32_t bs, ClauseId, PolicyTag)>;
+  void set_classifier_listener(ClassifierListener listener) {
+    std::unique_lock lock(mu_);
+    listener_ = std::move(listener);
+  }
+
+  // --- offline re-optimization (section 3.2 discussion) ----------------------
+  // Rebuilds every installed path from scratch in clause-major order -- the
+  // offline counterpart of the online Algorithm 1 for "extremely
+  // constrained environments".  Requires no draining migrations.  Tags may
+  // change; updated classifiers are pushed through the listener.  Intended
+  // for maintenance windows: in-flight flows pinned to old tags break.
+  struct RecompactResult {
+    std::size_t rules_before = 0;
+    std::size_t rules_after = 0;
+    std::size_t tags_before = 0;
+    std::size_t tags_after = 0;
+  };
+  RecompactResult recompact();
+
+  // --- failover --------------------------------------------------------------
+  // Fails the primary store replica; locations must be rebuilt afterwards.
+  void fail_primary_replica();
+  // Rebuilds UE locations by querying agents (see ControlStore).
+  void rebuild_locations(
+      const std::function<void(
+          const std::function<void(UeId, UeLocation)>&)>& query);
+
+  // --- introspection ----------------------------------------------------------
+  [[nodiscard]] const AggregationEngine& engine() const { return engine_; }
+  [[nodiscard]] AggregationEngine& engine() { return engine_; }
+  [[nodiscard]] const ServicePolicy& policy() const { return policy_; }
+  [[nodiscard]] const CellularTopology& topology() const { return *topo_; }
+  [[nodiscard]] const RoutingOracle& routes() const { return routes_; }
+  [[nodiscard]] const ControlStore& store() const { return store_; }
+  [[nodiscard]] std::uint64_t path_installs() const { return path_installs_; }
+  [[nodiscard]] std::uint64_t instance_load(NodeId mb) const {
+    const auto it = instance_load_.find(mb);
+    return it == instance_load_.end() ? 0 : it->second;
+  }
+
+  // The middlebox instances serving the (clause, bs) path.  Once a path is
+  // installed its selection is memoized, so mobility and verification always
+  // see the instances actually in use (essential for kLeastLoaded, whose
+  // fresh selections drift with load).
+  [[nodiscard]] std::vector<NodeId> select_instances(std::uint32_t bs,
+                                                     ClauseId clause) const;
+
+ private:
+  struct InstalledPath {
+    PolicyTag tag;
+    PathId up;
+    PathId down;
+  };
+
+  // Installs (clause, bs) under a fresh-or-reused tag; lock must be held.
+  InstalledPath install_path_locked(std::uint32_t bs, ClauseId clause,
+                                    std::optional<PolicyTag> hint);
+
+  const CellularTopology* topo_;
+  ServicePolicy policy_;
+  ControllerOptions options_;
+  RoutingOracle routes_;
+  AggregationEngine engine_;
+  ControlStore store_;
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<SlowState::PathKey, InstalledPath, SlowState::PathKeyHash>
+      installed_;
+  struct M2mKey {
+    ClauseId clause;
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    friend bool operator==(const M2mKey&, const M2mKey&) = default;
+  };
+  struct M2mKeyHash {
+    size_t operator()(const M2mKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.clause.value()) << 40) ^
+          (static_cast<std::uint64_t>(k.src) << 20) ^ k.dst);
+    }
+  };
+  std::unordered_map<M2mKey, PolicyTag, M2mKeyHash> m2m_installed_;
+  // Per-clause tag hints so new base stations try the clause's tag first.
+  std::unordered_map<ClauseId, PolicyTag> clause_hints_;
+  // Old path versions kept alive while their flows drain (migrate_path).
+  struct DrainKey {
+    SlowState::PathKey key;
+    PolicyTag tag;
+    friend bool operator==(const DrainKey&, const DrainKey&) = default;
+  };
+  struct DrainKeyHash {
+    size_t operator()(const DrainKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.key.clause.value()) << 32) ^
+          (static_cast<std::uint64_t>(k.key.bs) << 12) ^ k.tag.value());
+    }
+  };
+  std::unordered_map<DrainKey, InstalledPath, DrainKeyHash> draining_;
+  // Paths assigned per middlebox node (kLeastLoaded placement input).
+  std::unordered_map<NodeId, std::uint64_t> instance_load_;
+  // Memoized instance selection per installed (clause, bs) path.
+  mutable std::unordered_map<SlowState::PathKey, std::vector<NodeId>,
+                             SlowState::PathKeyHash>
+      selected_;
+  ClassifierListener listener_;
+  std::uint64_t path_installs_ = 0;
+};
+
+}  // namespace softcell

@@ -1,0 +1,143 @@
+// Replicated control-plane state (paper section 5.2).
+//
+// The controller state has two halves with very different dynamics:
+//   * slow state -- the service policy, subscriber attributes and installed
+//     policy paths -- replicated with strong consistency (every write is
+//     applied to all replicas before it is acknowledged);
+//   * fast state -- UE locations -- NOT synchronously replicated.  A UE is
+//     attached to exactly one base station, so after a primary failure the
+//     new primary rebuilds the location map by querying each base station's
+//     local agent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "packet/prefix.hpp"
+#include "policy/policy.hpp"
+#include "util/ids.hpp"
+
+namespace softcell {
+
+struct UeLocation {
+  std::uint32_t bs = 0;
+  LocalUeId local{};
+
+  friend bool operator==(const UeLocation&, const UeLocation&) = default;
+};
+
+// Slow state: replicated synchronously.
+struct SlowState {
+  std::unordered_map<UeId, SubscriberProfile> profiles;
+  // Installed policy paths: (clause, bs) -> primary tag.
+  struct PathKey {
+    ClauseId clause;
+    std::uint32_t bs = 0;
+    friend bool operator==(const PathKey&, const PathKey&) = default;
+  };
+  struct PathKeyHash {
+    size_t operator()(const PathKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.clause.value()) << 32) | k.bs);
+    }
+  };
+  std::unordered_map<PathKey, PolicyTag, PathKeyHash> paths;
+  std::uint64_t version = 0;
+};
+
+// A store with `replicas` synchronized copies of the slow state and a
+// primary-local copy of the fast (location) state.
+class ControlStore {
+ public:
+  explicit ControlStore(std::size_t replicas = 3) : slow_(replicas) {
+    if (replicas == 0)
+      throw std::invalid_argument("ControlStore: need at least one replica");
+  }
+
+  // --- slow state: replicated writes --------------------------------------
+  void put_profile(UeId ue, const SubscriberProfile& p) {
+    mutate([&](SlowState& s) { s.profiles[ue] = p; });
+  }
+  [[nodiscard]] const SubscriberProfile* profile(UeId ue) const {
+    const auto it = primary().profiles.find(ue);
+    return it == primary().profiles.end() ? nullptr : &it->second;
+  }
+
+  void put_path(ClauseId clause, std::uint32_t bs, PolicyTag tag) {
+    mutate([&](SlowState& s) { s.paths[{clause, bs}] = tag; });
+  }
+  [[nodiscard]] std::optional<PolicyTag> path(ClauseId clause,
+                                              std::uint32_t bs) const {
+    const auto it = primary().paths.find({clause, bs});
+    if (it == primary().paths.end()) return std::nullopt;
+    return it->second;
+  }
+  void erase_path(ClauseId clause, std::uint32_t bs) {
+    mutate([&](SlowState& s) { s.paths.erase({clause, bs}); });
+  }
+
+  // --- fast state: primary-local ------------------------------------------
+  void set_location(UeId ue, UeLocation loc) { locations_[ue] = loc; }
+  void clear_location(UeId ue) { locations_.erase(ue); }
+  [[nodiscard]] std::optional<UeLocation> location(UeId ue) const {
+    const auto it = locations_.find(ue);
+    if (it == locations_.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] std::size_t attached_ues() const { return locations_.size(); }
+
+  // --- failover -------------------------------------------------------------
+  // Kills the primary replica and promotes the next one.  The slow state
+  // survives by replication; the location map is cleared and must be
+  // rebuilt via rebuild_locations().
+  void fail_primary() {
+    if (slow_.size() < 2)
+      throw std::logic_error("ControlStore: no replica to promote");
+    slow_.erase(slow_.begin());
+    locations_.clear();
+  }
+
+  // New primary repopulates locations by querying local agents: `query`
+  // yields each base station's attached (UE, local id) pairs.
+  void rebuild_locations(
+      const std::function<void(
+          const std::function<void(UeId, UeLocation)>&)>& query) {
+    locations_.clear();
+    query([this](UeId ue, UeLocation loc) { locations_[ue] = loc; });
+  }
+
+  [[nodiscard]] std::size_t replica_count() const { return slow_.size(); }
+  [[nodiscard]] std::uint64_t version() const { return primary().version; }
+
+  // Verification hook: all replicas hold identical slow state versions.
+  [[nodiscard]] bool replicas_consistent() const {
+    for (const auto& s : slow_)
+      if (s.version != slow_.front().version ||
+          s.profiles.size() != slow_.front().profiles.size() ||
+          s.paths.size() != slow_.front().paths.size())
+        return false;
+    return true;
+  }
+
+ private:
+  [[nodiscard]] const SlowState& primary() const { return slow_.front(); }
+
+  void mutate(const std::function<void(SlowState&)>& fn) {
+    // Synchronous replication: the write hits every replica, then the
+    // version is bumped everywhere (strong consistency is affordable
+    // because this state changes slowly -- section 5.2).
+    for (auto& s : slow_) {
+      fn(s);
+      ++s.version;
+    }
+  }
+
+  std::vector<SlowState> slow_;
+  std::unordered_map<UeId, UeLocation> locations_;
+};
+
+}  // namespace softcell

@@ -1,0 +1,59 @@
+// Microflow table of an access switch (paper section 4.1).
+//
+// Access switches are software switches (Open vSwitch-style): they hold one
+// exact-match rule per microflow in a hash table.  Uplink rules rewrite the
+// UE's permanent source address to its LocIP and embed the policy tag in the
+// source port; downlink rules undo the translation and deliver to the UE.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "packet/packet.hpp"
+#include "util/ids.hpp"
+
+namespace softcell {
+
+struct MicroflowAction {
+  // Header rewrites (nullopt = leave unchanged).
+  std::optional<Ipv4Addr> set_src_ip;
+  std::optional<std::uint16_t> set_src_port;
+  std::optional<Ipv4Addr> set_dst_ip;
+  std::optional<std::uint16_t> set_dst_port;
+  // Where to send the packet: a neighbor node, or deliver to the attached UE
+  // when `deliver_to_ue` is set.
+  NodeId out_to{};
+  std::optional<UeId> deliver_to_ue;
+
+  friend bool operator==(const MicroflowAction&,
+                         const MicroflowAction&) = default;
+};
+
+class MicroflowTable {
+ public:
+  void install(const FlowKey& key, MicroflowAction action) {
+    rules_[key] = action;
+  }
+
+  [[nodiscard]] const MicroflowAction* lookup(const FlowKey& key) const {
+    const auto it = rules_.find(key);
+    return it == rules_.end() ? nullptr : &it->second;
+  }
+
+  bool remove(const FlowKey& key) { return rules_.erase(key) > 0; }
+
+  [[nodiscard]] std::size_t size() const { return rules_.size(); }
+
+  // Iteration support (mobility copies a UE's microflow rules to the new
+  // access switch, section 5.1).
+  [[nodiscard]] const std::unordered_map<FlowKey, MicroflowAction>& rules()
+      const {
+    return rules_;
+  }
+
+ private:
+  std::unordered_map<FlowKey, MicroflowAction> rules_;
+};
+
+}  // namespace softcell

@@ -1,0 +1,61 @@
+// Rule model for SoftCell switches.
+//
+// Core/aggregation/gateway switches hold three kinds of entries, matching
+// the multi-table discussion in paper section 7:
+//
+//   Type 1: match policy tag + location prefix   (TCAM)        highest prio
+//   Type 2: match policy tag only                (exact-match)
+//   Type 3: match location prefix only           (LPM)         lowest prio
+//
+// plus an in-port dimension: traffic returning from a middlebox is
+// identified by its input port (paper footnote 1), and loops entering a
+// switch twice through different links are disambiguated by input port as
+// well (section 3.2, "Dealing with loops").
+//
+// Rules are directional: uplink rules match the tag/location embedded in the
+// *source* address/port (UE -> Internet), downlink rules match the
+// *destination* fields (Internet -> UE).  The two directions are independent
+// match spaces, like separate tables.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "packet/prefix.hpp"
+#include "util/ids.hpp"
+
+namespace softcell {
+
+enum class Direction : std::uint8_t { kUplink = 0, kDownlink = 1 };
+
+[[nodiscard]] inline std::string_view to_string(Direction d) {
+  return d == Direction::kUplink ? "uplink" : "downlink";
+}
+
+// What a matching rule does: forward out of the port toward `out_to`,
+// optionally rewriting the transit tag first (loop-disambiguation swap, or
+// the hand-off to the shared delivery tier), and optionally *resubmitting*
+// the packet to the same switch's tables after the rewrite -- the
+// OpenFlow-style goto-table of the multi-table design (paper section 7).
+//
+// Tag rewrites apply to the packet's transit label (conceptually a VLAN-like
+// field pushed at the network edge and initialized from the tag embedded in
+// the port bits, Fig. 4); the embedded end-to-end tag itself is never
+// rewritten, so return-traffic piggybacking survives mid-path swaps.
+struct RuleAction {
+  NodeId out_to{};
+  std::optional<PolicyTag> set_tag;
+  bool resubmit = false;
+
+  friend bool operator==(const RuleAction&, const RuleAction&) = default;
+};
+
+// Which priority tier a lookup hit came from (for tests/diagnostics).
+enum class RuleShape : std::uint8_t {
+  kTagPrefix,     // Type 1
+  kTagOnly,       // Type 2
+  kLocationOnly,  // Type 3
+};
+
+}  // namespace softcell

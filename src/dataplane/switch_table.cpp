@@ -1,0 +1,376 @@
+#include "dataplane/switch_table.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace softcell {
+
+namespace {
+// Iterate prefix lengths present in `mask` (bit L = some /L entry exists),
+// longest first, capped at `cap`.  Calls fn(len); stops when fn returns true.
+template <typename Fn>
+bool for_lengths_desc(std::uint64_t mask, int cap, Fn&& fn) {
+  if (cap < 63) mask &= (std::uint64_t{1} << (cap + 1)) - 1;
+  while (mask != 0) {
+    const int len = 63 - std::countl_zero(mask);
+    if (fn(len)) return true;
+    mask &= ~(std::uint64_t{1} << len);
+  }
+  return false;
+}
+}  // namespace
+
+const SwitchTable::TagClass* SwitchTable::find_class(Direction dir,
+                                                     InPortSpec in,
+                                                     PolicyTag tag) const {
+  const auto it = classes_.find(ClassKey{dir, in, tag});
+  return it == classes_.end() ? nullptr : &it->second;
+}
+
+SwitchTable::TagClass& SwitchTable::class_for(Direction dir, InPortSpec in,
+                                              PolicyTag tag) {
+  return classes_[ClassKey{dir, in, tag}];
+}
+
+void SwitchTable::note_tag(Direction dir, PolicyTag tag, int delta) {
+  auto& usage = tag_usage_[static_cast<int>(dir)];
+  if (delta > 0) {
+    usage[tag] += static_cast<std::uint32_t>(delta);
+  } else {
+    auto it = usage.find(tag);
+    if (it == usage.end()) throw std::logic_error("tag usage underflow");
+    it->second -= static_cast<std::uint32_t>(-delta);
+    if (it->second == 0) usage.erase(it);
+  }
+}
+
+void SwitchTable::bump_rules(int delta) {
+  if (delta < 0 && rule_count_ < static_cast<std::size_t>(-delta))
+    throw std::logic_error("rule count underflow");
+  rule_count_ = static_cast<std::size_t>(static_cast<long long>(rule_count_) +
+                                         delta);
+}
+
+// Checked before any fresh insertion, so a TableFull never leaves the
+// table partially mutated.
+void SwitchTable::ensure_space() const {
+  if (capacity_ != 0 && rule_count_ + 1 > capacity_) throw TableFull{};
+}
+
+const SwitchTable::Entry* SwitchTable::lpm(const TagClass& cls, Ipv4Addr addr,
+                                           Prefix* matched) {
+  const Entry* hit = nullptr;
+  for_lengths_desc(cls.len_mask, 32, [&](int len) {
+    const Prefix probe(addr, static_cast<std::uint8_t>(len));
+    if (auto it = cls.by_prefix.find(probe); it != cls.by_prefix.end()) {
+      hit = &it->second;
+      if (matched) *matched = probe;
+      return true;
+    }
+    return false;
+  });
+  return hit;
+}
+
+std::optional<SwitchTable::LookupResult> SwitchTable::lookup(
+    Direction dir, NodeId in_from, PolicyTag tag, Ipv4Addr addr) const {
+  ++lookups_;
+  // Specific in-port class first, then wildcard, then location tier.
+  for (const InPortSpec in : {InPortSpec::from(in_from), InPortSpec::any()}) {
+    if (const TagClass* cls = find_class(dir, in, tag)) {
+      if (const Entry* e = lpm(*cls, addr)) {
+        ++e->packets;
+        return LookupResult{e->action, RuleShape::kTagPrefix};
+      }
+      if (cls->def) {
+        ++cls->def->packets;
+        return LookupResult{cls->def->action, RuleShape::kTagOnly};
+      }
+    }
+  }
+  const LocationTier& tier = location_[static_cast<int>(dir)];
+  std::optional<LookupResult> out;
+  for_lengths_desc(tier.len_mask, 32, [&](int len) {
+    const Prefix probe(addr, static_cast<std::uint8_t>(len));
+    if (auto it = tier.by_prefix.find(probe); it != tier.by_prefix.end()) {
+      ++it->second.packets;
+      out = LookupResult{it->second.action, RuleShape::kLocationOnly};
+      return true;
+    }
+    return false;
+  });
+  if (!out) ++misses_;
+  return out;
+}
+
+std::optional<SwitchTable::Resolved> SwitchTable::resolve(Direction dir,
+                                                          InPortSpec in,
+                                                          PolicyTag tag,
+                                                          Prefix pre,
+                                                          bool fall_through) const {
+  const InPortSpec probes[2] = {in, InPortSpec::any()};
+  const int n = in.wildcard() || !fall_through ? 1 : 2;
+  for (int i = 0; i < n; ++i) {
+    if (const TagClass* cls = find_class(dir, probes[i], tag)) {
+      std::optional<Resolved> hit;
+      for_lengths_desc(cls->len_mask, pre.len(), [&](int len) {
+        const Prefix probe(pre.addr(), static_cast<std::uint8_t>(len));
+        if (auto it = cls->by_prefix.find(probe); it != cls->by_prefix.end()) {
+          hit = Resolved{it->second.action, probes[i], false, probe};
+          return true;
+        }
+        return false;
+      });
+      if (hit) return hit;
+      if (cls->def) return Resolved{cls->def->action, probes[i], true, {}};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<RuleAction> SwitchTable::next_hop(Direction dir, InPortSpec in,
+                                                PolicyTag tag,
+                                                Prefix pre) const {
+  const auto r = resolve(dir, in, tag, pre);
+  if (!r) return std::nullopt;
+  return r->action;
+}
+
+bool SwitchTable::can_aggregate(Direction dir, InPortSpec in, PolicyTag tag,
+                                Prefix pre, const RuleAction& out) const {
+  const auto sib = pre.sibling();
+  const auto par = pre.parent();
+  if (!sib || !par) return false;
+  const TagClass* cls = find_class(dir, in, tag);
+  if (!cls) return false;
+  if (cls->by_prefix.contains(*par)) return false;  // parent slot taken
+  const auto it = cls->by_prefix.find(*sib);
+  return it != cls->by_prefix.end() && it->second.action == out;
+}
+
+void SwitchTable::add_default(Direction dir, InPortSpec in, PolicyTag tag,
+                              const RuleAction& action) {
+  TagClass& cls = class_for(dir, in, tag);
+  if (cls.def) {
+    if (!(cls.def->action == action))
+      throw std::logic_error("add_default: conflicting default action");
+    ++cls.def->refcount;
+    return;
+  }
+  ensure_space();
+  cls.def = Entry{action, 1};
+  note_tag(dir, tag, +1);
+  bump_rules(+1);
+}
+
+void SwitchTable::add_prefix_rule(Direction dir, InPortSpec in, PolicyTag tag,
+                                  Prefix pre, const RuleAction& action) {
+  TagClass& cls = class_for(dir, in, tag);
+
+  // Re-reference an existing covering entry with the same action.
+  {
+    std::optional<Prefix> covering;
+    for_lengths_desc(cls.len_mask, pre.len(), [&](int len) {
+      const Prefix probe(pre.addr(), static_cast<std::uint8_t>(len));
+      if (cls.by_prefix.contains(probe)) {
+        covering = probe;
+        return true;
+      }
+      return false;
+    });
+    if (covering) {
+      Entry& e = cls.by_prefix.at(*covering);
+      if (e.action == action) {
+        ++e.refcount;
+        return;
+      }
+      // A shorter covering entry with a different action: fall through and
+      // install a more-specific override.  An *exact* conflicting entry is a
+      // caller bug (two paths from the same base station sharing a tag).
+      if (*covering == pre)
+        throw std::logic_error("add_prefix_rule: conflicting exact entry");
+    }
+  }
+
+  // Fresh entry, then cascade contiguous-sibling merges upward.
+  ensure_space();
+  cls.by_prefix.emplace(pre, Entry{action, 1});
+  cls.len_mask |= std::uint64_t{1} << pre.len();
+  note_tag(dir, tag, +1);
+  bump_rules(+1);
+
+  Prefix cur = pre;
+  for (;;) {
+    const auto sib = cur.sibling();
+    const auto par = cur.parent();
+    if (!sib || !par) break;
+    const auto sit = cls.by_prefix.find(*sib);
+    const auto cit = cls.by_prefix.find(cur);
+    if (sit == cls.by_prefix.end() || cls.by_prefix.contains(*par)) break;
+    if (!(sit->second.action == cit->second.action)) break;
+    Entry merged{cit->second.action,
+                 cit->second.refcount + sit->second.refcount};
+    cls.by_prefix.erase(sit);
+    cls.by_prefix.erase(cur);
+    cls.by_prefix.emplace(*par, merged);
+    cls.len_mask |= std::uint64_t{1} << par->len();
+    note_tag(dir, tag, -1);
+    bump_rules(-1);
+    cur = *par;
+  }
+}
+
+void SwitchTable::release_default(Direction dir, InPortSpec in,
+                                  PolicyTag tag) {
+  const auto key = ClassKey{dir, in, tag};
+  auto it = classes_.find(key);
+  if (it == classes_.end() || !it->second.def)
+    throw std::logic_error("release_default: no such default");
+  if (--it->second.def->refcount == 0) {
+    it->second.def.reset();
+    note_tag(dir, tag, -1);
+    bump_rules(-1);
+    if (it->second.empty()) classes_.erase(it);
+  }
+}
+
+void SwitchTable::release_prefix_rule(Direction dir, InPortSpec in,
+                                      PolicyTag tag, Prefix pre) {
+  const auto key = ClassKey{dir, in, tag};
+  auto cit = classes_.find(key);
+  if (cit == classes_.end())
+    throw std::logic_error("release_prefix_rule: no such class");
+  TagClass& cls = cit->second;
+  std::optional<Prefix> covering;
+  for_lengths_desc(cls.len_mask, pre.len(), [&](int len) {
+    const Prefix probe(pre.addr(), static_cast<std::uint8_t>(len));
+    if (cls.by_prefix.contains(probe)) {
+      covering = probe;
+      return true;
+    }
+    return false;
+  });
+  if (!covering)
+    throw std::logic_error("release_prefix_rule: no covering entry");
+  Entry& e = cls.by_prefix.at(*covering);
+  if (--e.refcount == 0) {
+    cls.by_prefix.erase(*covering);
+    note_tag(dir, tag, -1);
+    bump_rules(-1);
+    if (cls.empty()) classes_.erase(cit);
+  }
+}
+
+void SwitchTable::add_location_rule(Direction dir, Prefix pre,
+                                    const RuleAction& action) {
+  LocationTier& tier = location_[static_cast<int>(dir)];
+
+  std::optional<Prefix> covering;
+  for_lengths_desc(tier.len_mask, pre.len(), [&](int len) {
+    const Prefix probe(pre.addr(), static_cast<std::uint8_t>(len));
+    if (tier.by_prefix.contains(probe)) {
+      covering = probe;
+      return true;
+    }
+    return false;
+  });
+  if (covering) {
+    LocationEntry& e = tier.by_prefix.at(*covering);
+    if (e.action == action) {
+      ++e.refcount;
+      return;
+    }
+    // More-specific override (e.g. a /32 mobility redirect under a base
+    // station prefix); an exact conflicting entry is a caller bug.
+    if (*covering == pre)
+      throw std::logic_error("add_location_rule: conflicting exact entry");
+  }
+
+  ensure_space();
+  tier.by_prefix.emplace(pre, LocationEntry{action, 1});
+  tier.len_mask |= std::uint64_t{1} << pre.len();
+  bump_rules(+1);
+
+  Prefix cur = pre;
+  for (;;) {
+    const auto sib = cur.sibling();
+    const auto par = cur.parent();
+    if (!sib || !par) break;
+    const auto sit = tier.by_prefix.find(*sib);
+    if (sit == tier.by_prefix.end() || tier.by_prefix.contains(*par)) break;
+    auto cit2 = tier.by_prefix.find(cur);
+    if (!(sit->second.action == cit2->second.action)) break;
+    LocationEntry merged{cit2->second.action,
+                         cit2->second.refcount + sit->second.refcount};
+    tier.by_prefix.erase(sit);
+    tier.by_prefix.erase(cur);
+    tier.by_prefix.emplace(*par, std::move(merged));
+    tier.len_mask |= std::uint64_t{1} << par->len();
+    bump_rules(-1);
+    cur = *par;
+  }
+}
+
+std::optional<RuleAction> SwitchTable::location_next_hop(Direction dir,
+                                                         Prefix pre) const {
+  const LocationTier& tier = location_[static_cast<int>(dir)];
+  std::optional<RuleAction> hit;
+  for_lengths_desc(tier.len_mask, pre.len(), [&](int len) {
+    const Prefix probe(pre.addr(), static_cast<std::uint8_t>(len));
+    if (auto it = tier.by_prefix.find(probe); it != tier.by_prefix.end()) {
+      hit = it->second.action;
+      return true;
+    }
+    return false;
+  });
+  return hit;
+}
+
+bool SwitchTable::can_aggregate_location(Direction dir, Prefix pre,
+                                         const RuleAction& out) const {
+  const auto sib = pre.sibling();
+  const auto par = pre.parent();
+  if (!sib || !par) return false;
+  const LocationTier& tier = location_[static_cast<int>(dir)];
+  if (tier.by_prefix.contains(*par)) return false;
+  const auto it = tier.by_prefix.find(*sib);
+  return it != tier.by_prefix.end() && it->second.action == out;
+}
+
+void SwitchTable::release_location_rule(Direction dir, Prefix pre) {
+  LocationTier& tier = location_[static_cast<int>(dir)];
+  std::optional<Prefix> covering;
+  for_lengths_desc(tier.len_mask, pre.len(), [&](int len) {
+    const Prefix probe(pre.addr(), static_cast<std::uint8_t>(len));
+    if (tier.by_prefix.contains(probe)) {
+      covering = probe;
+      return true;
+    }
+    return false;
+  });
+  if (!covering)
+    throw std::logic_error("release_location_rule: no covering entry");
+  LocationEntry& e = tier.by_prefix.at(*covering);
+  if (--e.refcount == 0) {
+    tier.by_prefix.erase(*covering);
+    bump_rules(-1);
+  }
+}
+
+std::size_t SwitchTable::type1_count() const {
+  std::size_t n = 0;
+  for (const auto& [k, cls] : classes_) n += cls.by_prefix.size();
+  return n;
+}
+
+std::size_t SwitchTable::type2_count() const {
+  std::size_t n = 0;
+  for (const auto& [k, cls] : classes_) n += cls.def ? 1 : 0;
+  return n;
+}
+
+std::size_t SwitchTable::location_count() const {
+  return location_[0].by_prefix.size() + location_[1].by_prefix.size();
+}
+
+}  // namespace softcell

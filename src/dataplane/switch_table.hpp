@@ -1,0 +1,218 @@
+// Per-switch rule state: the structure Algorithm 1 reads and writes.
+//
+// Entries are grouped into "classes" keyed by (direction, in-port spec,
+// tag).  Within a class there is an optional tag-only default (Type 2) and a
+// set of prefix entries (Type 1) looked up longest-prefix-first.  A lookup
+// tries the specific in-port class (if the packet came from a middlebox or a
+// loop-disambiguated link), falls through to the wildcard in-port class, and
+// finally to the location-only tier (Type 3), mirroring TCAM priorities.
+//
+// Every entry carries a reference count of the policy paths relying on it so
+// paths can be removed online (section 3.2 operates on a *stream* of path
+// installs and removals).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dataplane/rule.hpp"
+#include "packet/prefix.hpp"
+#include "util/ids.hpp"
+
+namespace softcell {
+
+// In-port specification of a rule class: wildcard or one specific neighbor.
+struct InPortSpec {
+  NodeId specific{};  // invalid id = wildcard
+
+  [[nodiscard]] bool wildcard() const { return !specific.valid(); }
+  static InPortSpec any() { return InPortSpec{}; }
+  static InPortSpec from(NodeId n) { return InPortSpec{n}; }
+
+  friend bool operator==(InPortSpec, InPortSpec) = default;
+};
+
+class SwitchTable {
+ public:
+  // Commodity-switch TCAM capacity (paper section 2.3: "a few thousand to
+  // tens of thousands of rules").  0 = unbounded (pure counting mode, used
+  // by the Fig. 7 sweeps).  Installs that would exceed the capacity throw
+  // TableFull; the aggregation engine turns that into a rejected policy
+  // path (section 7: "the policy path request will be denied").
+  struct TableFull : std::runtime_error {
+    TableFull() : std::runtime_error("switch table full") {}
+  };
+
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  struct Entry {
+    RuleAction action;
+    std::uint32_t refcount = 0;
+    // Data-plane hit counter (packets matched), maintained by lookup().
+    mutable std::uint64_t packets = 0;
+  };
+
+  struct LookupResult {
+    RuleAction action;
+    RuleShape shape = RuleShape::kTagOnly;
+  };
+
+  // Packet-style lookup: specific in-port class first (misses fall through),
+  // then wildcard class, then location tier.
+  [[nodiscard]] std::optional<LookupResult> lookup(Direction dir,
+                                                   NodeId in_from,
+                                                   PolicyTag tag,
+                                                   Ipv4Addr addr) const;
+
+  // The rule the current tables would apply to (tag, prefix) traffic
+  // entering via `in` -- the getNextHop() of Algorithm 1, with the location
+  // of the matching entry so callers can re-reference it.
+  struct Resolved {
+    RuleAction action;
+    InPortSpec cls;       // class the hit lives in (may differ from probe)
+    bool is_default = false;
+    Prefix covering;      // matched prefix when !is_default
+  };
+  // `fall_through` = probe the wildcard class after a specific-class miss
+  // (packet semantics).  The aggregation engine resolves in-port-specific
+  // hops with fall_through=false: such hops must own an entry in their own
+  // class, or a later wildcard rule for the same (tag, prefix) could shadow
+  // the reliance.
+  [[nodiscard]] std::optional<Resolved> resolve(Direction dir, InPortSpec in,
+                                                PolicyTag tag, Prefix pre,
+                                                bool fall_through = true) const;
+  [[nodiscard]] std::optional<RuleAction> next_hop(Direction dir, InPortSpec in,
+                                                   PolicyTag tag,
+                                                   Prefix pre) const;
+
+  // True iff a (tag, pre) -> out entry would merge with its sibling
+  // (Algorithm 1's canAggregate: prefixes contiguous, same action).
+  [[nodiscard]] bool can_aggregate(Direction dir, InPortSpec in, PolicyTag tag,
+                                   Prefix pre, const RuleAction& out) const;
+
+  // --- mutation (used by the aggregation engine) ---
+
+  // Installs or re-references the tag-only default of a class.  The default
+  // must either not exist or already have the same action.
+  void add_default(Direction dir, InPortSpec in, PolicyTag tag,
+                   const RuleAction& action);
+
+  // Installs or re-references a (tag, pre) entry, cascading sibling merges.
+  //
+  // PRECONDITION (maintained by the aggregation engine by construction):
+  // within one (direction, class, tag), installed prefixes come from a
+  // single fixed-length family (the base-station prefixes; merged parents
+  // arise only from exact sibling unions) plus /32 host overrides.  A
+  // caller that installs an *intermediate*-length prefix with a different
+  // action under a covering entry would re-route the finer prefixes that
+  // re-referenced that covering entry.
+  void add_prefix_rule(Direction dir, InPortSpec in, PolicyTag tag, Prefix pre,
+                       const RuleAction& action);
+
+  // Location-only tier (Type 3).
+  void add_location_rule(Direction dir, Prefix pre, const RuleAction& action);
+  [[nodiscard]] std::optional<RuleAction> location_next_hop(Direction dir,
+                                                            Prefix pre) const;
+  [[nodiscard]] bool can_aggregate_location(Direction dir, Prefix pre,
+                                            const RuleAction& out) const;
+
+  // --- removal ---
+  // Dereferences the entry currently covering the given match; removes it
+  // when its refcount hits zero.
+  void release_default(Direction dir, InPortSpec in, PolicyTag tag);
+  void release_prefix_rule(Direction dir, InPortSpec in, PolicyTag tag,
+                           Prefix pre);
+  void release_location_rule(Direction dir, Prefix pre);
+
+  // --- introspection ---
+  [[nodiscard]] std::size_t rule_count() const { return rule_count_; }
+  [[nodiscard]] bool full() const {
+    return capacity_ != 0 && rule_count_ >= capacity_;
+  }
+
+  // Data-plane counters (maintained by lookup(); the controller reads them
+  // through the southbound stats messages).
+  [[nodiscard]] std::uint64_t lookups() const { return lookups_; }
+  [[nodiscard]] std::uint64_t lookup_misses() const { return misses_; }
+  [[nodiscard]] std::size_t type1_count() const;  // tag+prefix
+  [[nodiscard]] std::size_t type2_count() const;  // tag-only defaults
+  [[nodiscard]] std::size_t type3_count() const { return location_count(); }
+  [[nodiscard]] std::size_t location_count() const;
+
+  // Tags with at least one entry in the given direction (candTag source).
+  [[nodiscard]] const std::unordered_map<PolicyTag, std::uint32_t>& tag_usage(
+      Direction dir) const {
+    return tag_usage_[static_cast<int>(dir)];
+  }
+
+ private:
+  struct ClassKey {
+    Direction dir = Direction::kUplink;
+    InPortSpec in;
+    PolicyTag tag;
+
+    friend bool operator==(const ClassKey&, const ClassKey&) = default;
+  };
+  struct ClassKeyHash {
+    size_t operator()(const ClassKey& k) const noexcept {
+      std::uint64_t v = (static_cast<std::uint64_t>(k.tag.value()) << 34) ^
+                        (static_cast<std::uint64_t>(k.in.specific.value()) << 1) ^
+                        static_cast<std::uint64_t>(k.dir);
+      v = (v ^ (v >> 30)) * 0xBF58476D1CE4E5B9ull;
+      return static_cast<size_t>(v ^ (v >> 31));
+    }
+  };
+
+  // Rules of one (direction, in-port, tag) class.
+  struct TagClass {
+    std::optional<Entry> def;                   // Type 2
+    std::unordered_map<Prefix, Entry> by_prefix;  // Type 1
+    std::uint64_t len_mask = 0;  // bit L set => some prefix of length L
+
+    [[nodiscard]] bool empty() const { return !def && by_prefix.empty(); }
+  };
+
+  struct LocationEntry {
+    RuleAction action;
+    std::uint32_t refcount = 0;
+    mutable std::uint64_t packets = 0;
+  };
+  struct LocationTier {
+    std::unordered_map<Prefix, LocationEntry> by_prefix;
+    std::uint64_t len_mask = 0;
+  };
+
+  [[nodiscard]] const TagClass* find_class(Direction dir, InPortSpec in,
+                                           PolicyTag tag) const;
+  TagClass& class_for(Direction dir, InPortSpec in, PolicyTag tag);
+  void note_tag(Direction dir, PolicyTag tag, int delta);
+  void bump_rules(int delta);
+  void ensure_space() const;
+
+  // Longest-prefix entry within a class containing `addr`.
+  [[nodiscard]] static const Entry* lpm(const TagClass& cls, Ipv4Addr addr,
+                                        Prefix* matched = nullptr);
+
+  std::unordered_map<ClassKey, TagClass, ClassKeyHash> classes_;
+  LocationTier location_[2];  // per direction
+  std::unordered_map<PolicyTag, std::uint32_t> tag_usage_[2];
+  std::size_t rule_count_ = 0;
+  std::size_t capacity_ = 0;
+  mutable std::uint64_t lookups_ = 0;
+  mutable std::uint64_t misses_ = 0;
+
+
+ public:
+  // Read-only view of the Type-3 tier (tests, diagnostics).
+  [[nodiscard]] const std::unordered_map<Prefix, LocationEntry>&
+  location_entries(Direction dir) const {
+    return location_[static_cast<int>(dir)].by_prefix;
+  }
+};
+
+}  // namespace softcell

@@ -1,0 +1,44 @@
+#include "legacy/epc.hpp"
+
+namespace softcell::legacy {
+
+GtpBearer LegacyEpc::attach(UeId ue, std::uint32_t bs) {
+  if (bearers_.contains(ue))
+    throw std::invalid_argument("LegacyEpc::attach: already attached");
+  const GtpBearer bearer{next_teid_++, ue, bs};
+  bearers_.emplace(ue, bearer);
+  return bearer;
+}
+
+void LegacyEpc::handoff(UeId ue, std::uint32_t new_bs) {
+  const auto it = bearers_.find(ue);
+  if (it == bearers_.end())
+    throw std::invalid_argument("LegacyEpc::handoff: not attached");
+  it->second.bs = new_bs;
+}
+
+void LegacyEpc::detach(UeId ue) {
+  if (bearers_.erase(ue) == 0)
+    throw std::invalid_argument("LegacyEpc::detach: not attached");
+}
+
+LegacyEpc::PathMetrics LegacyEpc::internet_path(UeId ue) const {
+  const auto it = bearers_.find(ue);
+  if (it == bearers_.end())
+    throw std::invalid_argument("LegacyEpc: UE not attached");
+  // Tunnel to the P-GW (co-located with the gateway switch) + the exit hop.
+  return PathMetrics{bs_to_pgw_hops(it->second.bs) + 1, true};
+}
+
+LegacyEpc::PathMetrics LegacyEpc::m2m_path(UeId a, UeId b) const {
+  const auto ia = bearers_.find(a);
+  const auto ib = bearers_.find(b);
+  if (ia == bearers_.end() || ib == bearers_.end())
+    throw std::invalid_argument("LegacyEpc: UE not attached");
+  // Hairpin: up one tunnel, through the P-GW, down the other.
+  return PathMetrics{bs_to_pgw_hops(ia->second.bs) +
+                         bs_to_pgw_hops(ib->second.bs),
+                     true};
+}
+
+}  // namespace softcell::legacy

@@ -1,0 +1,78 @@
+// Legacy LTE EPC baseline (the architecture the paper's introduction argues
+// against): every UE's traffic rides a GTP tunnel from its base station to
+// the centralized P-GW at the Internet boundary, where ALL network
+// functions -- firewalling, transcoding, NAT, policy -- are applied.
+//
+// This model exists to quantify the intro's claims against a concrete
+// comparator (bench_legacy_comparison):
+//   * device-to-device traffic hairpins through the P-GW;
+//   * the P-GW concentrates per-bearer and per-flow state that SoftCell
+//     spreads over the access edge;
+//   * middleboxes cannot be placed near the traffic they serve.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "topo/cellular.hpp"
+#include "topo/routing.hpp"
+#include "util/ids.hpp"
+
+namespace softcell::legacy {
+
+// A GTP bearer: the tunnel between a base station and the P-GW carrying one
+// UE's traffic (we model the default bearer; dedicated bearers would add a
+// constant factor).
+struct GtpBearer {
+  std::uint32_t teid = 0;  // tunnel endpoint id at the P-GW
+  UeId ue{};
+  std::uint32_t bs = 0;
+};
+
+class LegacyEpc {
+ public:
+  explicit LegacyEpc(const CellularTopology& topo)
+      : topo_(&topo), routes_(topo.graph()) {}
+
+  // --- control plane ---------------------------------------------------------
+  // Attach: establishes the UE's GTP bearer to the P-GW.
+  GtpBearer attach(UeId ue, std::uint32_t bs);
+  // Handoff: the bearer is re-anchored (S-GW relocation); the P-GW keeps
+  // the session, so the UE's IP survives -- at the cost of the tunnel
+  // always stretching to the gateway.
+  void handoff(UeId ue, std::uint32_t new_bs);
+  void detach(UeId ue);
+
+  // --- data plane (path metrics) ----------------------------------------------
+  struct PathMetrics {
+    std::size_t hops = 0;
+    bool via_pgw = false;
+  };
+  // UE -> Internet: tunnel to the P-GW, functions applied there, exit.
+  [[nodiscard]] PathMetrics internet_path(UeId ue) const;
+  // UE -> UE in the same core: both legs hairpin through the P-GW.
+  [[nodiscard]] PathMetrics m2m_path(UeId a, UeId b) const;
+
+  // --- state concentration ------------------------------------------------------
+  // Everything the P-GW must hold: one bearer context per attached UE plus
+  // one NAT/flow context per active flow (callers account flows).
+  [[nodiscard]] std::size_t pgw_bearer_contexts() const {
+    return bearers_.size();
+  }
+
+  [[nodiscard]] const CellularTopology& topology() const { return *topo_; }
+
+ private:
+  [[nodiscard]] std::size_t bs_to_pgw_hops(std::uint32_t bs) const {
+    return routes_.distance(topo_->access_switch(bs), topo_->gateway());
+  }
+
+  const CellularTopology* topo_;
+  RoutingOracle routes_;
+  std::unordered_map<UeId, GtpBearer> bearers_;
+  std::uint32_t next_teid_ = 1;
+};
+
+}  // namespace softcell::legacy

@@ -1,0 +1,72 @@
+#include "mbox/middlebox.hpp"
+
+namespace softcell {
+
+bool StatefulFirewall::process(Packet& pkt) {
+  // Published-service pinhole: the UE-side endpoint of the connection is a
+  // carrier-provisioned public service.
+  const Ipv4Addr ue_ip = pkt.uplink ? pkt.key.src_ip : pkt.key.dst_ip;
+  const std::uint16_t ue_port =
+      pkt.uplink ? pkt.key.src_port : pkt.key.dst_port;
+  if (published_.contains((static_cast<std::uint64_t>(ue_ip) << 16) | ue_port))
+    return count(true);
+
+  const FlowKey conn = pkt.uplink ? pkt.key : pkt.key.reversed();
+  if (pkt.uplink && pkt.flag == TcpFlag::kSyn) {
+    state_.insert(conn);
+    return count(true);
+  }
+  if (!state_.contains(conn)) return count(false);
+  if (pkt.flag == TcpFlag::kFin) state_.erase(conn);
+  return count(true);
+}
+
+bool Transcoder::process(Packet& pkt) {
+  const auto before = pkt.payload_bytes;
+  pkt.payload_bytes = static_cast<std::uint32_t>(
+      static_cast<double>(pkt.payload_bytes) * ratio_);
+  saved_ += before - pkt.payload_bytes;
+  return count(true);
+}
+
+bool EchoCanceller::process(Packet& pkt) {
+  (void)pkt;
+  return count(true);
+}
+
+bool Ids::process(Packet& pkt) {
+  // The UE-side address is the source on uplink, destination on downlink.
+  const Ipv4Addr ue_addr = pkt.uplink ? pkt.src() : pkt.dst();
+  if (plan_.decode(ue_addr)) {
+    auto& flows = flows_per_ue_[ue_addr];
+    const FlowKey conn = pkt.uplink ? pkt.key : pkt.key.reversed();
+    if (flows.insert(conn).second && flows.size() > threshold_) ++alerts_;
+  }
+  return count(true);
+}
+
+namespace {
+
+class PassThrough : public Middlebox {
+ public:
+  bool process(Packet& pkt) override {
+    (void)pkt;
+    return count(true);
+  }
+  [[nodiscard]] std::string_view kind() const override { return "generic"; }
+};
+
+}  // namespace
+
+std::unique_ptr<Middlebox> make_middlebox(std::uint32_t type,
+                                          const AddressPlan& plan) {
+  switch (type) {
+    case 0: return std::make_unique<StatefulFirewall>();
+    case 1: return std::make_unique<Transcoder>();
+    case 2: return std::make_unique<EchoCanceller>();
+    case 3: return std::make_unique<Ids>(plan, 64);
+    default: return std::make_unique<PassThrough>();
+  }
+}
+
+}  // namespace softcell

@@ -1,0 +1,126 @@
+// Behavioural middlebox models.
+//
+// SoftCell treats middleboxes as unmodified commodity appliances (section
+// 2.1); the simulator only needs their externally visible behaviour:
+//
+//   * the stateful firewall admits UE-initiated connections and drops
+//     packets of connections it has never seen a SYN for -- the property
+//     that makes policy consistency under mobility observable (section 5.1);
+//   * the transcoder shrinks video payloads;
+//   * the echo canceller marks VoIP packets processed;
+//   * the IDS groups flows by UE id, exercising the UE-ID dimension of the
+//     LocIP addressing (section 3.1, "Aggregation by UE").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "packet/locip.hpp"
+#include "packet/packet.hpp"
+
+namespace softcell {
+
+class Middlebox {
+ public:
+  virtual ~Middlebox() = default;
+
+  // Processes a packet in place; returns false if the packet is dropped.
+  virtual bool process(Packet& pkt) = 0;
+  [[nodiscard]] virtual std::string_view kind() const = 0;
+
+  [[nodiscard]] std::uint64_t passed() const { return passed_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ protected:
+  bool count(bool pass) {
+    (pass ? passed_ : dropped_) += 1;
+    return pass;
+  }
+
+ private:
+  std::uint64_t passed_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+// Connection-tracking firewall.  A connection may only be opened by a SYN
+// in the uplink (UE -> Internet) direction; anything else referencing an
+// unknown connection is dropped.  Both directions of an admitted connection
+// must keep flowing through *this instance* -- exactly the statefulness that
+// demands policy consistency.
+class StatefulFirewall : public Middlebox {
+ public:
+  bool process(Packet& pkt) override;
+  [[nodiscard]] std::string_view kind() const override { return "firewall"; }
+
+  [[nodiscard]] std::size_t open_connections() const { return state_.size(); }
+
+  // Pinhole for a published service endpoint (paper section 7, public-IP
+  // option): inbound traffic toward it -- and the service's replies -- are
+  // admitted without a UE-initiated SYN.  Programmed by the carrier when
+  // the service is exposed.
+  void publish(Ipv4Addr locip, std::uint16_t port) {
+    published_.insert((static_cast<std::uint64_t>(locip) << 16) | port);
+  }
+  void unpublish(Ipv4Addr locip, std::uint16_t port) {
+    published_.erase((static_cast<std::uint64_t>(locip) << 16) | port);
+  }
+
+ private:
+  // Connections are stored in uplink orientation.
+  std::unordered_set<FlowKey> state_;
+  std::unordered_set<std::uint64_t> published_;
+};
+
+// Video transcoder: shrinks payloads by a fixed ratio.
+class Transcoder : public Middlebox {
+ public:
+  explicit Transcoder(double ratio = 0.6) : ratio_(ratio) {}
+  bool process(Packet& pkt) override;
+  [[nodiscard]] std::string_view kind() const override { return "transcoder"; }
+  [[nodiscard]] std::uint64_t bytes_saved() const { return saved_; }
+
+ private:
+  double ratio_;
+  std::uint64_t saved_ = 0;
+};
+
+// Echo canceller: pure pass-through with accounting (DSP not modelled).
+class EchoCanceller : public Middlebox {
+ public:
+  bool process(Packet& pkt) override;
+  [[nodiscard]] std::string_view kind() const override {
+    return "echo-canceller";
+  }
+};
+
+// Intrusion detection: groups flows by the UE id extracted from the LocIP.
+// Raises an alert when one UE exceeds `flow_threshold` distinct flows.
+class Ids : public Middlebox {
+ public:
+  Ids(AddressPlan plan, std::size_t flow_threshold)
+      : plan_(plan), threshold_(flow_threshold) {}
+
+  bool process(Packet& pkt) override;
+  [[nodiscard]] std::string_view kind() const override { return "ids"; }
+
+  [[nodiscard]] std::uint64_t alerts() const { return alerts_; }
+  [[nodiscard]] std::size_t tracked_ues() const { return flows_per_ue_.size(); }
+
+ private:
+  AddressPlan plan_;
+  std::size_t threshold_;
+  // Keyed by the full LocIP (bs index + UE id): distinct flows seen.
+  std::unordered_map<Ipv4Addr, std::unordered_set<FlowKey>> flows_per_ue_;
+  std::uint64_t alerts_ = 0;
+};
+
+// Creates the model for a middlebox type index of the canonical registry
+// (policy.hpp: firewall=0, transcoder=1, echo-canceller=2, ids=3; other
+// types get pass-through counters).
+[[nodiscard]] std::unique_ptr<Middlebox> make_middlebox(std::uint32_t type,
+                                                        const AddressPlan& plan);
+
+}  // namespace softcell

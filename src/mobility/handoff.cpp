@@ -1,0 +1,118 @@
+#include "mobility/handoff.hpp"
+
+#include <unordered_set>
+
+#include "core/path.hpp"
+
+namespace softcell {
+
+MobilityManager::HandoffTicket MobilityManager::handoff(UeId ue,
+                                                        LocalAgent& from,
+                                                        AccessSwitch& from_sw,
+                                                        LocalAgent& to) {
+  HandoffTicket ticket;
+  ticket.ue = ue;
+  ticket.old_bs = from_sw.bs_index();
+  ticket.new_bs = to.access().bs_index();
+
+  const auto perm = from.permanent_ip_of(ue);
+  const auto old_locip = from.locip_of(ue);
+  const auto old_local = from.local_of(ue);
+  if (!perm || !old_locip || !old_local)
+    throw std::invalid_argument("handoff: UE not attached at source");
+  ticket.old_locip = *old_locip;
+  ticket.old_local = *old_local;
+
+  // Ongoing flows, captured before any state moves.
+  const auto flows = from.active_flows(ue);
+
+  // 1. New access switch adopts the UE and copies the microflow rules so
+  //    in-flight flows keep using their established LocIPs.
+  std::vector<Ipv4Addr> moved_locips;
+  ticket.new_locip = to.ue_handoff_in(ue, *perm, from_sw, &moved_locips);
+
+  // 2. Old access switch becomes a pure mobility anchor: the UE's microflow
+  //    rules are replaced by tunnel entries (one per historic LocIP) toward
+  //    the new access switch.
+  std::vector<FlowKey> stale;
+  for (const auto& [key, action] : from_sw.flows().rules())
+    if (key.src_ip == *perm || action.set_dst_ip == *perm)
+      stale.push_back(key);
+  for (const auto& key : stale) from_sw.flows().remove(key);
+  from_sw.add_tunnel(*old_locip, to.access().node());
+  for (const Ipv4Addr lip : moved_locips)
+    from_sw.add_tunnel(lip, to.access().node());
+  ticket.moved_locips = std::move(moved_locips);
+
+  // 3. Quarantine the old local id until the handoff completes.
+  from.ue_handoff_out(ue);
+
+  // 4. Optional shortcuts for the in-flight flows (one per distinct tag).
+  if (options_.install_shortcuts) {
+    std::unordered_set<PolicyTag> done;
+    for (const auto& f : flows) {
+      if (!done.insert(f.tag).second) continue;
+      if (!install_shortcut(ticket, f.tag, f.clause, ticket.shortcuts))
+        ++ticket.shortcut_skipped;
+    }
+  }
+  ++handoffs_;
+  return ticket;
+}
+
+bool MobilityManager::install_shortcut(const HandoffTicket& ticket,
+                                       PolicyTag tag, ClauseId clause,
+                                       std::vector<PathId>& out) {
+  const CellularTopology& topo = controller_->topology();
+  const auto instances = controller_->select_instances(ticket.old_bs, clause);
+  const auto down = expand_policy_path(
+      topo.graph(), controller_->routes(), Direction::kDownlink,
+      topo.access_switch(ticket.old_bs), instances, topo.gateway(),
+      topo.internet());
+
+  // The shortcut starts at the old path's last middlebox detour: packets
+  // that have completed their traversal re-enter the host switch from the
+  // middlebox and are peeled off there.  Without middleboxes the gateway
+  // itself is the start.
+  std::size_t start = 0;
+  bool from_mb = false;
+  for (std::size_t i = 0; i < down.fabric.size(); ++i) {
+    if (down.fabric[i].from_middlebox) {
+      start = i;
+      from_mb = true;
+    }
+  }
+  const PathHop& start_hop = down.fabric[start];
+
+  const NodeId new_access = topo.access_switch(ticket.new_bs);
+  const auto seq = controller_->routes().path(start_hop.sw, new_access);
+  if (seq.size() < 2) return false;
+
+  // Never place wildcard-in-port /32 rules on switches the old path visits
+  // *before* its delivery segment: a packet mid-middlebox-traversal there
+  // would be hijacked past its remaining middleboxes.
+  std::unordered_set<NodeId> pre_delivery;
+  for (std::size_t i = 0; i < start; ++i)
+    pre_delivery.insert(down.fabric[i].sw);
+  for (std::size_t i = 1; i < seq.size(); ++i)
+    if (pre_delivery.contains(seq[i])) return false;
+
+  std::vector<PathHop> hops;
+  hops.push_back(PathHop{start_hop.sw, start_hop.in_from, seq[1], from_mb});
+  for (std::size_t i = 1; i + 1 < seq.size(); ++i)
+    hops.push_back(PathHop{seq[i], seq[i - 1], seq[i + 1], false});
+
+  out.push_back(controller_->engine().install_ue_shortcut(
+      Direction::kDownlink, tag, Prefix(ticket.old_locip, 32), hops));
+  return true;
+}
+
+void MobilityManager::complete(const HandoffTicket& ticket, LocalAgent& from,
+                               AccessSwitch& from_sw) {
+  for (PathId id : ticket.shortcuts) controller_->engine().remove(id);
+  from_sw.remove_tunnel(ticket.old_locip);
+  for (const Ipv4Addr lip : ticket.moved_locips) from_sw.remove_tunnel(lip);
+  from.release_quarantine(ticket.old_local);
+}
+
+}  // namespace softcell

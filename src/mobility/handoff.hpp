@@ -1,0 +1,78 @@
+// Mobility with policy consistency (paper section 5.1).
+//
+// On a handoff the manager:
+//   1. copies the UE's microflow rules to the new access switch (done by
+//      LocalAgent::ue_handoff_in) so in-flight flows keep their old LocIP
+//      and therefore keep hitting the same middlebox instances;
+//   2. turns the old access switch into a mobility anchor: a tunnel entry
+//      forwards downlink packets addressed to the old LocIP to the new
+//      access switch ("triangle routing");
+//   3. optionally installs per-flow shortcut paths that peel long-lived
+//      flows off the old policy path right after its last middlebox,
+//      avoiding the triangle detour;
+//   4. quarantines the old local UE id so the old LocIP is not reassigned
+//      while old flows are alive; completing the handoff (soft timeout)
+//      releases tunnels, shortcuts and the quarantine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "agent/local_agent.hpp"
+#include "ctrl/controller.hpp"
+
+namespace softcell {
+
+struct MobilityOptions {
+  bool install_shortcuts = true;
+};
+
+class MobilityManager {
+ public:
+  MobilityManager(Controller& controller, AddressPlan plan, PortCodec codec,
+                  MobilityOptions options = {})
+      : controller_(&controller),
+        plan_(plan),
+        codec_(codec),
+        options_(options) {}
+
+  struct HandoffTicket {
+    UeId ue{};
+    std::uint32_t old_bs = 0;
+    std::uint32_t new_bs = 0;
+    Ipv4Addr old_locip = 0;
+    Ipv4Addr new_locip = 0;
+    LocalUeId old_local{};
+    std::vector<Ipv4Addr> moved_locips;  // historic LocIPs tunneled forward
+    std::vector<PathId> shortcuts;
+    std::size_t shortcut_skipped = 0;  // flows kept on triangle routing
+  };
+
+  // Moves `ue` from `from` to `to`.  The ticket must later be passed to
+  // complete() (modelling the soft timeout after old flows ended).
+  HandoffTicket handoff(UeId ue, LocalAgent& from, AccessSwitch& from_sw,
+                        LocalAgent& to);
+
+  // Soft-timeout expiry: tears down the tunnel, the shortcuts, and the old
+  // local-id quarantine.
+  void complete(const HandoffTicket& ticket, LocalAgent& from,
+                AccessSwitch& from_sw);
+
+  [[nodiscard]] std::uint64_t handoffs() const { return handoffs_; }
+
+ private:
+  // Installs a shortcut for one in-flight flow (identified by its tag):
+  // (tag, oldLocIP/32) rules from the old path's last middlebox host to the
+  // new access switch.  Returns false when the shortcut would overlap the
+  // old path's pre-delivery segment (falls back to triangle routing).
+  bool install_shortcut(const HandoffTicket& ticket, PolicyTag tag,
+                        ClauseId clause, std::vector<PathId>& out);
+
+  Controller* controller_;
+  AddressPlan plan_;
+  PortCodec codec_;
+  MobilityOptions options_;
+  std::uint64_t handoffs_ = 0;
+};
+
+}  // namespace softcell

@@ -1,0 +1,164 @@
+#include "ofp/flowmod.hpp"
+
+#include <cstring>
+
+namespace softcell::ofp {
+
+namespace {
+
+// Little-endian primitive writers/readers (explicit, host-order agnostic).
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint16_t>(in[at] | (in[at + 1] << 8));
+}
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | in[at + static_cast<size_t>(i)];
+  return v;
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+std::uint64_t get_u64(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | in[at + static_cast<size_t>(i)];
+  return v;
+}
+
+void put_header(std::vector<std::uint8_t>& out, MsgType type,
+                std::uint16_t length, std::uint32_t xid) {
+  out.push_back(MsgHeader::kVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u16(out, length);
+  put_u32(out, xid);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_flow_mod(const FlowMod& mod) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFlowModSize);
+  put_header(out, MsgType::kFlowMod, kFlowModSize, mod.xid);
+
+  const RuleOp& op = mod.op;
+  out.push_back(static_cast<std::uint8_t>(op.kind));
+  out.push_back(static_cast<std::uint8_t>(op.dir));
+  out.push_back(op.in.wildcard() ? 0 : 1);
+  out.push_back(op.pre.len());
+  put_u32(out, op.sw.value());
+  put_u32(out, op.in.wildcard() ? 0 : op.in.specific.value());
+  put_u16(out, op.tag.valid() ? op.tag.value() : 0xFFFF);
+  // action flags: bit0 set_tag present, bit1 resubmit, bit2 out valid
+  std::uint8_t flags = 0;
+  if (op.action.set_tag) flags |= 1;
+  if (op.action.resubmit) flags |= 2;
+  if (op.action.out_to.valid()) flags |= 4;
+  out.push_back(flags);
+  out.push_back(0);  // reserved
+  put_u32(out, op.pre.addr());
+  put_u32(out, op.action.out_to.valid() ? op.action.out_to.value() : 0);
+  put_u16(out, op.action.set_tag ? op.action.set_tag->value() : 0);
+  put_u16(out, 0);  // reserved
+  put_u32(out, 0);  // reserved / future cookie
+  return out;
+}
+
+std::vector<std::uint8_t> encode_control(MsgType type, std::uint32_t xid) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize);
+  put_header(out, type, kHeaderSize, xid);
+  return out;
+}
+
+std::optional<MsgHeader> peek_header(std::span<const std::uint8_t> frame) {
+  if (frame.size() < kHeaderSize) return std::nullopt;
+  MsgHeader h;
+  h.version = frame[0];
+  h.type = frame[1];
+  h.length = get_u16(frame, 2);
+  h.xid = get_u32(frame, 4);
+  if (h.version != MsgHeader::kVersion) return std::nullopt;
+  if (h.length < kHeaderSize || h.length > frame.size()) return std::nullopt;
+  return h;
+}
+
+std::optional<FlowMod> decode_flow_mod(std::span<const std::uint8_t> frame) {
+  const auto h = peek_header(frame);
+  if (!h || h->type != static_cast<std::uint8_t>(MsgType::kFlowMod))
+    return std::nullopt;
+  if (h->length != kFlowModSize || frame.size() < kFlowModSize)
+    return std::nullopt;
+
+  FlowMod mod;
+  mod.xid = h->xid;
+  RuleOp& op = mod.op;
+
+  const std::uint8_t kind = frame[8];
+  if (kind > static_cast<std::uint8_t>(RuleOp::Kind::kReleaseLocation))
+    return std::nullopt;
+  op.kind = static_cast<RuleOp::Kind>(kind);
+  const std::uint8_t dir = frame[9];
+  if (dir > 1) return std::nullopt;
+  op.dir = static_cast<Direction>(dir);
+  const std::uint8_t in_specific = frame[10];
+  if (in_specific > 1) return std::nullopt;
+  const std::uint8_t plen = frame[11];
+  if (plen > 32) return std::nullopt;
+  op.sw = NodeId(get_u32(frame, 12));
+  op.in = in_specific ? InPortSpec::from(NodeId(get_u32(frame, 16)))
+                      : InPortSpec::any();
+  const std::uint16_t tag = get_u16(frame, 20);
+  op.tag = tag == 0xFFFF ? PolicyTag{} : PolicyTag(tag);
+  const std::uint8_t flags = frame[22];
+  if (flags & ~0x7u) return std::nullopt;
+  const Ipv4Addr addr = get_u32(frame, 24);
+  op.pre = Prefix(addr, plen);
+  if (op.pre.addr() != addr) return std::nullopt;  // non-canonical prefix
+  if (flags & 4) op.action.out_to = NodeId(get_u32(frame, 28));
+  if (flags & 1) op.action.set_tag = PolicyTag(get_u16(frame, 32));
+  op.action.resubmit = (flags & 2) != 0;
+  return mod;
+}
+
+std::vector<std::uint8_t> encode_stats_reply(const TableStatsMsg& stats) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kStatsReplySize);
+  put_header(out, MsgType::kStatsReply, kStatsReplySize, stats.xid);
+  put_u64(out, stats.rule_count);
+  put_u64(out, stats.type1);
+  put_u64(out, stats.type2);
+  put_u64(out, stats.type3);
+  put_u64(out, stats.lookups);
+  put_u64(out, stats.misses);
+  return out;
+}
+
+std::optional<TableStatsMsg> decode_stats_reply(
+    std::span<const std::uint8_t> frame) {
+  const auto h = peek_header(frame);
+  if (!h || h->type != static_cast<std::uint8_t>(MsgType::kStatsReply))
+    return std::nullopt;
+  if (h->length != kStatsReplySize || frame.size() < kStatsReplySize)
+    return std::nullopt;
+  TableStatsMsg s;
+  s.xid = h->xid;
+  s.rule_count = get_u64(frame, 8);
+  s.type1 = get_u64(frame, 16);
+  s.type2 = get_u64(frame, 24);
+  s.type3 = get_u64(frame, 32);
+  s.lookups = get_u64(frame, 40);
+  s.misses = get_u64(frame, 48);
+  return s;
+}
+
+}  // namespace softcell::ofp

@@ -1,0 +1,88 @@
+// Southbound control protocol: flow-mod messages on the wire.
+//
+// SoftCell's controller programs commodity OpenFlow-style switches; this
+// layer is the byte-level protocol between them.  A `FlowMod` carries one
+// table mutation (the engine's RuleOp) in a fixed little-endian layout with
+// a transaction id; `encode`/`decode` round-trip exactly, and decode
+// validates every field so a corrupted or truncated frame can never reach a
+// switch table.  Barriers provide the ordering fence consistent updates
+// rely on (Reitblatt et al., referenced in paper section 3.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace softcell::ofp {
+
+// Message framing: every message starts with this fixed header.
+struct MsgHeader {
+  static constexpr std::uint8_t kVersion = 1;
+  std::uint8_t version = kVersion;
+  std::uint8_t type = 0;      // MsgType
+  std::uint16_t length = 0;   // total message length in bytes
+  std::uint32_t xid = 0;      // transaction id
+};
+
+enum class MsgType : std::uint8_t {
+  kFlowMod = 1,
+  kBarrierRequest = 2,
+  kBarrierReply = 3,
+  kEchoRequest = 4,
+  kEchoReply = 5,
+  kStatsRequest = 6,
+  kStatsReply = 7,
+};
+
+// Per-switch table statistics (the controller's monitoring input; see
+// paper section 5.1 -- the controller learns active microflows and load
+// from switch state).
+struct TableStatsMsg {
+  std::uint32_t xid = 0;
+  std::uint64_t rule_count = 0;
+  std::uint64_t type1 = 0;
+  std::uint64_t type2 = 0;
+  std::uint64_t type3 = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t misses = 0;
+
+  friend bool operator==(const TableStatsMsg&, const TableStatsMsg&) = default;
+};
+
+// Wire representation of one RuleOp addressed to one switch.
+struct FlowMod {
+  std::uint32_t xid = 0;
+  RuleOp op;
+
+  friend bool operator==(const FlowMod&, const FlowMod&) = default;
+};
+
+inline constexpr std::size_t kHeaderSize = 8;
+inline constexpr std::size_t kFlowModSize = kHeaderSize + 32;
+
+// Encodes one flow-mod into its wire frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_flow_mod(const FlowMod& mod);
+
+// Encodes barrier / echo control frames.
+[[nodiscard]] std::vector<std::uint8_t> encode_control(MsgType type,
+                                                       std::uint32_t xid);
+
+// Peeks the header of a frame; nullopt if truncated or wrong version.
+[[nodiscard]] std::optional<MsgHeader> peek_header(
+    std::span<const std::uint8_t> frame);
+
+// Decodes a flow-mod frame; nullopt on any validation failure (wrong type,
+// bad length, out-of-range enums, non-canonical prefix).
+[[nodiscard]] std::optional<FlowMod> decode_flow_mod(
+    std::span<const std::uint8_t> frame);
+
+inline constexpr std::size_t kStatsReplySize = kHeaderSize + 48;
+[[nodiscard]] std::vector<std::uint8_t> encode_stats_reply(
+    const TableStatsMsg& stats);
+[[nodiscard]] std::optional<TableStatsMsg> decode_stats_reply(
+    std::span<const std::uint8_t> frame);
+
+}  // namespace softcell::ofp

@@ -1,0 +1,23 @@
+#include "ofp/mirror.hpp"
+
+#include <stdexcept>
+
+namespace softcell::ofp {
+
+std::uint64_t Mirror::sync() {
+  std::uint64_t applied = 0;
+  for (auto& [sw, chan] : channels_) {
+    const auto before = chan.agent().applied();
+    chan.send(encode_control(MsgType::kBarrierRequest, 0));
+    const auto barriers = chan.flush();
+    if (barriers.empty())
+      throw std::runtime_error("Mirror::sync: barrier lost");
+    if (chan.agent().rejected() != 0)
+      throw std::runtime_error("Mirror::sync: agent rejected a frame: " +
+                               chan.agent().last_error());
+    applied += chan.agent().applied() - before;
+  }
+  return applied;
+}
+
+}  // namespace softcell::ofp

@@ -1,0 +1,53 @@
+// Mirror: a fleet of per-switch control channels subscribed to an
+// aggregation engine.
+//
+// Every rule mutation the engine performs is encoded as a flow-mod and
+// queued on the owning switch's channel; `sync()` plays the queues into the
+// switch agents behind a barrier, after which each agent's table is
+// behaviourally identical to the controller's model of it.  This is the
+// deployment shape the paper assumes (controller -> OpenFlow -> switches),
+// and the two-phase barrier discipline is what the consistent-update tests
+// drive.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/engine.hpp"
+#include "ofp/switch_agent.hpp"
+
+namespace softcell::ofp {
+
+class Mirror {
+ public:
+  // Subscribes to `engine`; replaces any previously set sink.
+  explicit Mirror(AggregationEngine& engine) {
+    engine.set_op_sink([this](const RuleOp& op) { enqueue(op); });
+  }
+
+  // Flushes every channel behind a barrier; returns the number of flow-mods
+  // applied across all switches.  Throws if any agent rejected a frame.
+  std::uint64_t sync();
+
+  [[nodiscard]] const SwitchAgent* agent(NodeId sw) const {
+    const auto it = channels_.find(sw);
+    return it == channels_.end() ? nullptr : &it->second.agent();
+  }
+  [[nodiscard]] std::size_t switches() const { return channels_.size(); }
+  [[nodiscard]] std::size_t pending() const {
+    std::size_t n = 0;
+    for (const auto& [sw, chan] : channels_) n += chan.pending();
+    return n;
+  }
+
+ private:
+  void enqueue(const RuleOp& op) {
+    auto [it, fresh] = channels_.try_emplace(op.sw, op.sw);
+    it->second.send(encode_flow_mod(FlowMod{next_xid_++, op}));
+  }
+
+  std::unordered_map<NodeId, ControlChannel> channels_;
+  std::uint32_t next_xid_ = 1;
+};
+
+}  // namespace softcell::ofp

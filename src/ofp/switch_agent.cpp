@@ -1,0 +1,98 @@
+#include "ofp/switch_agent.hpp"
+
+namespace softcell::ofp {
+
+bool SwitchAgent::apply(const RuleOp& op) {
+  if (op.sw != node_) {
+    last_error_ = "flow-mod addressed to another switch";
+    return false;
+  }
+  try {
+    switch (op.kind) {
+      case RuleOp::Kind::kAddDefault:
+        table_.add_default(op.dir, op.in, op.tag, op.action);
+        break;
+      case RuleOp::Kind::kAddPrefix:
+        table_.add_prefix_rule(op.dir, op.in, op.tag, op.pre, op.action);
+        break;
+      case RuleOp::Kind::kAddLocation:
+        table_.add_location_rule(op.dir, op.pre, op.action);
+        break;
+      case RuleOp::Kind::kReleaseDefault:
+        table_.release_default(op.dir, op.in, op.tag);
+        break;
+      case RuleOp::Kind::kReleasePrefix:
+        table_.release_prefix_rule(op.dir, op.in, op.tag, op.pre);
+        break;
+      case RuleOp::Kind::kReleaseLocation:
+        table_.release_location_rule(op.dir, op.pre);
+        break;
+    }
+  } catch (const std::exception& e) {
+    last_error_ = e.what();
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<std::uint8_t>> SwitchAgent::handle(
+    std::span<const std::uint8_t> frame) {
+  std::vector<std::vector<std::uint8_t>> replies;
+  const auto h = peek_header(frame);
+  if (!h) {
+    ++rejected_;
+    last_error_ = "malformed header";
+    return replies;
+  }
+  switch (static_cast<MsgType>(h->type)) {
+    case MsgType::kFlowMod: {
+      const auto mod = decode_flow_mod(frame);
+      if (mod && apply(mod->op)) {
+        ++applied_;
+      } else {
+        ++rejected_;
+        if (!mod) last_error_ = "malformed flow-mod";
+      }
+      break;
+    }
+    case MsgType::kBarrierRequest:
+      replies.push_back(encode_control(MsgType::kBarrierReply, h->xid));
+      break;
+    case MsgType::kEchoRequest:
+      replies.push_back(encode_control(MsgType::kEchoReply, h->xid));
+      break;
+    case MsgType::kStatsRequest: {
+      TableStatsMsg s;
+      s.xid = h->xid;
+      s.rule_count = table_.rule_count();
+      s.type1 = table_.type1_count();
+      s.type2 = table_.type2_count();
+      s.type3 = table_.type3_count();
+      s.lookups = table_.lookups();
+      s.misses = table_.lookup_misses();
+      replies.push_back(encode_stats_reply(s));
+      break;
+    }
+    default:
+      ++rejected_;
+      last_error_ = "unexpected message type";
+      break;
+  }
+  return replies;
+}
+
+std::vector<std::uint32_t> ControlChannel::flush() {
+  std::vector<std::uint32_t> barriers;
+  while (!queue_.empty()) {
+    const auto frame = std::move(queue_.front());
+    queue_.pop_front();
+    for (const auto& reply : agent_.handle(frame)) {
+      const auto h = peek_header(reply);
+      if (h && h->type == static_cast<std::uint8_t>(MsgType::kBarrierReply))
+        barriers.push_back(h->xid);
+    }
+  }
+  return barriers;
+}
+
+}  // namespace softcell::ofp

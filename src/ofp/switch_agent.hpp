@@ -1,0 +1,73 @@
+// Switch-side protocol endpoint: decodes southbound frames and applies them
+// to the switch's rule tables, replying to barriers in order.
+//
+// Paired with the engine's RuleOp sink (AggregationEngine::set_op_sink) and
+// the codec in flowmod.hpp, this closes the loop the paper assumes of
+// OpenFlow: the controller's intent, serialized, transported, and
+// reconstructed into identical forwarding state on the switch (verified by
+// the equivalence tests in tests/test_ofp.cpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dataplane/switch_table.hpp"
+#include "ofp/flowmod.hpp"
+
+namespace softcell::ofp {
+
+class SwitchAgent {
+ public:
+  explicit SwitchAgent(NodeId node) : node_(node) {}
+
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] const SwitchTable& table() const { return table_; }
+
+  // Handles one inbound frame.  Returns the reply frames to send back
+  // (barrier replies, echo replies); flow-mods produce no reply.
+  // Malformed or misaddressed frames are dropped and counted.
+  std::vector<std::vector<std::uint8_t>> handle(
+      std::span<const std::uint8_t> frame);
+
+  [[nodiscard]] std::uint64_t applied() const { return applied_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+  [[nodiscard]] const std::string& last_error() const { return last_error_; }
+
+ private:
+  bool apply(const RuleOp& op);
+
+  NodeId node_;
+  SwitchTable table_;
+  std::uint64_t applied_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::string last_error_;
+};
+
+// In-process control channel: one queue of frames per switch, delivered in
+// order with barrier fences -- the transport the simulator uses between the
+// controller and its switches.
+class ControlChannel {
+ public:
+  explicit ControlChannel(NodeId node) : agent_(node) {}
+
+  void send(std::vector<std::uint8_t> frame) {
+    queue_.push_back(std::move(frame));
+  }
+
+  // Delivers every queued frame to the agent; returns the barrier xids that
+  // were acknowledged (in order).
+  std::vector<std::uint32_t> flush();
+
+  [[nodiscard]] SwitchAgent& agent() { return agent_; }
+  [[nodiscard]] const SwitchAgent& agent() const { return agent_; }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  SwitchAgent agent_;
+  std::deque<std::vector<std::uint8_t>> queue_;
+};
+
+}  // namespace softcell::ofp

@@ -1,0 +1,133 @@
+// Location-dependent addressing (paper sections 3.1 and 4.1, Fig. 4).
+//
+// A UE keeps a permanent IP address for its whole attachment; inside the core
+// network and towards the Internet its packets carry a hierarchical
+// location-dependent address (LocIP):
+//
+//     [ carrier public prefix | base station ID | UE ID ]
+//
+// and the policy tag is embedded in the high bits of the source port, so the
+// classification result is implicitly piggybacked in return traffic and the
+// gateway can forward on destination address/port alone.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+#include "packet/prefix.hpp"
+#include "util/ids.hpp"
+
+namespace softcell {
+
+// Decoded LocIP fields.
+struct LocIpFields {
+  std::uint32_t bs_index = 0;  // dense base-station index
+  LocalUeId ue{};              // UE id local to that base station
+
+  friend constexpr bool operator==(const LocIpFields&,
+                                   const LocIpFields&) = default;
+};
+
+// The carrier's address plan: how the 32 address bits are split between the
+// carrier prefix, the base-station id and the local UE id.
+class AddressPlan {
+ public:
+  // carrier: public prefix owned by the carrier (e.g. 10.0.0.0/8).
+  // bs_bits + ue_bits must equal the number of host bits of `carrier`.
+  AddressPlan(Prefix carrier, std::uint8_t bs_bits, std::uint8_t ue_bits)
+      : carrier_(carrier), bs_bits_(bs_bits), ue_bits_(ue_bits) {
+    if (carrier.len() + bs_bits + ue_bits != 32)
+      throw std::invalid_argument("AddressPlan: bits must sum to 32");
+    if (bs_bits == 0 || ue_bits == 0)
+      throw std::invalid_argument("AddressPlan: zero-width field");
+  }
+
+  // Plan used by the large-scale simulations: 10.0.0.0/8, 12 bits of UE id
+  // (up to 4096 UEs per base station; the paper assumes at most ~1000).
+  static AddressPlan default_plan() {
+    return AddressPlan(Prefix(0x0A000000u, 8), 12, 12);
+  }
+
+  [[nodiscard]] Prefix carrier() const { return carrier_; }
+  [[nodiscard]] std::uint8_t bs_bits() const { return bs_bits_; }
+  [[nodiscard]] std::uint8_t ue_bits() const { return ue_bits_; }
+  [[nodiscard]] std::uint32_t max_base_stations() const {
+    return 1u << bs_bits_;
+  }
+  [[nodiscard]] std::uint32_t max_ues_per_bs() const { return 1u << ue_bits_; }
+
+  // The /-(carrier+bs_bits) prefix routing to one base station.
+  [[nodiscard]] Prefix bs_prefix(std::uint32_t bs_index) const {
+    check_bs(bs_index);
+    return Prefix(carrier_.addr() | (bs_index << ue_bits_),
+                  static_cast<std::uint8_t>(carrier_.len() + bs_bits_));
+  }
+
+  [[nodiscard]] Ipv4Addr encode(std::uint32_t bs_index, LocalUeId ue) const {
+    check_bs(bs_index);
+    if (ue.value() >= max_ues_per_bs())
+      throw std::out_of_range("AddressPlan: UE id out of range");
+    return carrier_.addr() | (bs_index << ue_bits_) | ue.value();
+  }
+
+  // Decodes a LocIP; nullopt if the address is not in the carrier prefix.
+  [[nodiscard]] std::optional<LocIpFields> decode(Ipv4Addr a) const {
+    if (!carrier_.contains(a)) return std::nullopt;
+    const std::uint32_t host = a & ~(~0u << (32 - carrier_.len()));
+    return LocIpFields{host >> ue_bits_,
+                       LocalUeId(static_cast<std::uint16_t>(
+                           host & (max_ues_per_bs() - 1)))};
+  }
+
+ private:
+  void check_bs(std::uint32_t bs_index) const {
+    if (bs_index >= max_base_stations())
+      throw std::out_of_range("AddressPlan: base station index out of range");
+  }
+
+  Prefix carrier_;
+  std::uint8_t bs_bits_;
+  std::uint8_t ue_bits_;
+};
+
+// Fig. 4: the policy tag occupies the high bits of the 16-bit source port,
+// the low bits number the UE's concurrent flows.
+class PortCodec {
+ public:
+  explicit PortCodec(std::uint8_t tag_bits = 10) : tag_bits_(tag_bits) {
+    if (tag_bits == 0 || tag_bits >= 16)
+      throw std::invalid_argument("PortCodec: tag_bits must be in [1,15]");
+  }
+
+  [[nodiscard]] std::uint8_t tag_bits() const { return tag_bits_; }
+  [[nodiscard]] std::uint16_t max_tags() const {
+    return static_cast<std::uint16_t>(1u << tag_bits_);
+  }
+  [[nodiscard]] std::uint16_t max_flows_per_ue() const {
+    return static_cast<std::uint16_t>(1u << (16 - tag_bits_));
+  }
+
+  [[nodiscard]] std::uint16_t encode(PolicyTag tag,
+                                     std::uint16_t flow_slot) const {
+    if (tag.value() >= max_tags())
+      throw std::out_of_range("PortCodec: tag out of range");
+    if (flow_slot >= max_flows_per_ue())
+      throw std::out_of_range("PortCodec: flow slot out of range");
+    return static_cast<std::uint16_t>(
+        (static_cast<std::uint32_t>(tag.value()) << (16 - tag_bits_)) |
+        flow_slot);
+  }
+
+  [[nodiscard]] PolicyTag tag_of(std::uint16_t port) const {
+    return PolicyTag(static_cast<std::uint16_t>(port >> (16 - tag_bits_)));
+  }
+  [[nodiscard]] std::uint16_t flow_slot_of(std::uint16_t port) const {
+    return static_cast<std::uint16_t>(port & (max_flows_per_ue() - 1));
+  }
+
+ private:
+  std::uint8_t tag_bits_;
+};
+
+}  // namespace softcell

@@ -1,0 +1,34 @@
+#include "packet/nat.hpp"
+
+namespace softcell {
+
+PublicEndpoint FlowNat::translate_outbound(const FlowKey& internal) {
+  if (auto it = out_.find(internal); it != out_.end()) return it->second;
+  // Draw random endpoints until an unused one is found.  The pool has at
+  // least 4 addresses x 64k ports, and carriers size pools far above the
+  // concurrent flow count, so the expected number of draws is ~1.
+  const std::uint32_t host_space = 1u << (32 - pool_.len());
+  for (;;) {
+    PublicEndpoint e{
+        pool_.addr() | static_cast<Ipv4Addr>(rng_.next_below(host_space)),
+        static_cast<std::uint16_t>(rng_.next_in(1024, 65535))};
+    auto [it, inserted] = in_.try_emplace(e, internal);
+    if (!inserted) continue;
+    out_.emplace(internal, e);
+    return e;
+  }
+}
+
+std::optional<FlowKey> FlowNat::translate_inbound(PublicEndpoint pub) const {
+  if (auto it = in_.find(pub); it != in_.end()) return it->second;
+  return std::nullopt;
+}
+
+void FlowNat::release(const FlowKey& internal) {
+  if (auto it = out_.find(internal); it != out_.end()) {
+    in_.erase(it->second);
+    out_.erase(it);
+  }
+}
+
+}  // namespace softcell

@@ -1,0 +1,14 @@
+#include "packet/packet.hpp"
+
+#include <sstream>
+
+namespace softcell {
+
+std::string FlowKey::to_string() const {
+  std::ostringstream os;
+  os << to_dotted(src_ip) << ':' << src_port << " -> " << to_dotted(dst_ip)
+     << ':' << dst_port << (proto == IpProto::kTcp ? " tcp" : " udp");
+  return os.str();
+}
+
+}  // namespace softcell

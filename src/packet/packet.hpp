@@ -1,0 +1,76 @@
+// Packet model used by the discrete-event simulator.
+//
+// Only the fields SoftCell's data plane looks at are modelled: the IPv4
+// address pair, the transport port pair, the protocol, and TCP SYN/FIN
+// markers (so the stateful firewall model can track connections).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "packet/prefix.hpp"
+#include "util/ids.hpp"
+
+namespace softcell {
+
+enum class IpProto : std::uint8_t { kTcp = 6, kUdp = 17 };
+
+// Connection identity: the classic 5-tuple.
+struct FlowKey {
+  Ipv4Addr src_ip = 0;
+  Ipv4Addr dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  IpProto proto = IpProto::kTcp;
+
+  friend constexpr bool operator==(const FlowKey&, const FlowKey&) = default;
+  friend constexpr auto operator<=>(const FlowKey&, const FlowKey&) = default;
+
+  // The same connection seen from the opposite direction.
+  [[nodiscard]] constexpr FlowKey reversed() const {
+    return FlowKey{dst_ip, src_ip, dst_port, src_port, proto};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+enum class TcpFlag : std::uint8_t { kNone = 0, kSyn = 1, kFin = 2 };
+
+struct Packet {
+  FlowKey key;
+  TcpFlag flag = TcpFlag::kNone;
+  std::uint32_t payload_bytes = 0;
+
+  // Simulation metadata (not header bits): set by the harness to check
+  // invariants.  `uplink` is true for UE -> Internet packets.
+  FlowId flow{};
+  bool uplink = true;
+
+  // Transit tag: the VLAN-like forwarding label carried inside the fabric.
+  // Initialized at the network edge from the tag embedded in the port bits
+  // (Fig. 4) and rewritten by tag-swap / delivery hand-off rules; the
+  // embedded end-to-end tag itself never changes in flight.
+  PolicyTag transit{};
+
+  [[nodiscard]] constexpr Ipv4Addr src() const { return key.src_ip; }
+  [[nodiscard]] constexpr Ipv4Addr dst() const { return key.dst_ip; }
+};
+
+}  // namespace softcell
+
+namespace std {
+template <>
+struct hash<softcell::FlowKey> {
+  size_t operator()(const softcell::FlowKey& k) const noexcept {
+    std::uint64_t a = (static_cast<std::uint64_t>(k.src_ip) << 32) | k.dst_ip;
+    std::uint64_t b = (static_cast<std::uint64_t>(k.src_port) << 24) ^
+                      (static_cast<std::uint64_t>(k.dst_port) << 8) ^
+                      static_cast<std::uint64_t>(k.proto);
+    // splitmix-style mix
+    std::uint64_t z = a ^ (b * 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+};
+}  // namespace std

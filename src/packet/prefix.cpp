@@ -1,0 +1,20 @@
+#include "packet/prefix.hpp"
+
+#include <sstream>
+
+namespace softcell {
+
+std::string to_dotted(Ipv4Addr a) {
+  std::ostringstream os;
+  os << ((a >> 24) & 0xFF) << '.' << ((a >> 16) & 0xFF) << '.'
+     << ((a >> 8) & 0xFF) << '.' << (a & 0xFF);
+  return os.str();
+}
+
+std::string Prefix::to_string() const {
+  std::ostringstream os;
+  os << to_dotted(addr_) << '/' << static_cast<int>(len_);
+  return os.str();
+}
+
+}  // namespace softcell

@@ -1,0 +1,81 @@
+// IPv4 addresses and prefixes with the sibling/parent algebra needed by
+// SoftCell's contiguous-prefix rule aggregation (paper section 3.2: "the
+// algorithm aggregates two rules if and only if their location prefixes are
+// contiguous").
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace softcell {
+
+using Ipv4Addr = std::uint32_t;  // host byte order throughout
+
+[[nodiscard]] std::string to_dotted(Ipv4Addr a);
+
+// A CIDR prefix: `addr` has all bits below `len` cleared.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  // Constructs addr/len, masking off host bits.
+  constexpr Prefix(Ipv4Addr addr, std::uint8_t len)
+      : addr_(len == 0 ? 0 : (addr & (~0u << (32 - len)))), len_(len) {}
+
+  [[nodiscard]] constexpr Ipv4Addr addr() const { return addr_; }
+  [[nodiscard]] constexpr std::uint8_t len() const { return len_; }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Addr a) const {
+    return len_ == 0 || ((a ^ addr_) >> (32 - len_)) == 0;
+  }
+  [[nodiscard]] constexpr bool contains(Prefix other) const {
+    return other.len_ >= len_ && contains(other.addr_);
+  }
+
+  // The sibling shares the parent and differs in the last prefix bit.
+  // A /0 prefix has no sibling.
+  [[nodiscard]] constexpr std::optional<Prefix> sibling() const {
+    if (len_ == 0) return std::nullopt;
+    return Prefix(addr_ ^ (1u << (32 - len_)), len_);
+  }
+
+  [[nodiscard]] constexpr std::optional<Prefix> parent() const {
+    if (len_ == 0) return std::nullopt;
+    return Prefix(addr_, static_cast<std::uint8_t>(len_ - 1));
+  }
+
+  // True iff `a` and `b` are siblings (merging them yields their parent and
+  // covers exactly their union -- the safe aggregation of section 3.2).
+  [[nodiscard]] static constexpr bool contiguous(Prefix a, Prefix b) {
+    return a.len_ == b.len_ && a.len_ > 0 &&
+           (a.addr_ ^ b.addr_) == (1u << (32 - a.len_));
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(Prefix, Prefix) = default;
+  // Order by address, then by length (shorter first).  With this order all
+  // prefixes nested under P sort in a contiguous range right after P.
+  friend constexpr auto operator<=>(Prefix a, Prefix b) {
+    if (auto c = a.addr_ <=> b.addr_; c != 0) return c;
+    return a.len_ <=> b.len_;
+  }
+
+ private:
+  Ipv4Addr addr_ = 0;
+  std::uint8_t len_ = 0;
+};
+
+}  // namespace softcell
+
+namespace std {
+template <>
+struct hash<softcell::Prefix> {
+  size_t operator()(softcell::Prefix p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(p.addr()) << 8) | p.len());
+  }
+};
+}  // namespace std

@@ -1,0 +1,248 @@
+#include "policy/policy.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace softcell {
+
+std::string_view to_string(AppType a) {
+  switch (a) {
+    case AppType::kWeb: return "web";
+    case AppType::kVideo: return "video";
+    case AppType::kVoip: return "voip";
+    case AppType::kM2mTelemetry: return "m2m";
+    case AppType::kOther: return "other";
+  }
+  return "?";
+}
+
+AppType app_from_dst_port(std::uint16_t port) {
+  switch (port) {
+    case 80:
+    case 443:
+      return AppType::kWeb;
+    case 1935:  // RTMP
+    case 8554:  // RTSP
+      return AppType::kVideo;
+    case 5060:  // SIP
+    case 5061:
+      return AppType::kVoip;
+    case 8883:  // MQTT over TLS
+      return AppType::kM2mTelemetry;
+    default:
+      return AppType::kOther;
+  }
+}
+
+std::vector<std::uint16_t> ports_of_app(AppType a) {
+  switch (a) {
+    case AppType::kWeb: return {80, 443};
+    case AppType::kVideo: return {1935, 8554};
+    case AppType::kVoip: return {5060, 5061};
+    case AppType::kM2mTelemetry: return {8883};
+    case AppType::kOther: return {};
+  }
+  return {};
+}
+
+// --- Predicate ---------------------------------------------------------------
+
+bool Predicate::matches(const SubscriberProfile& p, AppType app) const {
+  switch (kind_) {
+    case Kind::kAny: return true;
+    case Kind::kProvider: return p.provider == arg_;
+    case Kind::kPlan: return p.plan == static_cast<BillingPlan>(arg_);
+    case Kind::kDevice: return p.device == static_cast<DeviceClass>(arg_);
+    case Kind::kRoaming: return p.roaming;
+    case Kind::kOverCap: return p.over_usage_cap;
+    case Kind::kApp: return app == static_cast<AppType>(arg_);
+    case Kind::kAnd: return lhs_->matches(p, app) && rhs_->matches(p, app);
+    case Kind::kOr: return lhs_->matches(p, app) || rhs_->matches(p, app);
+    case Kind::kNot: return !lhs_->matches(p, app);
+  }
+  return false;
+}
+
+bool Predicate::depends_on_app() const {
+  switch (kind_) {
+    case Kind::kApp: return true;
+    case Kind::kAnd:
+    case Kind::kOr:
+      return lhs_->depends_on_app() || rhs_->depends_on_app();
+    case Kind::kNot: return lhs_->depends_on_app();
+    default: return false;
+  }
+}
+
+std::string Predicate::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kAny: os << "*"; break;
+    case Kind::kProvider: os << "provider=" << arg_; break;
+    case Kind::kPlan: os << "plan=" << arg_; break;
+    case Kind::kDevice: os << "device=" << arg_; break;
+    case Kind::kRoaming: os << "roaming"; break;
+    case Kind::kOverCap: os << "over_cap"; break;
+    case Kind::kApp:
+      os << "app=" << softcell::to_string(static_cast<AppType>(arg_));
+      break;
+    case Kind::kAnd:
+      os << '(' << lhs_->to_string() << " && " << rhs_->to_string() << ')';
+      break;
+    case Kind::kOr:
+      os << '(' << lhs_->to_string() << " || " << rhs_->to_string() << ')';
+      break;
+    case Kind::kNot: os << "!(" << lhs_->to_string() << ')'; break;
+  }
+  return os.str();
+}
+
+Predicate Predicate::any() { return Predicate{}; }
+
+Predicate Predicate::provider_is(std::uint32_t provider) {
+  Predicate p;
+  p.kind_ = Kind::kProvider;
+  p.arg_ = provider;
+  return p;
+}
+
+Predicate Predicate::plan_is(BillingPlan plan) {
+  Predicate p;
+  p.kind_ = Kind::kPlan;
+  p.arg_ = static_cast<std::uint32_t>(plan);
+  return p;
+}
+
+Predicate Predicate::device_is(DeviceClass device) {
+  Predicate p;
+  p.kind_ = Kind::kDevice;
+  p.arg_ = static_cast<std::uint32_t>(device);
+  return p;
+}
+
+Predicate Predicate::roaming() {
+  Predicate p;
+  p.kind_ = Kind::kRoaming;
+  return p;
+}
+
+Predicate Predicate::over_cap() {
+  Predicate p;
+  p.kind_ = Kind::kOverCap;
+  return p;
+}
+
+Predicate Predicate::app_is(AppType app) {
+  Predicate p;
+  p.kind_ = Kind::kApp;
+  p.arg_ = static_cast<std::uint32_t>(app);
+  return p;
+}
+
+Predicate Predicate::operator&&(const Predicate& rhs) const {
+  Predicate p;
+  p.kind_ = Kind::kAnd;
+  p.lhs_ = std::make_shared<Predicate>(*this);
+  p.rhs_ = std::make_shared<Predicate>(rhs);
+  return p;
+}
+
+Predicate Predicate::operator||(const Predicate& rhs) const {
+  Predicate p;
+  p.kind_ = Kind::kOr;
+  p.lhs_ = std::make_shared<Predicate>(*this);
+  p.rhs_ = std::make_shared<Predicate>(rhs);
+  return p;
+}
+
+Predicate Predicate::operator!() const {
+  Predicate p;
+  p.kind_ = Kind::kNot;
+  p.lhs_ = std::make_shared<Predicate>(*this);
+  return p;
+}
+
+// --- ServicePolicy -----------------------------------------------------------
+
+ClauseId ServicePolicy::add_clause(std::uint32_t priority, Predicate predicate,
+                                   ServiceAction action, std::string comment) {
+  const ClauseId id(static_cast<std::uint32_t>(clauses_.size()));
+  clauses_.push_back(PolicyClause{id, priority, std::move(predicate),
+                                  std::move(action), std::move(comment)});
+  return id;
+}
+
+const PolicyClause* ServicePolicy::match(const SubscriberProfile& p,
+                                         AppType app) const {
+  const PolicyClause* best = nullptr;
+  for (const auto& c : clauses_) {
+    if ((best == nullptr || c.priority > best->priority) &&
+        c.predicate.matches(p, app))
+      best = &c;
+  }
+  return best;
+}
+
+const PolicyClause& ServicePolicy::clause(ClauseId id) const {
+  if (id.value() >= clauses_.size())
+    throw std::out_of_range("ServicePolicy: bad clause id");
+  return clauses_[id.value()];
+}
+
+// --- canonical example -------------------------------------------------------
+
+namespace mb {
+std::string_view name(MbType t) {
+  switch (t) {
+    case kFirewall: return "firewall";
+    case kTranscoder: return "transcoder";
+    case kEchoCanceller: return "echo-canceller";
+    case kIds: return "ids";
+    default: return "mb";
+  }
+}
+}  // namespace mb
+
+ServicePolicy make_table1_policy() {
+  ServicePolicy pol;
+  // 1. Roaming partner (provider 1): everything through a firewall.
+  pol.add_clause(50, Predicate::provider_is(1),
+                 ServiceAction{true, {mb::kFirewall}, QosClass::kBestEffort},
+                 "partner-carrier traffic via firewall");
+  // 2. Any other foreign provider: drop.
+  pol.add_clause(
+      40, !Predicate::provider_is(0) && !Predicate::provider_is(1),
+      ServiceAction{false, {}, QosClass::kBestEffort},
+      "disallow unknown carriers");
+  // 3. Silver-plan video: firewall then transcoder.
+  pol.add_clause(30,
+                 Predicate::provider_is(0) &&
+                     Predicate::plan_is(BillingPlan::kSilver) &&
+                     Predicate::app_is(AppType::kVideo),
+                 ServiceAction{true,
+                               {mb::kFirewall, mb::kTranscoder},
+                               QosClass::kBestEffort},
+                 "silver video via firewall+transcoder");
+  // 4. VoIP: firewall then echo cancellation.
+  pol.add_clause(
+      20, Predicate::provider_is(0) && Predicate::app_is(AppType::kVoip),
+      ServiceAction{true,
+                    {mb::kFirewall, mb::kEchoCanceller},
+                    QosClass::kBestEffort},
+      "voip via firewall+echo-canceller");
+  // 5. M2M fleet tracking: firewall, low latency.
+  pol.add_clause(15,
+                 Predicate::provider_is(0) &&
+                     Predicate::device_is(DeviceClass::kM2mFleetTracker) &&
+                     Predicate::app_is(AppType::kM2mTelemetry),
+                 ServiceAction{true, {mb::kFirewall}, QosClass::kLowLatency},
+                 "m2m fleet tracking, low latency");
+  // Default: home subscribers through a firewall.
+  pol.add_clause(10, Predicate::provider_is(0),
+                 ServiceAction{true, {mb::kFirewall}, QosClass::kBestEffort},
+                 "default: all home traffic via firewall");
+  return pol;
+}
+
+}  // namespace softcell

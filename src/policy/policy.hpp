@@ -1,0 +1,159 @@
+// High-level service policies (paper section 2.2).
+//
+// A service policy is a priority-ordered list of clauses.  Each clause has a
+// predicate over subscriber attributes and application types, and a service
+// action: a sequence of middlebox *types* (never instances -- instance
+// selection is the controller's job), plus QoS and access control.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace softcell {
+
+// --- subscriber attributes -------------------------------------------------
+
+enum class BillingPlan : std::uint8_t { kBronze, kSilver, kGold };
+enum class DeviceClass : std::uint8_t {
+  kSmartphone,
+  kTablet,
+  kOldPhone,   // needs echo cancellation on voice
+  kM2mMeter,
+  kM2mFleetTracker,
+};
+
+struct SubscriberProfile {
+  UeId ue{};
+  std::uint32_t provider = 0;  // 0 = home carrier
+  BillingPlan plan = BillingPlan::kBronze;
+  DeviceClass device = DeviceClass::kSmartphone;
+  bool roaming = false;
+  bool over_usage_cap = false;
+};
+
+// --- application types -----------------------------------------------------
+
+enum class AppType : std::uint8_t {
+  kWeb,
+  kVideo,
+  kVoip,
+  kM2mTelemetry,
+  kOther,
+};
+
+[[nodiscard]] std::string_view to_string(AppType a);
+
+// Well-known destination ports used by the classifier compiler to recognize
+// application types from packet headers (the paper assumes application
+// identification is available at the access edge).
+[[nodiscard]] AppType app_from_dst_port(std::uint16_t port);
+[[nodiscard]] std::vector<std::uint16_t> ports_of_app(AppType a);
+
+// --- predicates --------------------------------------------------------------
+
+// Small immutable AST.  Built with the combinators below; evaluated against
+// (profile, app).
+class Predicate {
+ public:
+  [[nodiscard]] bool matches(const SubscriberProfile& p, AppType app) const;
+
+  // Does this predicate constrain the application type?  If yes, returns the
+  // app types it can match (used to compile per-app packet classifiers).
+  [[nodiscard]] bool depends_on_app() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  // --- constructors ---
+  static Predicate any();
+  static Predicate provider_is(std::uint32_t provider);
+  static Predicate plan_is(BillingPlan plan);
+  static Predicate device_is(DeviceClass device);
+  static Predicate roaming();
+  static Predicate over_cap();
+  static Predicate app_is(AppType app);
+  [[nodiscard]] Predicate operator&&(const Predicate& rhs) const;
+  [[nodiscard]] Predicate operator||(const Predicate& rhs) const;
+  [[nodiscard]] Predicate operator!() const;
+
+ private:
+  enum class Kind : std::uint8_t {
+    kAny,
+    kProvider,
+    kPlan,
+    kDevice,
+    kRoaming,
+    kOverCap,
+    kApp,
+    kAnd,
+    kOr,
+    kNot,
+  };
+
+  Predicate() = default;
+
+  Kind kind_ = Kind::kAny;
+  std::uint32_t arg_ = 0;
+  std::shared_ptr<const Predicate> lhs_;
+  std::shared_ptr<const Predicate> rhs_;
+};
+
+// --- actions & clauses -------------------------------------------------------
+
+enum class QosClass : std::uint8_t { kBestEffort, kLowLatency, kHighPriority };
+
+// Middlebox types are small integers; the registry maps them to names.
+using MbType = std::uint32_t;
+
+struct ServiceAction {
+  bool allow = true;                 // false = drop (access control)
+  std::vector<MbType> middleboxes;   // ordered traversal constraint
+  QosClass qos = QosClass::kBestEffort;
+};
+
+struct PolicyClause {
+  ClauseId id{};
+  std::uint32_t priority = 0;  // larger = matched first
+  Predicate predicate = Predicate::any();
+  ServiceAction action;
+  std::string comment;
+};
+
+class ServicePolicy {
+ public:
+  ClauseId add_clause(std::uint32_t priority, Predicate predicate,
+                      ServiceAction action, std::string comment = {});
+
+  // Highest-priority clause matching (profile, app); nullptr if none.
+  [[nodiscard]] const PolicyClause* match(const SubscriberProfile& p,
+                                          AppType app) const;
+
+  [[nodiscard]] const std::vector<PolicyClause>& clauses() const {
+    return clauses_;
+  }
+  [[nodiscard]] const PolicyClause& clause(ClauseId id) const;
+  [[nodiscard]] std::size_t size() const { return clauses_.size(); }
+
+ private:
+  std::vector<PolicyClause> clauses_;  // kept sorted by priority descending
+};
+
+// Middlebox type registry for the canonical examples.
+namespace mb {
+inline constexpr MbType kFirewall = 0;
+inline constexpr MbType kTranscoder = 1;
+inline constexpr MbType kEchoCanceller = 2;
+inline constexpr MbType kIds = 3;
+[[nodiscard]] std::string_view name(MbType t);
+}  // namespace mb
+
+// The example service policy of Table 1 (carrier A with roaming partner B).
+// Provider 1 plays the role of carrier B; all other non-zero providers are
+// disallowed.
+[[nodiscard]] ServicePolicy make_table1_policy();
+
+}  // namespace softcell

@@ -1,0 +1,38 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace softcell {
+
+void EventQueue::at(SimTime t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
+  heap_.push(Item{t, seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; move via const_cast on a copy-out.
+  Item item = std::move(const_cast<Item&>(heap_.top()));
+  heap_.pop();
+  now_ = item.t;
+  item.fn();
+  return true;
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::size_t EventQueue::run_until(SimTime t) {
+  std::size_t n = 0;
+  while (!heap_.empty() && heap_.top().t < t) {
+    step();
+    ++n;
+  }
+  now_ = t;
+  return n;
+}
+
+}  // namespace softcell

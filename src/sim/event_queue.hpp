@@ -1,0 +1,50 @@
+// Minimal discrete-event scheduler.
+//
+// Workload generators schedule UE arrivals, handoffs and flow starts against
+// simulated time; the queue runs them in deterministic (time, insertion)
+// order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace softcell {
+
+using SimTime = double;  // seconds of simulated time
+
+class EventQueue {
+ public:
+  void at(SimTime t, std::function<void()> fn);
+  void after(SimTime dt, std::function<void()> fn) { at(now_ + dt, std::move(fn)); }
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  // Runs the next event; false when the queue is empty.
+  bool step();
+  // Runs events until the queue drains or `max_events` were executed;
+  // returns how many ran.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+  // Runs all events scheduled strictly before `t`, then advances now() to t.
+  std::size_t run_until(SimTime t);
+
+ private:
+  struct Item {
+    SimTime t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace softcell

@@ -1,0 +1,150 @@
+#include "topo/cellular.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <string_view>
+
+namespace softcell {
+
+std::string_view to_string(NodeKind k) {
+  switch (k) {
+    case NodeKind::kAccessSwitch: return "access";
+    case NodeKind::kAggSwitch: return "agg";
+    case NodeKind::kCoreSwitch: return "core";
+    case NodeKind::kGatewaySwitch: return "gateway";
+    case NodeKind::kMiddlebox: return "middlebox";
+    case NodeKind::kInternet: return "internet";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint32_t ceil_log2(std::uint32_t v) {
+  return v <= 1 ? 1 : 32 - std::countl_zero(v - 1);
+}
+
+AddressPlan make_plan(std::uint32_t num_bs, std::uint8_t ue_bits_opt) {
+  const Prefix carrier(0x0A000000u, 8);  // 10.0.0.0/8
+  const std::uint32_t need_bs = ceil_log2(num_bs);
+  std::uint8_t ue_bits =
+      ue_bits_opt != 0
+          ? ue_bits_opt
+          : static_cast<std::uint8_t>(std::min<std::uint32_t>(12, 24 - need_bs));
+  const auto bs_bits = static_cast<std::uint8_t>(24 - ue_bits);
+  if (need_bs > bs_bits)
+    throw std::invalid_argument("CellularTopology: too many base stations");
+  return AddressPlan(carrier, bs_bits, ue_bits);
+}
+
+std::uint32_t count_base_stations(const CellularTopoParams& p) {
+  // k pods * (k/2 lower agg switches * k/2 clusters each) * cluster_size
+  return p.k * (p.k / 2) * (p.k / 2) * p.cluster_size;
+}
+
+}  // namespace
+
+CellularTopology::CellularTopology(const CellularTopoParams& params)
+    : params_(params),
+      plan_(make_plan(count_base_stations(params), params.ue_bits)) {
+  const std::uint32_t k = params.k;
+  if (k < 2 || k % 2 != 0)
+    throw std::invalid_argument("CellularTopology: k must be even and >= 2");
+  Rng rng(params.seed);
+
+  // Aggregation layer: k pods x k switches, full mesh within each pod.
+  agg_.reserve(static_cast<std::size_t>(k) * k);
+  for (std::uint32_t p = 0; p < k; ++p) {
+    for (std::uint32_t s = 0; s < k; ++s)
+      agg_.push_back(graph_.add_node(NodeKind::kAggSwitch, p));
+    for (std::uint32_t a = 0; a < k; ++a)
+      for (std::uint32_t b = a + 1; b < k; ++b)
+        graph_.add_link(agg_[p * k + a], agg_[p * k + b]);
+  }
+
+  // Core layer: k^2 switches, full mesh, plus the gateway and the Internet.
+  core_.reserve(static_cast<std::size_t>(k) * k);
+  for (std::uint32_t c = 0; c < k * k; ++c)
+    core_.push_back(graph_.add_node(NodeKind::kCoreSwitch));
+  for (std::uint32_t a = 0; a < core_.size(); ++a)
+    for (std::uint32_t b = a + 1; b < core_.size(); ++b)
+      graph_.add_link(core_[a], core_[b]);
+  gateway_ = graph_.add_node(NodeKind::kGatewaySwitch);
+  internet_ = graph_.add_node(NodeKind::kInternet);
+  for (NodeId c : core_) graph_.add_link(c, gateway_);
+  graph_.add_link(gateway_, internet_);
+
+  // Uplinks: in each pod the upper k/2 switches (indexes k/2..k-1) each
+  // connect to k/2 core switches (striping per params.core_stripe).
+  for (std::uint32_t p = 0; p < k; ++p) {
+    for (std::uint32_t j = 0; j < k / 2; ++j) {
+      const NodeId up = agg_[p * k + k / 2 + j];
+      for (std::uint32_t i = 0; i < k / 2; ++i) {
+        const std::uint32_t core_idx =
+            params.core_stripe == CoreStripe::kBlocked
+                ? (j * (k / 2) + i + p * (k / 2)) % (k * k)
+                : ((p * (k / 2) + j) * (k / 2) + i) % (k * k);
+        graph_.add_link(up, core_[core_idx]);
+      }
+    }
+  }
+
+  // Access layer: ring clusters of base stations, one ring per
+  // (pod, lower agg switch, cluster slot), the ring closing through the
+  // aggregation switch.  Base stations are numbered densely in topology
+  // order so that neighbouring base stations share address prefixes.
+  const std::uint32_t num_bs = count_base_stations(params);
+  access_.reserve(num_bs);
+  bs_pod_.reserve(num_bs);
+  for (std::uint32_t p = 0; p < k; ++p) {
+    for (std::uint32_t s = 0; s < k / 2; ++s) {
+      const NodeId lower = agg_[p * k + s];
+      for (std::uint32_t c = 0; c < k / 2; ++c) {
+        NodeId prev = lower;
+        for (std::uint32_t b = 0; b < params.cluster_size; ++b) {
+          const auto bs_index = static_cast<std::uint32_t>(access_.size());
+          const NodeId bs = graph_.add_node(NodeKind::kAccessSwitch, bs_index);
+          access_.push_back(bs);
+          bs_pod_.push_back(p);
+          graph_.add_link(prev, bs);
+          prev = bs;
+        }
+        graph_.add_link(prev, lower);  // close the ring
+      }
+    }
+  }
+
+  // Middleboxes: k types; one instance per type per pod on a random agg
+  // switch, two instances per type on random core switches.
+  by_type_.resize(k);
+  for (std::uint32_t t = 0; t < k; ++t) {
+    for (std::uint32_t p = 0; p < k; ++p) {
+      const NodeId host = agg_[p * k + rng.next_below(k)];
+      const NodeId mb = graph_.add_node(NodeKind::kMiddlebox, t);
+      graph_.add_link(host, mb);
+      by_type_[t].push_back(static_cast<std::uint32_t>(mboxes_.size()));
+      mboxes_.push_back(MiddleboxInstance{mb, host, t, p});
+    }
+    for (std::uint32_t i = 0; i < 2; ++i) {
+      const NodeId host = core_[rng.next_below(core_.size())];
+      const NodeId mb = graph_.add_node(NodeKind::kMiddlebox, t);
+      graph_.add_link(host, mb);
+      by_type_[t].push_back(static_cast<std::uint32_t>(mboxes_.size()));
+      mboxes_.push_back(
+          MiddleboxInstance{mb, host, t, MiddleboxInstance::kNoPod});
+    }
+  }
+}
+
+const MiddleboxInstance& CellularTopology::pod_instance(
+    std::uint32_t type, std::uint32_t pod) const {
+  return mboxes_.at(by_type_.at(type).at(pod));
+}
+
+const MiddleboxInstance& CellularTopology::core_instance(
+    std::uint32_t type, std::uint32_t which) const {
+  if (which >= 2) throw std::out_of_range("core_instance: which must be 0/1");
+  return mboxes_.at(by_type_.at(type).at(params_.k + which));
+}
+
+}  // namespace softcell

@@ -1,0 +1,123 @@
+// Synthetic cellular core topology, following paper section 6.3:
+//
+//   * access layer: clusters of `cluster_size` (10) base stations,
+//     interconnected in a ring that closes through their aggregation switch
+//     (standard backhaul-ring practice per the Ceragon white paper [28]);
+//   * aggregation layer: k pods of k switches in full mesh; in each pod the
+//     lower k/2 switches each serve k/2 base-station clusters, the upper k/2
+//     switches each uplink to k/2 core switches;
+//   * core layer: k^2 switches in full mesh, all attached to one gateway
+//     switch, which faces the Internet.
+//
+// Total base stations: k pods * (k/2 switches * k/2 clusters) * 10
+//                    = 10 k^3 / 4   (k=8 -> 1280, k=20 -> 20000).
+//
+// Middleboxes: k types; one instance of each type attached to a random
+// aggregation switch per pod, and two instances of each type attached to
+// random core switches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "packet/locip.hpp"
+#include "topo/graph.hpp"
+#include "util/rng.hpp"
+
+namespace softcell {
+
+// How pod uplinks are striped over the core layer.  The paper does not
+// specify this wiring detail; it visibly affects the *maximum* switch table
+// size in Fig. 7(c) (see EXPERIMENTS.md).
+enum class CoreStripe : std::uint8_t {
+  // Pod p's uplinks land in a contiguous, pod-shifted block of core
+  // switches: few entry points per pod, maximal trunk sharing.  Default.
+  kBlocked,
+  // Uplinks spread uniformly over all k^2 core switches.
+  kUniform,
+};
+
+struct CellularTopoParams {
+  std::uint32_t k = 8;              // pods; must be even and >= 2
+  std::uint32_t cluster_size = 10;  // base stations per ring cluster
+  std::uint64_t seed = 1;           // randomizes middlebox attachment
+  std::uint8_t ue_bits = 0;         // 0 = derive from base-station count
+  CoreStripe core_stripe = CoreStripe::kBlocked;
+};
+
+struct MiddleboxInstance {
+  NodeId node{};         // the middlebox vertex
+  NodeId host_switch{};  // the switch it hangs off
+  std::uint32_t type = 0;
+  // Pod index for aggregation-layer instances; kNoPod for core-layer ones.
+  std::uint32_t pod = kNoPod;
+  static constexpr std::uint32_t kNoPod = ~0u;
+};
+
+// The built topology plus all the indexes experiments need.
+class CellularTopology {
+ public:
+  explicit CellularTopology(const CellularTopoParams& params);
+
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+  [[nodiscard]] const CellularTopoParams& params() const { return params_; }
+  [[nodiscard]] const AddressPlan& plan() const { return plan_; }
+
+  [[nodiscard]] std::uint32_t num_base_stations() const {
+    return static_cast<std::uint32_t>(access_.size());
+  }
+  [[nodiscard]] NodeId access_switch(std::uint32_t bs_index) const {
+    return access_.at(bs_index);
+  }
+  [[nodiscard]] Prefix bs_prefix(std::uint32_t bs_index) const {
+    return plan_.bs_prefix(bs_index);
+  }
+  // Pod that a base station's cluster belongs to.
+  [[nodiscard]] std::uint32_t pod_of_bs(std::uint32_t bs_index) const {
+    return bs_pod_.at(bs_index);
+  }
+
+  [[nodiscard]] NodeId gateway() const { return gateway_; }
+  [[nodiscard]] NodeId internet() const { return internet_; }
+
+  [[nodiscard]] std::uint32_t num_middlebox_types() const {
+    return params_.k;
+  }
+  [[nodiscard]] const std::vector<MiddleboxInstance>& middleboxes() const {
+    return mboxes_;
+  }
+  // Instances of one type: first the per-pod ones (index = pod), then the
+  // core-layer ones.
+  [[nodiscard]] const std::vector<std::uint32_t>& instances_of_type(
+      std::uint32_t type) const {
+    return by_type_.at(type);
+  }
+  // The aggregation-layer instance of `type` in `pod`.
+  [[nodiscard]] const MiddleboxInstance& pod_instance(std::uint32_t type,
+                                                      std::uint32_t pod) const;
+  // The `which`-th (0 or 1) core-layer instance of `type`.
+  [[nodiscard]] const MiddleboxInstance& core_instance(
+      std::uint32_t type, std::uint32_t which) const;
+
+  [[nodiscard]] const std::vector<NodeId>& agg_switches() const {
+    return agg_;
+  }
+  [[nodiscard]] const std::vector<NodeId>& core_switches() const {
+    return core_;
+  }
+
+ private:
+  CellularTopoParams params_;
+  Graph graph_;
+  AddressPlan plan_;
+  std::vector<NodeId> access_;        // by dense base-station index
+  std::vector<std::uint32_t> bs_pod_; // pod of each base station
+  std::vector<NodeId> agg_;           // pod-major order, k per pod
+  std::vector<NodeId> core_;
+  NodeId gateway_{};
+  NodeId internet_{};
+  std::vector<MiddleboxInstance> mboxes_;
+  std::vector<std::vector<std::uint32_t>> by_type_;  // indexes into mboxes_
+};
+
+}  // namespace softcell

@@ -1,0 +1,88 @@
+// Topology graph: switches, middleboxes, gateway, Internet attachment.
+//
+// Links are point-to-point and bidirectional.  A "port" at node u is
+// identified by the neighbor reached through it, which is unambiguous for
+// point-to-point links and keeps rule in-port matching simple.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace softcell {
+
+enum class NodeKind : std::uint8_t {
+  kAccessSwitch,   // software switch at a base station
+  kAggSwitch,      // aggregation-layer hardware switch
+  kCoreSwitch,     // core-layer hardware switch
+  kGatewaySwitch,  // Internet-facing "dumb" switch
+  kMiddlebox,      // firewall / transcoder / ... instance
+  kInternet,       // sink/source representing the outside world
+};
+
+[[nodiscard]] std::string_view to_string(NodeKind k);
+
+struct Node {
+  NodeKind kind = NodeKind::kCoreSwitch;
+  // For kAccessSwitch: dense base-station index.  For kMiddlebox: the
+  // middlebox type index.  Unused otherwise.
+  std::uint32_t aux = 0;
+};
+
+class Graph {
+ public:
+  NodeId add_node(NodeKind kind, std::uint32_t aux = 0) {
+    nodes_.push_back(Node{kind, aux});
+    adj_.emplace_back();
+    return NodeId(static_cast<std::uint32_t>(nodes_.size() - 1));
+  }
+
+  void add_link(NodeId a, NodeId b) {
+    check(a);
+    check(b);
+    if (a == b) throw std::invalid_argument("Graph: self link");
+    adj_[a.value()].push_back(b);
+    adj_[b.value()].push_back(a);
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const Node& node(NodeId id) const {
+    check(id);
+    return nodes_[id.value()];
+  }
+  [[nodiscard]] NodeKind kind(NodeId id) const { return node(id).kind; }
+  [[nodiscard]] bool is_middlebox(NodeId id) const {
+    return kind(id) == NodeKind::kMiddlebox;
+  }
+  // Hardware switches that hold aggregated core rules (Fig. 7 counts these).
+  [[nodiscard]] bool is_fabric_switch(NodeId id) const {
+    const auto k = kind(id);
+    return k == NodeKind::kAggSwitch || k == NodeKind::kCoreSwitch ||
+           k == NodeKind::kGatewaySwitch;
+  }
+
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId id) const {
+    check(id);
+    return adj_[id.value()];
+  }
+
+  [[nodiscard]] std::size_t link_count() const {
+    std::size_t deg = 0;
+    for (const auto& a : adj_) deg += a.size();
+    return deg / 2;
+  }
+
+ private:
+  void check(NodeId id) const {
+    if (!id.valid() || id.value() >= nodes_.size())
+      throw std::out_of_range("Graph: bad node id");
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<std::vector<NodeId>> adj_;
+};
+
+}  // namespace softcell

@@ -1,0 +1,64 @@
+#include "topo/routing.hpp"
+
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace softcell {
+
+namespace {
+constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+
+// Middleboxes and the Internet node are hosts: traffic terminates there, it
+// never transits through them.
+bool transits(const Graph& g, NodeId n) {
+  const auto k = g.kind(n);
+  return k != NodeKind::kMiddlebox && k != NodeKind::kInternet;
+}
+}  // namespace
+
+const RoutingOracle::Tree& RoutingOracle::tree_for(NodeId dst) const {
+  if (auto it = trees_.find(dst); it != trees_.end()) return it->second;
+
+  Tree t;
+  t.parent.assign(graph_->node_count(), NodeId{});
+  t.dist.assign(graph_->node_count(), kUnreached);
+  std::deque<NodeId> queue;
+  t.dist[dst.value()] = 0;
+  queue.push_back(dst);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    // Expand only through transit nodes (the root itself may be anything,
+    // e.g. a middlebox host is a switch but the mb vertex is a leaf).
+    if (u != dst && !transits(*graph_, u)) continue;
+    for (NodeId v : graph_->neighbors(u)) {
+      if (t.dist[v.value()] != kUnreached) continue;
+      t.dist[v.value()] = t.dist[u.value()] + 1;
+      t.parent[v.value()] = u;  // next hop from v toward dst
+      queue.push_back(v);
+    }
+  }
+  return trees_.emplace(dst, std::move(t)).first->second;
+}
+
+std::vector<NodeId> RoutingOracle::path(NodeId src, NodeId dst) const {
+  const Tree& t = tree_for(dst);
+  if (t.dist[src.value()] == kUnreached)
+    throw std::runtime_error("RoutingOracle: unreachable destination");
+  std::vector<NodeId> p;
+  p.reserve(t.dist[src.value()] + 1);
+  for (NodeId cur = src; cur != dst; cur = t.parent[cur.value()])
+    p.push_back(cur);
+  p.push_back(dst);
+  return p;
+}
+
+std::uint32_t RoutingOracle::distance(NodeId src, NodeId dst) const {
+  const auto d = tree_for(dst).dist[src.value()];
+  if (d == kUnreached)
+    throw std::runtime_error("RoutingOracle: unreachable destination");
+  return d;
+}
+
+}  // namespace softcell

@@ -1,0 +1,42 @@
+// Shortest-path routing with memoized BFS trees.
+//
+// Policy paths are concatenations of shortest segments between waypoints
+// (access switch -> mb1 -> ... -> mbM -> gateway).  Waypoints are few
+// (middlebox host switches + gateway), so we memoize one reverse BFS tree
+// per *destination* and extract any source's path from it in O(path length).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace softcell {
+
+class RoutingOracle {
+ public:
+  explicit RoutingOracle(const Graph& graph) : graph_(&graph) {}
+
+  // Shortest switch path from `src` to `dst`, inclusive of both endpoints.
+  // Middlebox and Internet nodes never appear as interior hops (they are
+  // hosts, not transit).  Throws if unreachable.
+  [[nodiscard]] std::vector<NodeId> path(NodeId src, NodeId dst) const;
+
+  [[nodiscard]] std::uint32_t distance(NodeId src, NodeId dst) const;
+
+  [[nodiscard]] std::size_t cached_trees() const { return trees_.size(); }
+
+ private:
+  struct Tree {
+    std::vector<NodeId> parent;      // next hop toward the root
+    std::vector<std::uint32_t> dist;
+  };
+
+  const Tree& tree_for(NodeId dst) const;
+
+  const Graph* graph_;
+  mutable std::unordered_map<NodeId, Tree> trees_;
+};
+
+}  // namespace softcell

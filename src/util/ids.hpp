@@ -1,0 +1,61 @@
+// Strongly-typed identifiers used throughout SoftCell.
+//
+// Every entity class (switch, base station, UE, middlebox, policy tag, ...)
+// gets its own id type so that ids of different kinds cannot be confused at
+// compile time.  Ids are cheap value types (a single integer) and hashable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace softcell {
+
+// CRTP-free tagged integer.  `Tag` is a phantom type distinguishing id kinds.
+template <typename Tag, typename Rep = std::uint32_t>
+class TypedId {
+ public:
+  using rep_type = Rep;
+
+  constexpr TypedId() = default;
+  constexpr explicit TypedId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(TypedId, TypedId) = default;
+  friend constexpr auto operator<=>(TypedId, TypedId) = default;
+
+  static constexpr Rep kInvalid = std::numeric_limits<Rep>::max();
+
+ private:
+  Rep value_ = kInvalid;
+};
+
+struct NodeIdTag {};
+struct UeIdTag {};        // network-wide UE identity (IMSI-like)
+struct LocalUeIdTag {};   // UE id local to a base station (low bits of LocIP)
+struct TagIdTag {};       // policy tag (carried in the port field)
+struct ClauseIdTag {};
+struct FlowIdTag {};
+struct PathIdTag {};
+
+// A node is any switch/middlebox/host vertex in the topology graph.
+using NodeId = TypedId<NodeIdTag>;
+using UeId = TypedId<UeIdTag>;
+using LocalUeId = TypedId<LocalUeIdTag, std::uint16_t>;
+using PolicyTag = TypedId<TagIdTag, std::uint16_t>;
+using ClauseId = TypedId<ClauseIdTag>;
+using FlowId = TypedId<FlowIdTag, std::uint64_t>;
+using PathId = TypedId<PathIdTag, std::uint64_t>;
+
+}  // namespace softcell
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<softcell::TypedId<Tag, Rep>> {
+  size_t operator()(softcell::TypedId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

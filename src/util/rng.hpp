@@ -1,0 +1,101 @@
+// Deterministic random number generation.
+//
+// All stochastic components (workload synthesis, topology wiring, policy
+// generation) draw from a seeded SplitMix64/xoshiro-style generator so every
+// experiment is exactly reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <numbers>
+
+namespace softcell {
+
+// splitmix64: tiny, fast, passes BigCrush when used to seed; good enough as
+// the simulation generator itself for non-cryptographic workloads.
+class Rng {
+ public:
+  constexpr explicit Rng(std::uint64_t seed = 0x5EEDCELLu) : state_(seed) {}
+
+  constexpr std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound).  bound must be > 0.
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection-free variant is overkill here; plain
+    // modulo bias is < 2^-40 for the bounds we use (< 2^24).
+    return next_u64() % bound;
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bernoulli(double p) { return next_double() < p; }
+
+  // Exponential with the given rate (mean 1/rate).
+  double next_exponential(double rate) {
+    double u = next_double();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -std::log(u) / rate;
+  }
+
+  // Log-normal given the mean/sigma of the underlying normal.
+  double next_lognormal(double mu, double sigma) {
+    return std::exp(mu + sigma * next_normal());
+  }
+
+  // Standard normal via Box-Muller (one value per call; simple > fast here).
+  double next_normal() {
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  // Poisson-distributed count (Knuth for small mean, normal approx above).
+  std::uint64_t next_poisson(double mean) {
+    if (mean <= 0.0) return 0;
+    if (mean > 64.0) {
+      double v = mean + std::sqrt(mean) * next_normal();
+      return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+    }
+    const double limit = std::exp(-mean);
+    double prod = next_double();
+    std::uint64_t n = 0;
+    while (prod > limit) {
+      ++n;
+      prod *= next_double();
+    }
+    return n;
+  }
+
+  // Bounded Pareto on [lo, hi] with shape alpha: heavy-tailed sizes/holds.
+  double next_bounded_pareto(double alpha, double lo, double hi) {
+    const double u = next_double();
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  }
+
+  // Derive an independent generator (for parallel streams).
+  constexpr Rng split() { return Rng(next_u64()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace softcell

@@ -1,0 +1,72 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace softcell {
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::percentile(double p) const {
+  if (samples_.empty()) throw std::logic_error("percentile of empty SampleSet");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of range");
+  ensure_sorted();
+  // Nearest-rank: smallest value with at least p% of samples <= it.
+  const auto n = samples_.size();
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  return samples_[rank - 1];
+}
+
+double SampleSet::min() const { return percentile(0.0); }
+double SampleSet::max() const { return percentile(100.0); }
+
+double SampleSet::mean() const {
+  if (samples_.empty()) throw std::logic_error("mean of empty SampleSet");
+  double sum = 0.0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::cdf_at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> SampleSet::cdf_points(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  ensure_sorted();
+  out.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double p = static_cast<double>(i) / static_cast<double>(points);
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(samples_.size())));
+    out.emplace_back(samples_[std::max<std::size_t>(rank, 1) - 1], p);
+  }
+  return out;
+}
+
+std::string SampleSet::summary() const {
+  std::ostringstream os;
+  if (samples_.empty()) {
+    os << "n=0";
+    return os.str();
+  }
+  os << "n=" << samples_.size() << " min=" << min() << " p50=" << median()
+     << " p99=" << percentile(99.0) << " p99.999=" << percentile(99.999)
+     << " max=" << max() << " mean=" << mean();
+  return os.str();
+}
+
+}  // namespace softcell

@@ -1,0 +1,79 @@
+// Streaming and batch statistics: percentiles, CDFs, summaries.
+//
+// Used by the workload characterization bench (Fig. 6) and the table-size
+// experiments (Fig. 7) to report the same aggregates as the paper.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace softcell {
+
+// Collects samples and answers percentile/CDF queries.  Samples are kept
+// verbatim (the experiment sizes here are modest), sorted lazily.
+class SampleSet {
+ public:
+  void add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  void add_count(std::uint64_t v) { add(static_cast<double>(v)); }
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  // Percentile in [0, 100].  Nearest-rank definition, as used for the
+  // "99.999 percentile" figures in the paper.
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  // Empirical CDF evaluated at `x`: fraction of samples <= x.
+  [[nodiscard]] double cdf_at(double x) const;
+
+  // Evenly-spaced (in probability) CDF points for plotting/printing:
+  // returns `points` pairs of (value, cumulative probability).
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf_points(
+      std::size_t points) const;
+
+  // One-line summary such as "n=1000 min=1 p50=3 p99=9 max=12".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Streaming mean/max counter for hot paths where storing samples is too
+// expensive (e.g. per-packet latencies in the simulator).
+class RunningStat {
+ public:
+  void add(double v) {
+    ++n_;
+    sum_ += v;
+    max_ = std::max(max_, v);
+    min_ = std::min(min_, v);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  [[nodiscard]] double max() const { return n_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double min() const { return n_ == 0 ? 0.0 : min_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double max_ = -1e300;
+  double min_ = 1e300;
+};
+
+}  // namespace softcell

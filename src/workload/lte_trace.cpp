@@ -1,0 +1,97 @@
+#include "workload/lte_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace softcell {
+
+LteTraceGenerator::LteTraceGenerator(LteWorkloadParams params)
+    : params_(params), rng_(params.seed) {
+  bs_popularity_.reserve(params_.num_base_stations);
+  const double sigma = params_.bs_popularity_sigma;
+  // E[lognormal(-s^2/2, s)] = 1, so popularity is mean-normalized.
+  for (std::uint32_t b = 0; b < params_.num_base_stations; ++b)
+    bs_popularity_.push_back(rng_.next_lognormal(-sigma * sigma / 2, sigma));
+}
+
+double LteTraceGenerator::diurnal(double t_seconds, double amplitude) const {
+  constexpr double kDay = 86'400.0;
+  constexpr double kPeak = 20.0 * 3600.0;  // 8 pm
+  const double phase = 2.0 * std::numbers::pi * (t_seconds - kPeak) / kDay;
+  return std::max(0.05, 1.0 + amplitude * std::cos(phase));
+}
+
+LteDayStats LteTraceGenerator::day_statistics(std::size_t per_bs_samples) {
+  LteDayStats out;
+  const double mean_arrival_rate = static_cast<double>(params_.num_ues) *
+                                   params_.attaches_per_ue_per_day / 86'400.0;
+
+  // Network-wide arrival/handoff processes: one sample per second.
+  for (std::uint32_t t = 0; t < params_.duration_s; ++t) {
+    const double load = diurnal(t, params_.diurnal_amplitude);
+    const double s = params_.burst_sigma;
+    const double burst_a = rng_.next_lognormal(-s * s / 2, s);
+    const double burst_h = rng_.next_lognormal(-s * s / 2, s);
+    out.ue_arrivals_per_s.add_count(
+        rng_.next_poisson(mean_arrival_rate * load * burst_a));
+    out.handoffs_per_s.add_count(rng_.next_poisson(
+        mean_arrival_rate * params_.handoff_ratio * load * burst_h));
+  }
+
+  // Per-base-station quantities at random (bs, second) sample points.
+  const double mean_active = static_cast<double>(params_.num_ues) *
+                             params_.active_fraction /
+                             static_cast<double>(params_.num_base_stations);
+  for (std::size_t i = 0; i < per_bs_samples; ++i) {
+    const auto b = static_cast<std::uint32_t>(
+        rng_.next_below(params_.num_base_stations));
+    const double t = rng_.next_double() * params_.duration_s;
+    const double occ = diurnal(t, params_.occupancy_amplitude);
+    const double active =
+        static_cast<double>(rng_.next_poisson(mean_active * occ *
+                                              bs_popularity_[b]));
+    out.active_ues_per_bs.add(active);
+
+    const double bs_sigma = params_.bearer_burst_sigma;
+    const double burst =
+        rng_.next_lognormal(-bs_sigma * bs_sigma / 2, bs_sigma);
+    out.bearer_arrivals_per_bs_s.add_count(rng_.next_poisson(
+        active * params_.bearers_per_active_ue_s * burst));
+  }
+  return out;
+}
+
+void LteTraceGenerator::generate_events(
+    const ScaledScenario& scale,
+    const std::function<void(const Event&)>& sink) {
+  // Per-UE renewal processes: arrival at a random early time, then flow
+  // starts and handoffs as Poisson processes until the horizon.
+  for (std::uint32_t ue = 0; ue < scale.num_ues; ++ue) {
+    Rng r = rng_.split();
+    double t = r.next_double() * scale.duration_s * 0.1;
+    std::uint32_t bs = static_cast<std::uint32_t>(r.next_below(scale.num_bs));
+    sink(Event{t, Event::Kind::kUeArrival, ue, bs});
+
+    double t_flow = t + r.next_exponential(scale.flow_rate_per_ue_s);
+    double t_move = t + r.next_exponential(scale.handoff_rate_per_ue_s);
+    while (t_flow < scale.duration_s || t_move < scale.duration_s) {
+      if (t_flow <= t_move) {
+        sink(Event{t_flow, Event::Kind::kFlowStart, ue, bs});
+        t_flow += r.next_exponential(scale.flow_rate_per_ue_s);
+      } else {
+        // Move to a uniformly random different base station.
+        std::uint32_t next = bs;
+        if (scale.num_bs > 1) {
+          while (next == bs)
+            next = static_cast<std::uint32_t>(r.next_below(scale.num_bs));
+        }
+        bs = next;
+        sink(Event{t_move, Event::Kind::kHandoff, ue, bs});
+        t_move += r.next_exponential(scale.handoff_rate_per_ue_s);
+      }
+    }
+  }
+}
+
+}  // namespace softcell

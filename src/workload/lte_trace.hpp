@@ -1,0 +1,97 @@
+// Synthetic LTE control-plane workload (paper section 6.1, Fig. 6).
+//
+// The paper characterizes one weekday of bearer-level traces from a large
+// LTE deployment (about 1500 base stations, 1M devices) and reports:
+//   * network-wide UE arrivals and handoffs per second
+//     (99.999th percentile: 214 arrivals/s, 280 handoffs/s);
+//   * active UEs per base station (99.999th percentile: 514);
+//   * radio bearer arrivals per second per base station
+//     (99.999th percentile: 34).
+//
+// The traces are proprietary, so this generator synthesizes a day with the
+// same marginals: doubly stochastic Poisson processes driven by a diurnal
+// load curve, log-normal per-second burstiness, and log-normal base-station
+// popularity.  Defaults are calibrated to land near the published
+// percentiles; bench_fig6_workload prints target vs. measured.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace softcell {
+
+struct LteWorkloadParams {
+  std::uint32_t num_base_stations = 1500;
+  std::uint32_t num_ues = 1'000'000;
+  std::uint32_t duration_s = 86'400;
+  // Attach events per UE per day (power-on / return from airplane mode...).
+  double attaches_per_ue_per_day = 2.0;
+  // Handoffs per attach (the paper's tails have ratio 280/214).
+  double handoff_ratio = 1.31;
+  // Per-second log-normal burstiness of the event processes.
+  double burst_sigma = 0.45;
+  // Diurnal swing of the event rate (peak/mean - 1).
+  double diurnal_amplitude = 0.75;
+  // Fraction of UEs actively camped with traffic at a given moment, and the
+  // (smaller) diurnal swing of occupancy.
+  double active_fraction = 0.25;
+  double occupancy_amplitude = 0.30;
+  // Log-normal sigma of base-station popularity.
+  double bs_popularity_sigma = 0.26;
+  // Radio bearer arrivals per active UE per second.
+  double bearers_per_active_ue_s = 0.025;
+  double bearer_burst_sigma = 0.35;
+  std::uint64_t seed = 42;
+};
+
+struct LteDayStats {
+  SampleSet ue_arrivals_per_s;        // Fig. 6(a), arrivals series
+  SampleSet handoffs_per_s;           // Fig. 6(a), handoffs series
+  SampleSet active_ues_per_bs;        // Fig. 6(b)
+  SampleSet bearer_arrivals_per_bs_s; // Fig. 6(c)
+};
+
+class LteTraceGenerator {
+ public:
+  explicit LteTraceGenerator(LteWorkloadParams params = {});
+
+  // Diurnal multiplier (mean 1 over the day), peaking at 20:00.
+  [[nodiscard]] double diurnal(double t_seconds, double amplitude) const;
+
+  // Synthesizes the day and collects the Fig. 6 statistics.  Network-wide
+  // processes are sampled every second; per-base-station quantities are
+  // sampled at `per_bs_samples` random (bs, second) points.
+  [[nodiscard]] LteDayStats day_statistics(std::size_t per_bs_samples = 500'000);
+
+  // Event-stream mode for driving the integration simulator at small scale
+  // (num_ues/num_bs from `scale` override the day-scale params).
+  struct Event {
+    enum class Kind : std::uint8_t { kUeArrival, kHandoff, kFlowStart };
+    double t = 0;
+    Kind kind = Kind::kUeArrival;
+    std::uint32_t ue = 0;
+    std::uint32_t bs = 0;  // destination bs for handoffs
+  };
+  struct ScaledScenario {
+    std::uint32_t num_ues = 50;
+    std::uint32_t num_bs = 10;
+    double duration_s = 60.0;
+    double flow_rate_per_ue_s = 0.2;
+    double handoff_rate_per_ue_s = 0.02;
+  };
+  void generate_events(const ScaledScenario& scale,
+                       const std::function<void(const Event&)>& sink);
+
+  [[nodiscard]] const LteWorkloadParams& params() const { return params_; }
+
+ private:
+  LteWorkloadParams params_;
+  Rng rng_;
+  std::vector<double> bs_popularity_;  // normalized to mean 1
+};
+
+}  // namespace softcell

@@ -1,0 +1,236 @@
+#include "agent/local_agent.hpp"
+
+#include <gtest/gtest.h>
+
+namespace softcell {
+namespace {
+
+class AgentTest : public ::testing::Test {
+ protected:
+  AgentTest()
+      : topo_({.k = 4, .seed = 5}),
+        ctrl_(topo_, make_table1_policy()),
+        codec_(10) {}
+
+  LocalAgent& agent(std::uint32_t bs) {
+    if (!agents_.contains(bs)) {
+      const NodeId node = topo_.access_switch(bs);
+      const auto path = ctrl_.routes().path(node, topo_.gateway());
+      access_.emplace(bs,
+                      std::make_unique<AccessSwitch>(node, bs, path.at(1)));
+      agents_.emplace(bs, std::make_unique<LocalAgent>(
+                              bs, topo_.plan(), codec_, ctrl_, *access_.at(bs)));
+    }
+    return *agents_.at(bs);
+  }
+
+  UeId provision(std::uint32_t provider = 0) {
+    const UeId ue(next_++);
+    SubscriberProfile p;
+    p.ue = ue;
+    p.provider = provider;
+    p.plan = BillingPlan::kSilver;
+    ctrl_.provision_subscriber(ue, p);
+    return ue;
+  }
+
+  static FlowKey flow(Ipv4Addr src, std::uint16_t sport, std::uint16_t dport) {
+    return FlowKey{src, 0x08080808u, sport, dport, IpProto::kTcp};
+  }
+
+  CellularTopology topo_;
+  Controller ctrl_;
+  PortCodec codec_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<AccessSwitch>> access_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<LocalAgent>> agents_;
+  std::uint32_t next_ = 1;
+};
+
+TEST_F(AgentTest, UeArriveAssignsLocIpAndRegisters) {
+  auto& a = agent(3);
+  const UeId ue = provision();
+  const Ipv4Addr locip = a.ue_arrive(ue, 0x64400001u);
+  const auto fields = topo_.plan().decode(locip);
+  ASSERT_TRUE(fields);
+  EXPECT_EQ(fields->bs_index, 3u);
+  EXPECT_TRUE(a.has_ue(ue));
+  ASSERT_TRUE(ctrl_.ue_location(ue));
+  EXPECT_EQ(ctrl_.ue_location(ue)->bs, 3u);
+  EXPECT_EQ(a.locip_of(ue), locip);
+  EXPECT_THROW(a.ue_arrive(ue, 0x64400001u), std::invalid_argument);
+}
+
+TEST_F(AgentTest, DistinctLocalIdsPerUe) {
+  auto& a = agent(0);
+  const Ipv4Addr l1 = a.ue_arrive(provision(), 0x64400001u);
+  const Ipv4Addr l2 = a.ue_arrive(provision(), 0x64400002u);
+  EXPECT_NE(l1, l2);
+}
+
+TEST_F(AgentTest, FirstFlowIsMissSecondIsHit) {
+  auto& a = agent(0);
+  const UeId ue = provision();
+  a.ue_arrive(ue, 0x64400001u);
+  const auto r1 = a.handle_new_flow(ue, flow(0x64400001u, 1000, 80));
+  EXPECT_EQ(r1.verdict, LocalAgent::FlowVerdict::kInstalled);
+  EXPECT_FALSE(r1.cache_hit);
+  EXPECT_EQ(a.cache_misses(), 1u);
+  const auto r2 = a.handle_new_flow(ue, flow(0x64400001u, 1001, 80));
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_EQ(r2.tag, r1.tag);
+  EXPECT_EQ(a.cache_hits(), 1u);
+}
+
+TEST_F(AgentTest, HitAcrossUesAtSameBaseStation) {
+  // "the first packet at this base station, across all UEs" (section 4.2):
+  // after UE1's miss, UE2's same-clause flow is a pure local hit.
+  auto& a = agent(0);
+  const UeId u1 = provision();
+  const UeId u2 = provision();
+  a.ue_arrive(u1, 0x64400001u);
+  (void)a.handle_new_flow(u1, flow(0x64400001u, 1000, 80));
+  a.ue_arrive(u2, 0x64400002u);  // classifiers now carry the tag
+  const auto r = a.handle_new_flow(u2, flow(0x64400002u, 1000, 80));
+  EXPECT_TRUE(r.cache_hit);
+}
+
+TEST_F(AgentTest, DifferentClausesMissSeparately) {
+  auto& a = agent(0);
+  const UeId ue = provision();
+  a.ue_arrive(ue, 0x64400001u);
+  (void)a.handle_new_flow(ue, flow(0x64400001u, 1000, 80));    // web clause
+  const auto r = a.handle_new_flow(ue, flow(0x64400001u, 1001, 1935));  // video
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_EQ(a.cache_misses(), 2u);
+}
+
+TEST_F(AgentTest, DeniedTrafficInstallsNothing) {
+  auto& a = agent(0);
+  const UeId ue = provision(/*provider=*/9);
+  a.ue_arrive(ue, 0x64400001u);
+  const auto r = a.handle_new_flow(ue, flow(0x64400001u, 1000, 80));
+  EXPECT_EQ(r.verdict, LocalAgent::FlowVerdict::kDenied);
+  EXPECT_EQ(a.access().flows().size(), 0u);
+}
+
+TEST_F(AgentTest, UnknownUeRejected) {
+  auto& a = agent(0);
+  const auto r = a.handle_new_flow(UeId(77), flow(1, 1000, 80));
+  EXPECT_EQ(r.verdict, LocalAgent::FlowVerdict::kUnknownUe);
+}
+
+TEST_F(AgentTest, MicroflowRulesRewriteAndTranslateBack) {
+  auto& a = agent(2);
+  const UeId ue = provision();
+  const Ipv4Addr perm = 0x64400001u;
+  const Ipv4Addr locip = a.ue_arrive(ue, perm);
+  const auto key = flow(perm, 1000, 80);
+  const auto r = a.handle_new_flow(ue, key);
+  const auto* up = a.access().flows().lookup(key);
+  ASSERT_NE(up, nullptr);
+  EXPECT_EQ(up->set_src_ip, locip);
+  ASSERT_TRUE(up->set_src_port);
+  EXPECT_EQ(codec_.tag_of(*up->set_src_port), r.tag);
+
+  // The downlink rule exists under the translated reverse key.
+  FlowKey down{key.dst_ip, locip, key.dst_port, *up->set_src_port,
+               key.proto};
+  const auto* dn = a.access().flows().lookup(down);
+  ASSERT_NE(dn, nullptr);
+  EXPECT_EQ(dn->set_dst_ip, perm);
+  EXPECT_EQ(dn->set_dst_port, key.src_port);
+}
+
+TEST_F(AgentTest, FlowsGetDistinctPortSlots) {
+  auto& a = agent(0);
+  const UeId ue = provision();
+  a.ue_arrive(ue, 0x64400001u);
+  std::unordered_set<std::uint16_t> ports;
+  for (std::uint16_t i = 0; i < 10; ++i) {
+    const auto key = flow(0x64400001u, static_cast<std::uint16_t>(2000 + i), 80);
+    (void)a.handle_new_flow(ue, key);
+    const auto* up = a.access().flows().lookup(key);
+    ASSERT_NE(up, nullptr);
+    EXPECT_TRUE(ports.insert(*up->set_src_port).second);
+  }
+}
+
+TEST_F(AgentTest, DepartRemovesRules) {
+  auto& a = agent(0);
+  const UeId ue = provision();
+  a.ue_arrive(ue, 0x64400001u);
+  (void)a.handle_new_flow(ue, flow(0x64400001u, 1000, 80));
+  (void)a.handle_new_flow(ue, flow(0x64400001u, 1001, 80));
+  EXPECT_EQ(a.access().flows().size(), 4u);  // 2 flows x (up + down)
+  a.ue_depart(ue);
+  EXPECT_EQ(a.access().flows().size(), 0u);
+  EXPECT_FALSE(ctrl_.ue_location(ue));
+}
+
+TEST_F(AgentTest, QuarantineBlocksIdReuse) {
+  auto& a = agent(0);
+  const UeId ue = provision();
+  a.ue_arrive(ue, 0x64400001u);
+  const auto id = a.local_of(ue);
+  ASSERT_TRUE(id);
+  a.ue_handoff_out(ue);
+  EXPECT_EQ(a.quarantined(), 1u);
+  // New arrivals skip the quarantined id.
+  const UeId ue2 = provision();
+  a.ue_arrive(ue2, 0x64400002u);
+  EXPECT_NE(a.local_of(ue2), id);
+  a.release_quarantine(*id);
+  EXPECT_EQ(a.quarantined(), 0u);
+}
+
+TEST_F(AgentTest, RestartRebuildsIdenticalState) {
+  auto& a = agent(0);
+  const UeId ue = provision();
+  const Ipv4Addr perm = 0x64400001u;
+  const Ipv4Addr locip = a.ue_arrive(ue, perm);
+  const auto k1 = flow(perm, 1000, 80);
+  const auto r1 = a.handle_new_flow(ue, k1);
+  const auto rules_before = a.access().flows().size();
+
+  a.restart();
+
+  EXPECT_TRUE(a.has_ue(ue));
+  EXPECT_EQ(a.locip_of(ue), locip);                 // LocIP stable
+  EXPECT_EQ(a.access().flows().size(), rules_before);  // switch untouched
+  // A repeat flow of the warmed clause is a hit, with the same tag.
+  const auto r2 = a.handle_new_flow(ue, flow(perm, 1001, 80));
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_EQ(r2.tag, r1.tag);
+}
+
+TEST_F(AgentTest, UpdateClassifierTagAppliesToAllUes) {
+  auto& a = agent(0);
+  const UeId u1 = provision();
+  const UeId u2 = provision();
+  a.ue_arrive(u1, 0x64400001u);
+  a.ue_arrive(u2, 0x64400002u);
+  const auto r = a.handle_new_flow(u1, flow(0x64400001u, 1000, 80));
+  const PolicyTag fresh(static_cast<std::uint16_t>(r.tag.value() + 100));
+  a.update_classifier_tag(r.clause, fresh);
+  const auto r2 = a.handle_new_flow(u2, flow(0x64400002u, 1000, 80));
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_EQ(r2.tag, fresh);
+}
+
+TEST_F(AgentTest, EnumerateReportsAttachedUes) {
+  auto& a = agent(0);
+  const UeId u1 = provision();
+  const UeId u2 = provision();
+  a.ue_arrive(u1, 0x64400001u);
+  a.ue_arrive(u2, 0x64400002u);
+  std::size_t n = 0;
+  a.enumerate_ues([&](UeId ue, UeLocation loc) {
+    EXPECT_EQ(loc.bs, 0u);
+    EXPECT_TRUE(ue == u1 || ue == u2);
+    ++n;
+  });
+  EXPECT_EQ(n, 2u);
+}
+
+}  // namespace
+}  // namespace softcell

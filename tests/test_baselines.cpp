@@ -1,0 +1,89 @@
+// The baseline routing schemes and SoftCell's advantage over them
+// (section 3.1 motivation; regenerated at scale by bench_ablation_agg).
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "topo/cellular.hpp"
+#include "util/stats.hpp"
+
+namespace softcell {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  BaselineTest() : topo_({.k = 4, .seed = 2}), routes_(topo_.graph()) {}
+
+  ExpandedPath down_path(std::uint32_t bs, std::vector<NodeId> mbs) {
+    return expand_policy_path(topo_.graph(), routes_, Direction::kDownlink,
+                              topo_.access_switch(bs), mbs, topo_.gateway(),
+                              topo_.internet());
+  }
+
+  static std::size_t max_of(const std::vector<std::size_t>& v) {
+    std::size_t m = 0;
+    for (auto x : v) m = std::max(m, x);
+    return m;
+  }
+
+  CellularTopology topo_;
+  RoutingOracle routes_;
+};
+
+TEST_F(BaselineTest, FlatTagUsesOneTagPerPath) {
+  FlatTagBaseline flat(topo_.graph());
+  for (std::uint32_t bs = 0; bs < 10; ++bs)
+    flat.install(down_path(bs, {topo_.core_instance(0, 0).node}));
+  EXPECT_EQ(flat.tags_used(), 10u);
+  EXPECT_GT(max_of(flat.fabric_sizes()), 0u);
+}
+
+TEST_F(BaselineTest, MicroflowScalesWithFlows) {
+  MicroflowBaseline a(topo_.graph(), 1);
+  MicroflowBaseline b(topo_.graph(), 10);
+  const auto p = down_path(0, {topo_.core_instance(0, 0).node});
+  a.install(p);
+  b.install(p);
+  EXPECT_EQ(max_of(b.fabric_sizes()), 10 * max_of(a.fabric_sizes()));
+}
+
+TEST_F(BaselineTest, LocationOnlyAggregatesDeliveryTrees) {
+  LocationOnlyBaseline loc(topo_.graph());
+  for (std::uint32_t bs = 0; bs < topo_.num_base_stations(); ++bs)
+    loc.install_delivery(down_path(bs, {}), topo_.bs_prefix(bs));
+  // CIDR aggregation keeps the per-switch state far below one rule per BS.
+  EXPECT_LT(max_of(loc.fabric_sizes()), topo_.num_base_stations() / 2);
+}
+
+TEST_F(BaselineTest, SoftCellBeatsFlatTagsOnSharedClauses) {
+  // 8 clauses x 40 base stations: SoftCell aggregates by tag+prefix, the
+  // flat scheme pays one tag-path per (clause, bs).
+  AggregationEngine eng(topo_.graph(), {});
+  FlatTagBaseline flat(topo_.graph());
+  std::vector<std::optional<PolicyTag>> hints(8);
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    const NodeId mb = topo_.core_instance(c % 4, c / 4).node;
+    for (std::uint32_t bs = 0; bs < 40; ++bs) {
+      const auto path = down_path(bs, {mb});
+      const auto r = eng.install(path, bs, topo_.bs_prefix(bs), hints[c]);
+      hints[c] = r.tag;
+      flat.install(path);
+    }
+  }
+  const auto sc = eng.table_stats();
+  EXPECT_LT(max_of(sc.fabric_sizes), max_of(flat.fabric_sizes()));
+  EXPECT_LT(eng.tags_in_use(), flat.tags_used());
+}
+
+TEST_F(BaselineTest, FabricSizeVectorsCoverFabricOnly) {
+  FlatTagBaseline flat(topo_.graph());
+  flat.install(down_path(0, {}));
+  std::size_t fabric = 0;
+  for (std::uint32_t i = 0; i < topo_.graph().node_count(); ++i)
+    if (topo_.graph().is_fabric_switch(NodeId(i))) ++fabric;
+  EXPECT_EQ(flat.fabric_sizes().size(), fabric);
+}
+
+}  // namespace
+}  // namespace softcell

@@ -1,0 +1,405 @@
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/cellular.hpp"
+#include "util/rng.hpp"
+
+namespace softcell {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : topo_({.k = 4, .seed = 11}), routes_(topo_.graph()) {}
+
+  ExpandedPath expand(Direction dir, std::uint32_t bs,
+                      std::vector<NodeId> mbs) const {
+    return expand_policy_path(topo_.graph(), routes_, dir,
+                              topo_.access_switch(bs), mbs, topo_.gateway(),
+                              topo_.internet());
+  }
+
+  AggregationEngine make_engine(EngineOptions opts = {}) const {
+    return AggregationEngine(topo_.graph(), opts);
+  }
+
+  std::vector<NodeId> mbs(std::initializer_list<const MiddleboxInstance*> l) const {
+    std::vector<NodeId> out;
+    for (const auto* m : l) out.push_back(m->node);
+    return out;
+  }
+
+  CellularTopology topo_;
+  RoutingOracle routes_;
+};
+
+TEST_F(EngineTest, SinglePathInstallsTagDefaultsAndWalks) {
+  auto eng = make_engine();
+  const auto path = expand(Direction::kDownlink, 0,
+                           mbs({&topo_.pod_instance(0, 0)}));
+  const auto r = eng.install(path, 0, topo_.bs_prefix(0));
+  EXPECT_FALSE(r.reused_tag);
+  EXPECT_EQ(r.extra_tags, 0u);
+  // Every hop needs one rule, plus the hand-off into the shared delivery
+  // tier at the last middlebox host.
+  EXPECT_EQ(static_cast<std::size_t>(r.new_rules),
+            path.fabric.size() + path.access_tail.size() + 1);
+  const auto w = eng.walk(path, r.tag, topo_.bs_prefix(0));
+  EXPECT_TRUE(w.ok) << w.error;
+}
+
+TEST_F(EngineTest, WalkFailsWithWrongTag) {
+  auto eng = make_engine();
+  const auto path = expand(Direction::kDownlink, 0,
+                           mbs({&topo_.pod_instance(0, 0)}));
+  const auto r = eng.install(path, 0, topo_.bs_prefix(0));
+  const PolicyTag wrong(static_cast<std::uint16_t>(r.tag.value() + 1));
+  EXPECT_FALSE(eng.walk(path, wrong, topo_.bs_prefix(0)).ok);
+}
+
+TEST_F(EngineTest, SameClauseFromManyBaseStationsReusesTag) {
+  auto eng = make_engine();
+  const auto seq = mbs({&topo_.core_instance(0, 0), &topo_.core_instance(1, 0)});
+  std::optional<PolicyTag> hint;
+  std::size_t reused = 0;
+  for (std::uint32_t bs = 0; bs < 40; ++bs) {
+    const auto path = expand(Direction::kDownlink, bs, seq);
+    const auto r = eng.install(path, bs, topo_.bs_prefix(bs), hint);
+    hint = r.tag;
+    if (r.reused_tag) ++reused;
+    const auto w = eng.walk(path, r.tag, topo_.bs_prefix(bs));
+    EXPECT_TRUE(w.ok) << "bs " << bs << ": " << w.error;
+  }
+  // Nearly every subsequent base station shares the first one's tag.
+  EXPECT_GE(reused, 35u);
+  EXPECT_LE(eng.tags_in_use(), 3u);
+}
+
+TEST_F(EngineTest, SharedTrunkCostsLittle) {
+  auto eng = make_engine();
+  const auto seq = mbs({&topo_.core_instance(2, 0)});
+  const auto p0 = expand(Direction::kDownlink, 0, seq);
+  const auto r0 = eng.install(p0, 0, topo_.bs_prefix(0));
+  // A sibling base station (same ring, adjacent prefix): the shared trunk
+  // should be nearly free, divergence limited to the delivery part.
+  const auto p1 = expand(Direction::kDownlink, 1, seq);
+  const auto r1 = eng.install(p1, 1, topo_.bs_prefix(1), r0.tag);
+  EXPECT_TRUE(r1.reused_tag);
+  EXPECT_LT(r1.new_rules, r0.new_rules);
+}
+
+TEST_F(EngineTest, PathsFromSameBsNeverShareTag) {
+  auto eng = make_engine();
+  const auto pa = expand(Direction::kDownlink, 0, mbs({&topo_.pod_instance(0, 0)}));
+  const auto pb = expand(Direction::kDownlink, 0, mbs({&topo_.pod_instance(1, 0)}));
+  const auto ra = eng.install(pa, 0, topo_.bs_prefix(0));
+  // Hint at the other path's tag: must be rejected for the same BS.
+  const auto rb = eng.install(pb, 0, topo_.bs_prefix(0), ra.tag);
+  EXPECT_NE(ra.tag, rb.tag);
+  EXPECT_TRUE(eng.walk(pa, ra.tag, topo_.bs_prefix(0)).ok);
+  EXPECT_TRUE(eng.walk(pb, rb.tag, topo_.bs_prefix(0)).ok);
+}
+
+TEST_F(EngineTest, DivergentPathsWithSameTagUsePrefixRules) {
+  auto eng = make_engine();
+  // Same tag forced by hints, but different transcoder instances: rules
+  // must diverge on the location dimension (Fig. 3(c) scenario).
+  const auto pa = expand(Direction::kDownlink, 0,
+                         mbs({&topo_.core_instance(0, 0)}));
+  const auto ra = eng.install(pa, 0, topo_.bs_prefix(0));
+  const auto pb = expand(Direction::kDownlink, 20,
+                         mbs({&topo_.core_instance(0, 1)}));
+  const auto rb = eng.install(pb, 20, topo_.bs_prefix(20), ra.tag);
+  EXPECT_TRUE(eng.walk(pa, ra.tag, topo_.bs_prefix(0)).ok);
+  EXPECT_TRUE(eng.walk(pb, rb.tag, topo_.bs_prefix(20)).ok);
+}
+
+TEST_F(EngineTest, AllPairsStayRoutableUnderLoad) {
+  auto eng = make_engine();
+  Rng rng(5);
+  struct Live {
+    ExpandedPath path;
+    PolicyTag tag;
+    Prefix pre;
+  };
+  std::vector<Live> live;
+  std::unordered_map<std::uint32_t, PolicyTag> clause_hint;
+  for (int i = 0; i < 200; ++i) {
+    const auto bs =
+        static_cast<std::uint32_t>(rng.next_below(topo_.num_base_stations()));
+    const auto clause = static_cast<std::uint32_t>(rng.next_below(8));
+    // Deterministic per-clause middlebox sequence.
+    Rng crng(clause * 977 + 13);
+    std::vector<NodeId> seq;
+    const auto len = 1 + crng.next_below(3);
+    for (std::uint64_t m = 0; m < len; ++m) {
+      const auto type = static_cast<std::uint32_t>(
+          crng.next_below(topo_.num_middlebox_types()));
+      const auto& inst = crng.next_bernoulli(0.5)
+                             ? topo_.core_instance(type, 0)
+                             : topo_.pod_instance(type, topo_.pod_of_bs(bs));
+      seq.push_back(inst.node);
+    }
+    const auto path = expand(Direction::kDownlink, bs, seq);
+    std::optional<PolicyTag> hint;
+    if (auto it = clause_hint.find(clause); it != clause_hint.end())
+      hint = it->second;
+    const auto r = eng.install(path, bs, topo_.bs_prefix(bs), hint);
+    clause_hint[clause] = r.tag;
+    live.push_back(Live{path, r.tag, topo_.bs_prefix(bs)});
+    // Every previously installed path must still walk correctly: installs
+    // never corrupt existing paths.
+    if (i % 20 == 19) {
+      for (const auto& l : live) {
+        const auto w = eng.walk(l.path, l.tag, l.pre);
+        ASSERT_TRUE(w.ok) << w.error;
+      }
+    }
+  }
+}
+
+TEST_F(EngineTest, LoopThroughSameMiddleboxTwiceSplitsTags) {
+  auto eng = make_engine();
+  const auto& m = topo_.pod_instance(0, 0);
+  // Visiting the same instance twice forces the host switch to see two
+  // conflicting from-middlebox hops -> tag swap (section 3.2 loops).
+  const auto path = expand(Direction::kUplink, 0, {m.node, m.node});
+  const auto r = eng.install(path, 0, topo_.bs_prefix(0));
+  EXPECT_GE(r.extra_tags, 1u);
+  const auto w = eng.walk(path, r.tag, topo_.bs_prefix(0));
+  EXPECT_TRUE(w.ok) << w.error;
+}
+
+TEST_F(EngineTest, RemoveRestoresEmptyTables) {
+  auto eng = make_engine();
+  std::vector<PathId> handles;
+  std::vector<std::pair<ExpandedPath, std::pair<PolicyTag, Prefix>>> live;
+  for (std::uint32_t bs = 0; bs < 10; ++bs) {
+    const auto path =
+        expand(Direction::kDownlink, bs, mbs({&topo_.core_instance(1, 0)}));
+    const auto r = eng.install(path, bs, topo_.bs_prefix(bs));
+    handles.push_back(r.path);
+    live.emplace_back(path, std::make_pair(r.tag, topo_.bs_prefix(bs)));
+  }
+  EXPECT_GT(eng.total_rules(), 0u);
+  // Remove half; the rest must still walk.
+  for (std::size_t i = 0; i < 5; ++i) eng.remove(handles[i]);
+  for (std::size_t i = 5; i < 10; ++i) {
+    const auto w = eng.walk(live[i].first, live[i].second.first,
+                            live[i].second.second);
+    EXPECT_TRUE(w.ok) << w.error;
+  }
+  for (std::size_t i = 5; i < 10; ++i) eng.remove(handles[i]);
+  EXPECT_EQ(eng.total_rules(), 0u);
+  EXPECT_EQ(eng.tags_in_use(), 1u);  // only the reserved delivery tag
+}
+
+TEST_F(EngineTest, RemoveUnknownPathThrows) {
+  auto eng = make_engine();
+  EXPECT_THROW(eng.remove(PathId(123)), std::invalid_argument);
+}
+
+TEST_F(EngineTest, NewRulesAccountingMatchesTotals) {
+  auto eng = make_engine();
+  std::int64_t acc = 0;
+  for (std::uint32_t bs = 0; bs < 25; ++bs) {
+    const auto path = expand(Direction::kDownlink, bs,
+                             mbs({&topo_.pod_instance(2, topo_.pod_of_bs(bs))}));
+    const auto r = eng.install(path, bs, topo_.bs_prefix(bs));
+    acc += r.new_rules;
+    EXPECT_EQ(static_cast<std::int64_t>(eng.total_rules()), acc);
+  }
+}
+
+TEST_F(EngineTest, FreshTagAblationUsesManyMoreTags) {
+  EngineOptions reuse;
+  EngineOptions fresh;
+  fresh.reuse_tags = false;
+  auto a = make_engine(reuse);
+  auto b = make_engine(fresh);
+  const auto seq = mbs({&topo_.core_instance(3, 0)});
+  for (std::uint32_t bs = 0; bs < 30; ++bs) {
+    const auto path = expand(Direction::kDownlink, bs, seq);
+    (void)a.install(path, bs, topo_.bs_prefix(bs));
+    (void)b.install(path, bs, topo_.bs_prefix(bs));
+  }
+  // +1: the reserved delivery tag is always held.
+  EXPECT_LT(a.tags_in_use(), 5u);
+  EXPECT_EQ(b.tags_in_use(), 31u);
+  EXPECT_LT(a.total_rules(), b.total_rules());
+}
+
+TEST_F(EngineTest, UplinkAndDownlinkCoexist) {
+  auto eng = make_engine();
+  const auto seq = mbs({&topo_.pod_instance(0, 0)});
+  const auto up = expand(Direction::kUplink, 0, seq);
+  const auto down = expand(Direction::kDownlink, 0, seq);
+  const auto ru = eng.install(up, 0, topo_.bs_prefix(0));
+  const auto rd = eng.install(down, 0, topo_.bs_prefix(0), ru.tag);
+  EXPECT_TRUE(eng.walk(up, ru.tag, topo_.bs_prefix(0)).ok);
+  EXPECT_TRUE(eng.walk(down, rd.tag, topo_.bs_prefix(0)).ok);
+}
+
+TEST_F(EngineTest, TableStatsSeparateFabricFromAccess) {
+  auto eng = make_engine();
+  // Station 4 sits deep in the ring -> access tail rules exist.
+  const auto path = expand(Direction::kDownlink, 4, {});
+  (void)eng.install(path, 4, topo_.bs_prefix(4));
+  const auto s = eng.table_stats();
+  std::size_t fabric_total = 0, access_total = 0;
+  for (auto v : s.fabric_sizes) fabric_total += v;
+  for (auto v : s.access_sizes) access_total += v;
+  EXPECT_GT(fabric_total, 0u);
+  EXPECT_GT(access_total, 0u);
+  EXPECT_EQ(fabric_total + access_total, eng.total_rules());
+  EXPECT_EQ(s.type3, access_total);  // tails are location-only rules
+}
+
+TEST_F(EngineTest, SiblingDeliveryPrefixesMergeInRing) {
+  auto eng = make_engine();
+  // Stations 2 and 3 share a sibling prefix pair and the same ring
+  // direction: their tail rules at station 0/1 switches should merge.
+  const auto p2 = expand(Direction::kDownlink, 2, {});
+  const auto p3 = expand(Direction::kDownlink, 3, {});
+  (void)eng.install(p2, 2, topo_.bs_prefix(2));
+  const auto before = eng.total_rules();
+  (void)eng.install(p3, 3, topo_.bs_prefix(3));
+  const auto added = eng.total_rules() - before;
+  // Strictly fewer new rules than the full hop count thanks to merges.
+  EXPECT_LT(added, p3.fabric.size() + p3.access_tail.size());
+}
+
+// Property test: random install/remove churn never corrupts routing and
+// drains to zero.
+TEST_F(EngineTest, ChurnInvariant) {
+  auto eng = make_engine();
+  Rng rng(23);
+  struct Live {
+    PathId id;
+    ExpandedPath path;
+    PolicyTag tag;
+    Prefix pre;
+  };
+  std::vector<Live> live;
+  for (int step = 0; step < 300; ++step) {
+    if (live.empty() || rng.next_bernoulli(0.65)) {
+      const auto bs = static_cast<std::uint32_t>(
+          rng.next_below(topo_.num_base_stations()));
+      const auto type = static_cast<std::uint32_t>(
+          rng.next_below(topo_.num_middlebox_types()));
+      const auto& inst = topo_.pod_instance(type, topo_.pod_of_bs(bs));
+      const auto dir =
+          rng.next_bernoulli(0.5) ? Direction::kUplink : Direction::kDownlink;
+      const auto path = expand(dir, bs, {inst.node});
+      const auto r = eng.install(path, bs, topo_.bs_prefix(bs));
+      live.push_back(Live{r.path, path, r.tag, topo_.bs_prefix(bs)});
+    } else {
+      const auto idx = rng.next_below(live.size());
+      eng.remove(live[idx].id);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    if (step % 25 == 24) {
+      for (const auto& l : live) {
+        const auto w = eng.walk(l.path, l.tag, l.pre);
+        ASSERT_TRUE(w.ok) << w.error;
+      }
+    }
+  }
+  for (const auto& l : live) eng.remove(l.id);
+  EXPECT_EQ(eng.total_rules(), 0u);
+  EXPECT_EQ(eng.tags_in_use(), 1u);  // only the reserved delivery tag
+}
+
+}  // namespace
+}  // namespace softcell
+
+namespace softcell {
+namespace {
+
+class CapacityTest : public ::testing::Test {
+ protected:
+  CapacityTest() : topo_({.k = 4, .seed = 11}), routes_(topo_.graph()) {}
+
+  ExpandedPath down(std::uint32_t bs, NodeId mb) const {
+    return expand_policy_path(topo_.graph(), routes_, Direction::kDownlink,
+                              topo_.access_switch(bs), std::vector<NodeId>{mb},
+                              topo_.gateway(), topo_.internet());
+  }
+
+  CellularTopology topo_;
+  RoutingOracle routes_;
+};
+
+TEST_F(CapacityTest, OverflowRejectsAndRollsBackCleanly) {
+  EngineOptions opts;
+  opts.switch_capacity = 12;  // deliberately tiny TCAMs
+  AggregationEngine eng(topo_.graph(), opts);
+
+  struct Live {
+    ExpandedPath path;
+    PolicyTag tag;
+    Prefix pre;
+  };
+  std::vector<Live> live;
+  std::size_t rejected = 0;
+  // Distinct clauses exhaust tables quickly (no tag sharing across them).
+  for (std::uint32_t c = 0; c < 30; ++c) {
+    const NodeId mb = topo_.middleboxes()[c % topo_.middleboxes().size()].node;
+    const std::uint32_t bs = (c * 7) % topo_.num_base_stations();
+    const auto path = down(bs, mb);
+    const auto before = eng.total_rules();
+    try {
+      const auto r = eng.install(path, bs, topo_.bs_prefix(bs));
+      live.push_back(Live{path, r.tag, topo_.bs_prefix(bs)});
+    } catch (const AggregationEngine::PathRejected& e) {
+      ++rejected;
+      EXPECT_TRUE(e.sw.valid());
+      // Atomic rejection: nothing changed.
+      EXPECT_EQ(eng.total_rules(), before);
+    }
+    // Capacity invariant holds on every fabric switch at all times.
+    for (auto sz : eng.table_stats().fabric_sizes) ASSERT_LE(sz, 12u);
+  }
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(live.size(), 0u);
+  // Everything that was admitted still works.
+  for (const auto& l : live)
+    EXPECT_TRUE(eng.walk(l.path, l.tag, l.pre).ok);
+}
+
+TEST_F(CapacityTest, SpaceFreedByRemovalIsReusable) {
+  EngineOptions opts;
+  opts.switch_capacity = 12;
+  AggregationEngine eng(topo_.graph(), opts);
+
+  // Fill until the first rejection.
+  std::vector<PathId> handles;
+  std::uint32_t c = 0;
+  for (;; ++c) {
+    const NodeId mb = topo_.middleboxes()[c % topo_.middleboxes().size()].node;
+    const std::uint32_t bs = (c * 7) % topo_.num_base_stations();
+    try {
+      handles.push_back(
+          eng.install(down(bs, mb), bs, topo_.bs_prefix(bs)).path);
+    } catch (const AggregationEngine::PathRejected&) {
+      break;
+    }
+    ASSERT_LT(c, 1000u);
+  }
+  // Free everything; the rejected request now fits.
+  for (const auto h : handles) eng.remove(h);
+  EXPECT_EQ(eng.total_rules(), 0u);
+  const NodeId mb = topo_.middleboxes()[c % topo_.middleboxes().size()].node;
+  const std::uint32_t bs = (c * 7) % topo_.num_base_stations();
+  const auto r = eng.install(down(bs, mb), bs, topo_.bs_prefix(bs));
+  EXPECT_TRUE(eng.walk(down(bs, mb), r.tag, topo_.bs_prefix(bs)).ok);
+}
+
+TEST_F(CapacityTest, UnboundedByDefault) {
+  AggregationEngine eng(topo_.graph(), {});
+  EXPECT_EQ(eng.table(topo_.gateway()).capacity(), 0u);
+  EXPECT_FALSE(eng.table(topo_.gateway()).full());
+}
+
+}  // namespace
+}  // namespace softcell

@@ -1,0 +1,166 @@
+// Parameterized engine invariant sweeps: the same soundness properties
+// checked across topology sizes, directions, clause shapes and engine
+// configurations.
+//
+// Invariants (DESIGN.md section 6):
+//   I1  after installing, every path walks end to end;
+//   I2  installs never corrupt previously installed paths;
+//   I3  removal drains every table back to empty;
+//   I4  merged prefixes are exact sibling unions (spot-checked via walks
+//       from *both* siblings);
+//   I5  rule accounting (new_rules sum == total_rules).
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "topo/cellular.hpp"
+#include "util/rng.hpp"
+
+namespace softcell {
+namespace {
+
+struct ParamCase {
+  std::uint32_t k;
+  Direction dir;
+  std::uint32_t num_clauses;
+  std::uint32_t mbs_per_clause;
+  bool shared_delivery;
+  std::size_t max_candidates;
+  const char* name;
+};
+
+std::string case_name(const ::testing::TestParamInfo<ParamCase>& info) {
+  return info.param.name;
+}
+
+class EngineSweep : public ::testing::TestWithParam<ParamCase> {
+ protected:
+  EngineSweep()
+      : topo_({.k = GetParam().k, .seed = 77}), routes_(topo_.graph()) {}
+
+  std::vector<NodeId> clause_instances(std::uint32_t clause) const {
+    Rng rng(clause * 131 + 7);
+    std::vector<NodeId> out;
+    for (std::uint32_t i = 0; i < GetParam().mbs_per_clause; ++i) {
+      const auto type = static_cast<std::uint32_t>(
+          rng.next_below(topo_.num_middlebox_types()));
+      const auto& insts = topo_.instances_of_type(type);
+      out.push_back(
+          topo_.middleboxes()[insts[rng.next_below(insts.size())]].node);
+    }
+    return out;
+  }
+
+  CellularTopology topo_;
+  RoutingOracle routes_;
+};
+
+TEST_P(EngineSweep, InstallWalkRemoveInvariants) {
+  const auto& p = GetParam();
+  EngineOptions opts;
+  opts.shared_delivery = p.shared_delivery;
+  opts.max_candidates = p.max_candidates;
+  AggregationEngine eng(topo_.graph(), opts);
+
+  struct Live {
+    PathId id;
+    ExpandedPath path;
+    PolicyTag tag;
+    Prefix pre;
+  };
+  std::vector<Live> live;
+  std::int64_t accounted = 0;
+  std::vector<std::optional<PolicyTag>> hints(p.num_clauses);
+
+  // Installs: every clause from a sample of base stations.
+  const std::uint32_t stride = std::max(1u, topo_.num_base_stations() / 24);
+  for (std::uint32_t c = 0; c < p.num_clauses; ++c) {
+    const auto instances = clause_instances(c);
+    for (std::uint32_t bs = 0; bs < topo_.num_base_stations(); bs += stride) {
+      const auto path = expand_policy_path(topo_.graph(), routes_, p.dir,
+                                           topo_.access_switch(bs), instances,
+                                           topo_.gateway(), topo_.internet());
+      const auto r = eng.install(path, bs, topo_.bs_prefix(bs), hints[c]);
+      hints[c] = r.tag;
+      accounted += r.new_rules;
+      live.push_back(Live{r.path, path, r.tag, topo_.bs_prefix(bs)});
+      // I5: accounting matches totals at every step.
+      ASSERT_EQ(accounted, static_cast<std::int64_t>(eng.total_rules()));
+    }
+  }
+
+  // I1 + I2: every path (old and new) walks.
+  for (const auto& l : live) {
+    const auto w = eng.walk(l.path, l.tag, l.pre);
+    ASSERT_TRUE(w.ok) << w.error;
+  }
+
+  // I3: removal in an interleaved order drains everything.
+  for (std::size_t i = 0; i < live.size(); i += 2) eng.remove(live[i].id);
+  for (std::size_t i = 1; i < live.size(); i += 2) {
+    const auto w = eng.walk(live[i].path, live[i].tag, live[i].pre);
+    ASSERT_TRUE(w.ok) << w.error;  // survivors unharmed mid-removal
+    eng.remove(live[i].id);
+  }
+  EXPECT_EQ(eng.total_rules(), 0u);
+  EXPECT_EQ(eng.tags_in_use(), 1u);  // reserved delivery tag only
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineSweep,
+    ::testing::Values(
+        ParamCase{2, Direction::kDownlink, 4, 1, true, 32, "k2_down_m1"},
+        ParamCase{2, Direction::kUplink, 4, 1, true, 32, "k2_up_m1"},
+        ParamCase{4, Direction::kDownlink, 6, 2, true, 32, "k4_down_m2"},
+        ParamCase{4, Direction::kUplink, 6, 2, true, 32, "k4_up_m2"},
+        ParamCase{4, Direction::kDownlink, 4, 3, true, 32, "k4_down_m3"},
+        ParamCase{4, Direction::kDownlink, 6, 2, false, 32,
+                  "k4_down_m2_nodelivery"},
+        ParamCase{4, Direction::kUplink, 4, 3, false, 32, "k4_up_m3_nodelivery"},
+        ParamCase{4, Direction::kDownlink, 6, 2, true, 1, "k4_down_m2_cap1"},
+        ParamCase{4, Direction::kDownlink, 6, 2, true, 0,
+                  "k4_down_m2_uncapped"},
+        ParamCase{6, Direction::kDownlink, 4, 2, true, 32, "k6_down_m2"}),
+    case_name);
+
+// --- candidate-cap equivalence: the bounded scan loses almost nothing ----
+
+class CapSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CapSweep, RuleCountsCloseToUncapped) {
+  CellularTopology topo({.k = 4, .seed = 3});
+  RoutingOracle routes(topo.graph());
+
+  const auto run = [&](std::size_t cap) {
+    EngineOptions opts;
+    opts.max_candidates = cap;
+    AggregationEngine eng(topo.graph(), opts);
+    Rng rng(5);
+    std::vector<std::optional<PolicyTag>> hints(6);
+    for (std::uint32_t c = 0; c < 6; ++c) {
+      const auto type = static_cast<std::uint32_t>(
+          rng.next_below(topo.num_middlebox_types()));
+      const NodeId inst = topo.core_instance(type, c % 2).node;
+      for (std::uint32_t bs = 0; bs < topo.num_base_stations(); bs += 5) {
+        const auto path = expand_policy_path(
+            topo.graph(), routes, Direction::kDownlink,
+            topo.access_switch(bs), std::vector<NodeId>{inst}, topo.gateway(),
+            topo.internet());
+        const auto r = eng.install(path, bs, topo.bs_prefix(bs), hints[c]);
+        hints[c] = r.tag;
+      }
+    }
+    return eng.total_rules();
+  };
+
+  const auto uncapped = run(0);
+  const auto capped = run(GetParam());
+  // Within 25% of the full candTag scan.
+  EXPECT_LE(capped, uncapped + uncapped / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, CapSweep,
+                         ::testing::Values(std::size_t{1}, std::size_t{4},
+                                           std::size_t{16}, std::size_t{64}));
+
+}  // namespace
+}  // namespace softcell

@@ -1,0 +1,76 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace softcell {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.at(3.0, [&] { order.push_back(3); });
+  q.at(1.0, [&] { order.push_back(1); });
+  q.at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, StableForEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.at(1.0, [&, i] { order.push_back(i); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, AfterSchedulesRelative) {
+  EventQueue q;
+  double fired_at = -1;
+  q.at(2.0, [&] { q.after(0.5, [&] { fired_at = q.now(); }); });
+  q.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  q.at(5.0, [] {});
+  q.run();
+  EXPECT_THROW(q.at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEvents) {
+  EventQueue q;
+  int ran = 0;
+  q.at(1.0, [&] { ++ran; });
+  q.at(2.0, [&] { ++ran; });
+  q.at(3.0, [&] { ++ran; });
+  EXPECT_EQ(q.run_until(2.5), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.5);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recur = [&] {
+    if (++depth < 10) q.after(1.0, recur);
+  };
+  q.at(0.0, recur);
+  EXPECT_EQ(q.run(), 10u);
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueue, RunWithCap) {
+  EventQueue q;
+  int ran = 0;
+  for (int i = 0; i < 10; ++i) q.at(i, [&] { ++ran; });
+  EXPECT_EQ(q.run(4), 4u);
+  EXPECT_EQ(ran, 4);
+  EXPECT_EQ(q.pending(), 6u);
+}
+
+}  // namespace
+}  // namespace softcell

@@ -1,0 +1,143 @@
+// Whole-system integration sweep: the synthetic LTE workload generator
+// drives the full SoftCell network through the discrete-event queue --
+// UE arrivals, handoffs and flow starts interleaved -- while the test
+// checks the global invariants the paper's architecture promises:
+//
+//   * every admitted flow is deliverable in both directions at all times;
+//   * every packet of a connection traverses the same middlebox instances
+//     (policy consistency under unplanned mobility);
+//   * the gateway's fabric state never grows with flows;
+//   * control-plane load stays hierarchical (agents absorb most flow
+//     events; controller involvement bounded by clauses x base stations).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "workload/lte_trace.hpp"
+
+namespace softcell {
+namespace {
+
+TEST(Integration, TraceDrivenDayOnSmallNetwork) {
+  SoftCellConfig config;
+  config.topo = {.k = 4, .seed = 51};
+  SoftCellNetwork net(config, make_table1_policy());
+  const std::uint32_t num_bs = net.topology().num_base_stations();
+
+  LteTraceGenerator gen({.seed = 99});
+  LteTraceGenerator::ScaledScenario scenario;
+  scenario.num_ues = 40;
+  scenario.num_bs = num_bs;
+  scenario.duration_s = 120.0;
+  scenario.flow_rate_per_ue_s = 0.1;
+  scenario.handoff_rate_per_ue_s = 0.02;
+
+  EventQueue queue;
+  struct UeState {
+    UeId id{};
+    std::vector<std::pair<SoftCellNetwork::FlowHandle, std::vector<NodeId>>>
+        flows;
+  };
+  std::map<std::uint32_t, UeState> ues;
+  std::vector<MobilityManager::HandoffTicket> tickets;
+  std::uint64_t flows_ok = 0, checks = 0;
+  Ipv4Addr next_server = 0x08000001u;
+
+  gen.generate_events(scenario, [&](const LteTraceGenerator::Event& e) {
+    queue.at(e.t, [&, e] {
+      switch (e.kind) {
+        case LteTraceGenerator::Event::Kind::kUeArrival: {
+          SubscriberProfile p;
+          p.plan = e.ue % 2 == 0 ? BillingPlan::kSilver : BillingPlan::kGold;
+          UeState st;
+          st.id = net.add_subscriber(p);
+          net.attach(st.id, e.bs);
+          ues.emplace(e.ue, std::move(st));
+          break;
+        }
+        case LteTraceGenerator::Event::Kind::kHandoff: {
+          auto& st = ues.at(e.ue);
+          if (net.serving_bs(st.id) == e.bs) break;
+          tickets.push_back(net.handoff(st.id, e.bs));
+          break;
+        }
+        case LteTraceGenerator::Event::Kind::kFlowStart: {
+          auto& st = ues.at(e.ue);
+          const std::uint16_t port = (e.ue % 3 == 0) ? 1935 : 80;
+          auto flow = net.open_flow(st.id, next_server++, port);
+          const auto d = net.send_uplink(flow, TcpFlag::kSyn);
+          ASSERT_TRUE(d.delivered) << d.drop_reason;
+          ++flows_ok;
+          st.flows.emplace_back(flow, d.middlebox_sequence);
+          // Exercise every live flow of this UE in both directions and
+          // check policy consistency.
+          for (auto& [h, mbs] : st.flows) {
+            const auto up = net.send_uplink(h);
+            ASSERT_TRUE(up.delivered) << up.drop_reason;
+            ASSERT_EQ(up.middlebox_sequence, mbs);
+            const auto down = net.send_downlink(h);
+            ASSERT_TRUE(down.delivered) << down.drop_reason;
+            ++checks;
+          }
+          break;
+        }
+      }
+    });
+  });
+  queue.run();
+
+  EXPECT_GT(flows_ok, 100u);
+  EXPECT_GT(checks, flows_ok);
+
+  // Dumb gateway invariant: fabric state at the gateway is bounded by
+  // policies, not flows.
+  const auto gw_rules =
+      net.controller().engine().table(net.topology().gateway()).rule_count();
+  EXPECT_LT(gw_rules, 64u);
+
+  // Hierarchical control plane: the controller performed at most one path
+  // install per (clause, touched base station); agents absorbed the rest.
+  std::uint64_t hits = 0, misses = 0;
+  for (std::uint32_t bs = 0; bs < num_bs; ++bs) {
+    hits += net.agent(bs).cache_hits();
+    misses += net.agent(bs).cache_misses();
+  }
+  EXPECT_EQ(hits + misses, flows_ok);
+  EXPECT_LE(net.controller().path_installs(), misses);
+
+  // Tear down every mobility anchor; the network drains cleanly.
+  for (const auto& t : tickets) net.complete_handoff(t);
+}
+
+TEST(Integration, ChurnWithDetachAndReattach) {
+  SoftCellConfig config;
+  config.topo = {.k = 2, .seed = 61};
+  SoftCellNetwork net(config, make_table1_policy());
+  SubscriberProfile p;
+  p.plan = BillingPlan::kSilver;
+
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::pair<UeId, SoftCellNetwork::FlowHandle>> live;
+    for (std::uint32_t bs = 0; bs < net.topology().num_base_stations();
+         bs += 4) {
+      const UeId ue = net.add_subscriber(p);
+      net.attach(ue, bs);
+      auto flow = net.open_flow(ue, 0x08080808u + round, 80);
+      ASSERT_TRUE(net.send_uplink(flow, TcpFlag::kSyn).delivered);
+      live.emplace_back(ue, flow);
+    }
+    const auto access0 = net.access(0).flows().size();
+    EXPECT_GT(access0, 0u);
+    for (auto& [ue, flow] : live) {
+      ASSERT_TRUE(net.send_downlink(flow).delivered);
+      net.detach(ue);
+      EXPECT_FALSE(net.send_uplink(flow).delivered);  // gone after detach
+    }
+    EXPECT_EQ(net.access(0).flows().size(), 0u);  // microflows cleaned up
+  }
+}
+
+}  // namespace
+}  // namespace softcell

@@ -1,0 +1,59 @@
+// The legacy EPC baseline (GTP bearers to a centralized P-GW).
+#include <gtest/gtest.h>
+
+#include "legacy/epc.hpp"
+
+namespace softcell {
+namespace {
+
+class LegacyTest : public ::testing::Test {
+ protected:
+  LegacyTest() : topo_({.k = 4, .seed = 1}), epc_(topo_) {}
+  CellularTopology topo_;
+  legacy::LegacyEpc epc_;
+};
+
+TEST_F(LegacyTest, BearerLifecycle) {
+  const auto b = epc_.attach(UeId(1), 5);
+  EXPECT_EQ(b.bs, 5u);
+  EXPECT_NE(b.teid, 0u);
+  EXPECT_EQ(epc_.pgw_bearer_contexts(), 1u);
+  EXPECT_THROW(epc_.attach(UeId(1), 5), std::invalid_argument);
+  epc_.detach(UeId(1));
+  EXPECT_EQ(epc_.pgw_bearer_contexts(), 0u);
+  EXPECT_THROW(epc_.detach(UeId(1)), std::invalid_argument);
+}
+
+TEST_F(LegacyTest, DistinctTeids) {
+  const auto a = epc_.attach(UeId(1), 0);
+  const auto b = epc_.attach(UeId(2), 0);
+  EXPECT_NE(a.teid, b.teid);
+}
+
+TEST_F(LegacyTest, InternetPathGoesViaPgw) {
+  (void)epc_.attach(UeId(1), 0);
+  const auto m = epc_.internet_path(UeId(1));
+  EXPECT_TRUE(m.via_pgw);
+  EXPECT_GE(m.hops, 4u);  // ring + agg + core + exit at minimum
+  EXPECT_THROW((void)epc_.internet_path(UeId(9)), std::invalid_argument);
+}
+
+TEST_F(LegacyTest, M2mAlwaysHairpins) {
+  (void)epc_.attach(UeId(1), 0);
+  (void)epc_.attach(UeId(2), 1);  // ring neighbors!
+  const auto m = epc_.m2m_path(UeId(1), UeId(2));
+  EXPECT_TRUE(m.via_pgw);
+  // Two adjacent base stations still pay two full trips to the gateway.
+  EXPECT_GE(m.hops, 2 * epc_.internet_path(UeId(1)).hops - 3);
+}
+
+TEST_F(LegacyTest, HandoffReanchorsBearer) {
+  (void)epc_.attach(UeId(1), 0);
+  const auto before = epc_.internet_path(UeId(1)).hops;
+  epc_.handoff(UeId(1), 4);  // deeper in the ring: longer tunnel
+  EXPECT_GT(epc_.internet_path(UeId(1)).hops, before);
+  EXPECT_THROW(epc_.handoff(UeId(9), 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace softcell

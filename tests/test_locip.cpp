@@ -1,0 +1,113 @@
+#include "packet/locip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace softcell {
+namespace {
+
+TEST(AddressPlan, RejectsBadBitSplit) {
+  EXPECT_THROW(AddressPlan(Prefix(0x0A000000u, 8), 10, 10),
+               std::invalid_argument);
+  EXPECT_THROW(AddressPlan(Prefix(0x0A000000u, 8), 24, 0),
+               std::invalid_argument);
+}
+
+TEST(AddressPlan, DefaultPlanShape) {
+  const auto plan = AddressPlan::default_plan();
+  EXPECT_EQ(plan.max_base_stations(), 4096u);
+  EXPECT_EQ(plan.max_ues_per_bs(), 4096u);
+  EXPECT_EQ(plan.carrier().to_string(), "10.0.0.0/8");
+}
+
+TEST(AddressPlan, EncodeDecodeRoundTrip) {
+  const auto plan = AddressPlan::default_plan();
+  const auto addr = plan.encode(7, LocalUeId(10));
+  const auto fields = plan.decode(addr);
+  ASSERT_TRUE(fields);
+  EXPECT_EQ(fields->bs_index, 7u);
+  EXPECT_EQ(fields->ue.value(), 10u);
+}
+
+TEST(AddressPlan, DecodeRejectsForeignAddress) {
+  const auto plan = AddressPlan::default_plan();
+  EXPECT_FALSE(plan.decode(0x08080808u));  // not in 10/8
+}
+
+TEST(AddressPlan, BsPrefixContainsAllItsUes) {
+  const auto plan = AddressPlan::default_plan();
+  const Prefix p = plan.bs_prefix(42);
+  EXPECT_EQ(p.len(), 8 + 12);
+  EXPECT_TRUE(p.contains(plan.encode(42, LocalUeId(0))));
+  EXPECT_TRUE(p.contains(plan.encode(42, LocalUeId(4095))));
+  EXPECT_FALSE(p.contains(plan.encode(43, LocalUeId(0))));
+}
+
+TEST(AddressPlan, AdjacentBsPrefixesAreContiguousWhenAligned) {
+  const auto plan = AddressPlan::default_plan();
+  // Even/odd neighbors are siblings -- the property location aggregation
+  // relies on.
+  EXPECT_TRUE(Prefix::contiguous(plan.bs_prefix(0), plan.bs_prefix(1)));
+  EXPECT_TRUE(Prefix::contiguous(plan.bs_prefix(6), plan.bs_prefix(7)));
+  EXPECT_FALSE(Prefix::contiguous(plan.bs_prefix(1), plan.bs_prefix(2)));
+}
+
+TEST(AddressPlan, RangeChecks) {
+  const auto plan = AddressPlan::default_plan();
+  EXPECT_THROW((void)plan.bs_prefix(4096), std::out_of_range);
+  EXPECT_THROW((void)plan.encode(0, LocalUeId(4096)), std::out_of_range);
+}
+
+TEST(AddressPlanProperty, RoundTripEverywhere) {
+  const AddressPlan plan(Prefix(0x0A000000u, 6), 16, 10);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const auto bs = static_cast<std::uint32_t>(
+        rng.next_below(plan.max_base_stations()));
+    const LocalUeId ue(
+        static_cast<std::uint16_t>(rng.next_below(plan.max_ues_per_bs())));
+    const auto addr = plan.encode(bs, ue);
+    const auto f = plan.decode(addr);
+    ASSERT_TRUE(f);
+    EXPECT_EQ(f->bs_index, bs);
+    EXPECT_EQ(f->ue, ue);
+    EXPECT_TRUE(plan.bs_prefix(bs).contains(addr));
+  }
+}
+
+TEST(PortCodec, RoundTrip) {
+  const PortCodec codec(10);
+  EXPECT_EQ(codec.max_tags(), 1024);
+  EXPECT_EQ(codec.max_flows_per_ue(), 64);
+  const auto port = codec.encode(PolicyTag(513), 37);
+  EXPECT_EQ(codec.tag_of(port), PolicyTag(513));
+  EXPECT_EQ(codec.flow_slot_of(port), 37);
+}
+
+TEST(PortCodec, RejectsOutOfRange) {
+  const PortCodec codec(10);
+  EXPECT_THROW((void)codec.encode(PolicyTag(1024), 0), std::out_of_range);
+  EXPECT_THROW((void)codec.encode(PolicyTag(0), 64), std::out_of_range);
+  EXPECT_THROW(PortCodec(0), std::invalid_argument);
+  EXPECT_THROW(PortCodec(16), std::invalid_argument);
+}
+
+TEST(PortCodecProperty, AllTagBitWidths) {
+  Rng rng(11);
+  for (std::uint8_t bits = 1; bits <= 15; ++bits) {
+    const PortCodec codec(bits);
+    for (int i = 0; i < 200; ++i) {
+      const PolicyTag tag(
+          static_cast<std::uint16_t>(rng.next_below(codec.max_tags())));
+      const auto slot = static_cast<std::uint16_t>(
+          rng.next_below(codec.max_flows_per_ue()));
+      const auto port = codec.encode(tag, slot);
+      EXPECT_EQ(codec.tag_of(port), tag);
+      EXPECT_EQ(codec.flow_slot_of(port), slot);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace softcell

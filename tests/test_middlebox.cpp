@@ -1,0 +1,134 @@
+#include "mbox/middlebox.hpp"
+
+#include <gtest/gtest.h>
+
+namespace softcell {
+namespace {
+
+Packet up_packet(FlowKey key, TcpFlag flag = TcpFlag::kNone) {
+  Packet p;
+  p.key = key;
+  p.flag = flag;
+  p.payload_bytes = 1000;
+  p.uplink = true;
+  return p;
+}
+
+Packet down_packet(FlowKey up_key, TcpFlag flag = TcpFlag::kNone) {
+  Packet p;
+  p.key = up_key.reversed();
+  p.flag = flag;
+  p.payload_bytes = 1000;
+  p.uplink = false;
+  return p;
+}
+
+const FlowKey kFlow{0x0A000001u, 0x08080808u, 1234, 80, IpProto::kTcp};
+
+TEST(StatefulFirewall, UplinkSynOpensConnection) {
+  StatefulFirewall fw;
+  auto syn = up_packet(kFlow, TcpFlag::kSyn);
+  EXPECT_TRUE(fw.process(syn));
+  EXPECT_EQ(fw.open_connections(), 1u);
+  auto data = up_packet(kFlow);
+  EXPECT_TRUE(fw.process(data));
+  auto reply = down_packet(kFlow);
+  EXPECT_TRUE(fw.process(reply));
+}
+
+TEST(StatefulFirewall, UnsolicitedInboundDropped) {
+  StatefulFirewall fw;
+  auto reply = down_packet(kFlow);
+  EXPECT_FALSE(fw.process(reply));
+  EXPECT_EQ(fw.dropped(), 1u);
+}
+
+TEST(StatefulFirewall, DownlinkSynCannotOpen) {
+  StatefulFirewall fw;
+  auto syn = down_packet(kFlow, TcpFlag::kSyn);
+  EXPECT_FALSE(fw.process(syn));
+}
+
+TEST(StatefulFirewall, MidConnectionPacketsAtWrongInstanceDropped) {
+  // The property that makes policy consistency matter: a second instance
+  // never saw the SYN, so it drops the connection's packets.
+  StatefulFirewall a, b;
+  auto syn = up_packet(kFlow, TcpFlag::kSyn);
+  EXPECT_TRUE(a.process(syn));
+  auto data = up_packet(kFlow);
+  EXPECT_TRUE(a.process(data));
+  EXPECT_FALSE(b.process(data));
+}
+
+TEST(StatefulFirewall, FinClosesConnection) {
+  StatefulFirewall fw;
+  auto syn = up_packet(kFlow, TcpFlag::kSyn);
+  auto fin = up_packet(kFlow, TcpFlag::kFin);
+  auto data = up_packet(kFlow);
+  EXPECT_TRUE(fw.process(syn));
+  EXPECT_TRUE(fw.process(fin));
+  EXPECT_EQ(fw.open_connections(), 0u);
+  EXPECT_FALSE(fw.process(data));
+}
+
+TEST(Transcoder, ShrinksPayload) {
+  Transcoder t(0.5);
+  auto p = up_packet(kFlow);
+  EXPECT_TRUE(t.process(p));
+  EXPECT_EQ(p.payload_bytes, 500u);
+  EXPECT_EQ(t.bytes_saved(), 500u);
+}
+
+TEST(EchoCanceller, PassesAndCounts) {
+  EchoCanceller e;
+  auto p = up_packet(kFlow);
+  EXPECT_TRUE(e.process(p));
+  EXPECT_EQ(e.passed(), 1u);
+}
+
+TEST(Ids, GroupsFlowsByUeViaLocIp) {
+  const auto plan = AddressPlan::default_plan();
+  Ids ids(plan, 2);
+  const Ipv4Addr ue_a = plan.encode(5, LocalUeId(9));
+  const Ipv4Addr ue_b = plan.encode(5, LocalUeId(10));
+  for (std::uint16_t port = 1000; port < 1003; ++port) {
+    Packet p = up_packet({ue_a, 0x08080808u, port, 80, IpProto::kTcp});
+    EXPECT_TRUE(ids.process(p));
+  }
+  // Third distinct flow of UE a crossed the threshold of 2.
+  EXPECT_EQ(ids.alerts(), 1u);
+  Packet pb = up_packet({ue_b, 0x08080808u, 1000, 80, IpProto::kTcp});
+  EXPECT_TRUE(ids.process(pb));
+  EXPECT_EQ(ids.alerts(), 1u);  // UE b is under its own threshold
+  EXPECT_EQ(ids.tracked_ues(), 2u);
+}
+
+TEST(Ids, RepeatPacketsOfSameFlowDoNotAlert) {
+  const auto plan = AddressPlan::default_plan();
+  Ids ids(plan, 1);
+  const Ipv4Addr ue = plan.encode(1, LocalUeId(1));
+  Packet p = up_packet({ue, 0x08080808u, 1000, 80, IpProto::kTcp});
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(ids.process(p));
+  EXPECT_EQ(ids.alerts(), 0u);
+}
+
+TEST(IdsDownlink, UsesDestinationLocIp) {
+  const auto plan = AddressPlan::default_plan();
+  Ids ids(plan, 0);
+  const Ipv4Addr ue = plan.encode(2, LocalUeId(3));
+  Packet p = down_packet({ue, 0x08080808u, 1000, 80, IpProto::kTcp});
+  EXPECT_TRUE(ids.process(p));
+  EXPECT_EQ(ids.alerts(), 1u);  // threshold 0: first flow alerts
+}
+
+TEST(MakeMiddlebox, FactoryKinds) {
+  const auto plan = AddressPlan::default_plan();
+  EXPECT_EQ(make_middlebox(0, plan)->kind(), "firewall");
+  EXPECT_EQ(make_middlebox(1, plan)->kind(), "transcoder");
+  EXPECT_EQ(make_middlebox(2, plan)->kind(), "echo-canceller");
+  EXPECT_EQ(make_middlebox(3, plan)->kind(), "ids");
+  EXPECT_EQ(make_middlebox(9, plan)->kind(), "generic");
+}
+
+}  // namespace
+}  // namespace softcell

@@ -1,0 +1,222 @@
+// Policy consistency under mobility (paper section 5.1): in-flight flows
+// keep traversing the same stateful middlebox instances after handoff, new
+// flows take fresh paths, tunnels/shortcuts route old-LocIP traffic, and
+// LocIP quarantine prevents address reuse during the transition.
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace softcell {
+namespace {
+
+constexpr Ipv4Addr kServer = 0x08080808u;
+
+class MobilityTest : public ::testing::Test {
+ protected:
+  explicit MobilityTest(bool shortcuts = true)
+      : net_(SoftCellConfig{.topo = {.k = 4, .seed = 21},
+                            .mobility = {.install_shortcuts = shortcuts}},
+             make_table1_policy()) {}
+
+  UeId silver_ue(std::uint32_t bs) {
+    SubscriberProfile p;
+    p.plan = BillingPlan::kSilver;
+    const UeId ue = net_.add_subscriber(p);
+    net_.attach(ue, bs);
+    return ue;
+  }
+
+  SoftCellNetwork net_;
+};
+
+TEST_F(MobilityTest, OldFlowSurvivesHandoffThroughSameFirewall) {
+  const UeId ue = silver_ue(0);
+  const auto flow = net_.open_flow(ue, kServer, 80);
+  const auto up0 = net_.send_uplink(flow, TcpFlag::kSyn);
+  ASSERT_TRUE(up0.delivered) << up0.drop_reason;
+
+  const auto ticket = net_.handoff(ue, 1);  // ring neighbor
+  EXPECT_EQ(net_.serving_bs(ue), 1u);
+
+  // Uplink continues via copied microflow rules -- same old LocIP, so the
+  // same stateful firewall instance accepts the mid-connection packets.
+  const auto up1 = net_.send_uplink(flow);
+  ASSERT_TRUE(up1.delivered) << up1.drop_reason;
+  EXPECT_EQ(up1.middlebox_sequence, up0.middlebox_sequence);
+  EXPECT_EQ(up1.final_packet.key.src_ip, up0.final_packet.key.src_ip);
+
+  // Downlink reaches the UE at the new base station.
+  const auto down = net_.send_downlink(flow);
+  ASSERT_TRUE(down.delivered) << down.drop_reason;
+  EXPECT_EQ(down.final_packet.key.dst_ip, flow.key.src_ip);
+  (void)ticket;
+}
+
+TEST_F(MobilityTest, NewFlowAfterHandoffUsesNewLocIp) {
+  const UeId ue = silver_ue(0);
+  const auto old_flow = net_.open_flow(ue, kServer, 80);
+  (void)net_.send_uplink(old_flow, TcpFlag::kSyn);
+  const auto old_src =
+      net_.send_uplink(old_flow).final_packet.key.src_ip;
+
+  (void)net_.handoff(ue, 11);  // different cluster
+  const auto new_flow = net_.open_flow(ue, kServer, 443);
+  const auto up = net_.send_uplink(new_flow, TcpFlag::kSyn);
+  ASSERT_TRUE(up.delivered) << up.drop_reason;
+  const auto fields = net_.plan().decode(up.final_packet.key.src_ip);
+  ASSERT_TRUE(fields);
+  EXPECT_EQ(fields->bs_index, 11u);
+  EXPECT_NE(up.final_packet.key.src_ip, old_src);
+  // And its return path works too.
+  ASSERT_TRUE(net_.send_downlink(new_flow).delivered);
+}
+
+TEST_F(MobilityTest, ChainedHandoffsKeepOldFlowAlive) {
+  const UeId ue = silver_ue(0);
+  const auto flow = net_.open_flow(ue, kServer, 80);
+  const auto up0 = net_.send_uplink(flow, TcpFlag::kSyn);
+  ASSERT_TRUE(up0.delivered);
+
+  (void)net_.handoff(ue, 1);
+  (void)net_.handoff(ue, 2);
+  (void)net_.handoff(ue, 12);
+
+  const auto up = net_.send_uplink(flow);
+  ASSERT_TRUE(up.delivered) << up.drop_reason;
+  EXPECT_EQ(up.middlebox_sequence, up0.middlebox_sequence);
+  const auto down = net_.send_downlink(flow);
+  ASSERT_TRUE(down.delivered) << down.drop_reason;
+  EXPECT_EQ(down.final_packet.key.dst_ip, flow.key.src_ip);
+}
+
+TEST_F(MobilityTest, QuarantinePreventsLocIpReuse) {
+  const UeId ue = silver_ue(0);
+  const auto flow = net_.open_flow(ue, kServer, 80);
+  (void)net_.send_uplink(flow, TcpFlag::kSyn);
+  const auto old_locip = net_.send_uplink(flow).final_packet.key.src_ip;
+
+  const auto ticket = net_.handoff(ue, 1);
+  // New UEs at the old base station must not receive the quarantined LocIP.
+  for (int i = 0; i < 3; ++i) {
+    const UeId fresh = silver_ue(0);
+    const auto f = net_.open_flow(fresh, kServer, 80);
+    const auto d = net_.send_uplink(f, TcpFlag::kSyn);
+    ASSERT_TRUE(d.delivered);
+    EXPECT_NE(d.final_packet.key.src_ip, old_locip);
+  }
+  net_.complete_handoff(ticket);
+  EXPECT_EQ(net_.agent(0).quarantined(), 0u);
+}
+
+TEST_F(MobilityTest, CompleteHandoffTearsDownAnchorState) {
+  const UeId ue = silver_ue(0);
+  const auto flow = net_.open_flow(ue, kServer, 80);
+  (void)net_.send_uplink(flow, TcpFlag::kSyn);
+  (void)net_.send_downlink(flow);
+
+  const auto ticket = net_.handoff(ue, 1);
+  EXPECT_GE(net_.access(0).tunnel_count(), 1u);
+  const auto rules_during = net_.controller().engine().total_rules();
+  net_.complete_handoff(ticket);
+  EXPECT_EQ(net_.access(0).tunnel_count(), 0u);
+  // Shortcut rules are gone.
+  EXPECT_LE(net_.controller().engine().total_rules(), rules_during);
+}
+
+TEST_F(MobilityTest, HandoffToSameBsRejected) {
+  const UeId ue = silver_ue(0);
+  EXPECT_THROW((void)net_.handoff(ue, 0), std::invalid_argument);
+}
+
+class TriangleOnlyTest : public MobilityTest {
+ protected:
+  TriangleOnlyTest() : MobilityTest(/*shortcuts=*/false) {}
+};
+
+TEST_F(TriangleOnlyTest, DownlinkOldFlowTakesTunnel) {
+  const UeId ue = silver_ue(0);
+  const auto flow = net_.open_flow(ue, kServer, 80);
+  (void)net_.send_uplink(flow, TcpFlag::kSyn);
+  (void)net_.handoff(ue, 15);  // far away: triangle routing visible
+  const auto down = net_.send_downlink(flow);
+  ASSERT_TRUE(down.delivered) << down.drop_reason;
+  EXPECT_TRUE(down.tunneled);
+}
+
+TEST_F(TriangleOnlyTest, ShortcutsAreShorterThanTriangle) {
+  // Old base station deep in its ring, new base station at a ring head:
+  // the triangle detour (old path all the way into the old ring, then the
+  // tunnel) costs visibly more hops than the shortcut.
+  const UeId ue = silver_ue(4);
+  const auto flow = net_.open_flow(ue, kServer, 80);
+  (void)net_.send_uplink(flow, TcpFlag::kSyn);
+  (void)net_.handoff(ue, 30);
+  const auto triangle = net_.send_downlink(flow);
+  ASSERT_TRUE(triangle.delivered) << triangle.drop_reason;
+  EXPECT_TRUE(triangle.tunneled);
+
+  SoftCellNetwork with_shortcuts(
+      SoftCellConfig{.topo = {.k = 4, .seed = 21},
+                     .mobility = {.install_shortcuts = true}},
+      make_table1_policy());
+  SubscriberProfile p;
+  p.plan = BillingPlan::kSilver;
+  const UeId ue2 = with_shortcuts.add_subscriber(p);
+  with_shortcuts.attach(ue2, 4);
+  const auto flow2 = with_shortcuts.open_flow(ue2, kServer, 80);
+  (void)with_shortcuts.send_uplink(flow2, TcpFlag::kSyn);
+  const auto ticket = with_shortcuts.handoff(ue2, 30);
+  const auto shortcut = with_shortcuts.send_downlink(flow2);
+  ASSERT_TRUE(shortcut.delivered) << shortcut.drop_reason;
+  if (!ticket.shortcuts.empty()) {
+    EXPECT_FALSE(shortcut.tunneled);
+    EXPECT_LT(shortcut.hops.size(), triangle.hops.size());
+  }
+}
+
+// Property sweep: random moves with live flows; every packet of every
+// pre-handoff connection keeps passing its stateful firewall.
+TEST_F(MobilityTest, RandomWalkKeepsPolicyConsistency) {
+  Rng rng(99);
+  struct LiveFlow {
+    SoftCellNetwork::FlowHandle handle;
+    std::vector<NodeId> mbs;
+  };
+  std::vector<UeId> ues;
+  std::vector<LiveFlow> flows;
+  for (int i = 0; i < 6; ++i) {
+    const auto bs =
+        static_cast<std::uint32_t>(rng.next_below(net_.topology().num_base_stations()));
+    const UeId ue = silver_ue(bs);
+    ues.push_back(ue);
+    for (std::uint16_t port : {std::uint16_t{80}, std::uint16_t{1935}}) {
+      auto h = net_.open_flow(ue, kServer + static_cast<Ipv4Addr>(i), port);
+      const auto d = net_.send_uplink(h, TcpFlag::kSyn);
+      ASSERT_TRUE(d.delivered) << d.drop_reason;
+      flows.push_back(LiveFlow{h, d.middlebox_sequence});
+    }
+  }
+  for (int step = 0; step < 30; ++step) {
+    const UeId ue = ues[rng.next_below(ues.size())];
+    const auto cur = net_.serving_bs(ue);
+    ASSERT_TRUE(cur);
+    std::uint32_t next = *cur;
+    while (next == *cur)
+      next = static_cast<std::uint32_t>(
+          rng.next_below(net_.topology().num_base_stations()));
+    (void)net_.handoff(ue, next);
+    for (const auto& f : flows) {
+      const auto up = net_.send_uplink(f.handle);
+      ASSERT_TRUE(up.delivered) << "step " << step << ": " << up.drop_reason;
+      EXPECT_EQ(up.middlebox_sequence, f.mbs);  // same instances, same order
+      const auto down = net_.send_downlink(f.handle);
+      ASSERT_TRUE(down.delivered) << "step " << step << ": "
+                                  << down.drop_reason;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace softcell

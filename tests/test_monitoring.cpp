@@ -1,0 +1,141 @@
+// Monitoring & load balancing: data-plane rule counters, the southbound
+// stats messages, and the controller's least-loaded instance placement.
+#include <gtest/gtest.h>
+
+#include "ofp/switch_agent.hpp"
+#include "sim/network.hpp"
+
+namespace softcell {
+namespace {
+
+constexpr Ipv4Addr kServer = 0x08080808u;
+
+TEST(Counters, LookupsAndMissesAreCounted) {
+  SwitchTable t;
+  t.add_default(Direction::kDownlink, InPortSpec::any(), PolicyTag(1),
+                RuleAction{NodeId(5), std::nullopt});
+  (void)t.lookup(Direction::kDownlink, NodeId(0), PolicyTag(1), 0x0A000001u);
+  (void)t.lookup(Direction::kDownlink, NodeId(0), PolicyTag(2), 0x0A000001u);
+  EXPECT_EQ(t.lookups(), 2u);
+  EXPECT_EQ(t.lookup_misses(), 1u);
+}
+
+TEST(Counters, PacketsAccumulatePerFlowInTheSim) {
+  SoftCellConfig config;
+  config.topo = {.k = 4, .seed = 17};
+  SoftCellNetwork net(config, make_table1_policy());
+  SubscriberProfile p;
+  const UeId ue = net.add_subscriber(p);
+  net.attach(ue, 0);
+  const auto flow = net.open_flow(ue, kServer, 80);
+  const auto before =
+      net.controller().engine().table(net.topology().gateway()).lookups();
+  (void)net.send_uplink(flow, TcpFlag::kSyn);
+  for (int i = 0; i < 9; ++i) (void)net.send_uplink(flow);
+  const auto after =
+      net.controller().engine().table(net.topology().gateway()).lookups();
+  EXPECT_EQ(after - before, 10u);  // one gateway lookup per uplink packet
+}
+
+TEST(StatsProtocol, RoundTripAndAgentReply) {
+  using namespace ofp;
+  const TableStatsMsg s{7, 100, 40, 30, 30, 12345, 9};
+  const auto back = decode_stats_reply(encode_stats_reply(s));
+  ASSERT_TRUE(back);
+  EXPECT_EQ(*back, s);
+
+  SwitchAgent agent(NodeId(1));
+  RuleOp op;
+  op.kind = RuleOp::Kind::kAddDefault;
+  op.sw = NodeId(1);
+  op.tag = PolicyTag(3);
+  op.action = RuleAction{NodeId(9), std::nullopt};
+  (void)agent.handle(encode_flow_mod(FlowMod{1, op}));
+  const auto replies =
+      agent.handle(encode_control(MsgType::kStatsRequest, 42));
+  ASSERT_EQ(replies.size(), 1u);
+  const auto stats = decode_stats_reply(replies[0]);
+  ASSERT_TRUE(stats);
+  EXPECT_EQ(stats->xid, 42u);
+  EXPECT_EQ(stats->rule_count, 1u);
+  EXPECT_EQ(stats->type2, 1u);
+}
+
+TEST(StatsProtocol, RejectsWrongSizeReply) {
+  using namespace ofp;
+  auto bytes = encode_stats_reply(TableStatsMsg{});
+  bytes.pop_back();
+  EXPECT_FALSE(decode_stats_reply(bytes));
+}
+
+class LeastLoadedTest : public ::testing::Test {
+ protected:
+  LeastLoadedTest() : topo_({.k = 4, .seed = 23}) {
+    ControllerOptions opts;
+    opts.placement = InstancePlacement::kLeastLoaded;
+    ctrl_ = std::make_unique<Controller>(topo_, make_table1_policy(), opts);
+  }
+
+  CellularTopology topo_;
+  std::unique_ptr<Controller> ctrl_;
+};
+
+TEST_F(LeastLoadedTest, SpreadsPathsAcrossInstances) {
+  SubscriberProfile p;
+  p.plan = BillingPlan::kSilver;
+  const auto* clause = ctrl_->policy().match(p, AppType::kWeb);
+  ASSERT_NE(clause, nullptr);
+  for (std::uint32_t bs = 0; bs < topo_.num_base_stations(); bs += 2)
+    (void)ctrl_->request_policy_path(bs, clause->id);
+
+  // Load lands on pod instances and both core instances; no single
+  // firewall instance hogs everything.
+  std::uint64_t total = 0, max_load = 0;
+  std::size_t used = 0;
+  for (const auto idx : topo_.instances_of_type(mb::kFirewall)) {
+    const auto load = ctrl_->instance_load(topo_.middleboxes()[idx].node);
+    total += load;
+    max_load = std::max(max_load, load);
+    used += load > 0;
+  }
+  EXPECT_EQ(total, 80u);  // one firewall per installed path
+  EXPECT_GE(used, 3u);
+  EXPECT_LT(max_load, total);
+}
+
+TEST_F(LeastLoadedTest, SelectionIsMemoizedPerPath) {
+  SubscriberProfile p;
+  p.plan = BillingPlan::kSilver;
+  const auto* clause = ctrl_->policy().match(p, AppType::kWeb);
+  (void)ctrl_->request_policy_path(5, clause->id);
+  const auto first = ctrl_->select_instances(5, clause->id);
+  // Pile load elsewhere; the installed path's selection must not drift.
+  for (std::uint32_t bs = 20; bs < 60; ++bs)
+    (void)ctrl_->request_policy_path(bs, clause->id);
+  EXPECT_EQ(ctrl_->select_instances(5, clause->id), first);
+}
+
+TEST(LeastLoadedE2e, TrafficFollowsTheBalancedSelection) {
+  SoftCellConfig config;
+  config.topo = {.k = 4, .seed = 23};
+  config.controller.placement = InstancePlacement::kLeastLoaded;
+  SoftCellNetwork net(config, make_table1_policy());
+  SubscriberProfile p;
+  p.plan = BillingPlan::kSilver;
+  for (std::uint32_t bs = 0; bs < 24; bs += 2) {
+    const UeId ue = net.add_subscriber(p);
+    net.attach(ue, bs);
+    const auto flow = net.open_flow(ue, kServer, 80);
+    const auto up = net.send_uplink(flow, TcpFlag::kSyn);
+    ASSERT_TRUE(up.delivered) << up.drop_reason;
+    ASSERT_EQ(up.middlebox_sequence,
+              net.expected_middleboxes(bs, *[&] {
+                const auto* c = net.controller().policy().match(p, AppType::kWeb);
+                return std::optional<ClauseId>(c->id);
+              }()));
+    ASSERT_TRUE(net.send_downlink(flow).delivered);
+  }
+}
+
+}  // namespace
+}  // namespace softcell

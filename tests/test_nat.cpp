@@ -1,0 +1,90 @@
+#include "packet/nat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace softcell {
+namespace {
+
+FlowKey make_flow(std::uint32_t i) {
+  return FlowKey{0x0A000000u + i, 0x08080808u, static_cast<std::uint16_t>(1000 + i % 60000),
+                 443, IpProto::kTcp};
+}
+
+TEST(FlowNat, StableMappingPerFlow) {
+  FlowNat nat(Prefix(0xC6336400u, 24), 1);  // 198.51.100.0/24
+  const auto f = make_flow(1);
+  const auto e1 = nat.translate_outbound(f);
+  const auto e2 = nat.translate_outbound(f);
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(nat.active_flows(), 1u);
+}
+
+TEST(FlowNat, InboundInvertsOutbound) {
+  FlowNat nat(Prefix(0xC6336400u, 24), 2);
+  const auto f = make_flow(7);
+  const auto pub = nat.translate_outbound(f);
+  const auto back = nat.translate_inbound(pub);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(*back, f);
+}
+
+TEST(FlowNat, UnsolicitedInboundIsRejected) {
+  FlowNat nat(Prefix(0xC6336400u, 24), 3);
+  EXPECT_FALSE(nat.translate_inbound(PublicEndpoint{0xC6336401u, 5555}));
+}
+
+TEST(FlowNat, ReleaseFreesEndpoint) {
+  FlowNat nat(Prefix(0xC6336400u, 24), 4);
+  const auto f = make_flow(9);
+  const auto pub = nat.translate_outbound(f);
+  nat.release(f);
+  EXPECT_EQ(nat.active_flows(), 0u);
+  EXPECT_FALSE(nat.translate_inbound(pub));
+  nat.release(f);  // double release is a no-op
+}
+
+TEST(FlowNat, EndpointsInPool) {
+  const Prefix pool(0xC6336400u, 24);
+  FlowNat nat(pool, 5);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const auto e = nat.translate_outbound(make_flow(i));
+    EXPECT_TRUE(pool.contains(e.ip));
+    EXPECT_GE(e.port, 1024);
+  }
+}
+
+TEST(FlowNat, EndpointsUniqueAcrossFlows) {
+  FlowNat nat(Prefix(0xC6336400u, 24), 6);
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    const auto e = nat.translate_outbound(make_flow(i));
+    EXPECT_TRUE(
+        seen.insert((static_cast<std::uint64_t>(e.ip) << 16) | e.port).second);
+  }
+}
+
+// Privacy property (section 4.1): mappings for the same UE before and after
+// a "move" (new LocIP, same remote) share no endpoint correlation -- here we
+// check at minimum that distinct internal flows never share a public
+// endpoint and that endpoints do not embed the internal address bits.
+TEST(FlowNat, NoAddressBitsLeak) {
+  FlowNat nat(Prefix(0xC6336400u, 24), 7);
+  int equal_hostbits = 0;
+  const int n = 1000;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto f = make_flow(i);
+    const auto e = nat.translate_outbound(f);
+    if ((e.ip & 0xFFu) == (f.src_ip & 0xFFu)) ++equal_hostbits;
+  }
+  // Random assignment collides on the low byte ~1/256 of the time.
+  EXPECT_LT(equal_hostbits, n / 16);
+}
+
+TEST(FlowNat, TooSmallPoolRejected) {
+  EXPECT_THROW(FlowNat(Prefix(0xC6336400u, 31), 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace softcell

@@ -1,0 +1,151 @@
+#include "core/path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/cellular.hpp"
+
+namespace softcell {
+namespace {
+
+class PathExpansionTest : public ::testing::Test {
+ protected:
+  PathExpansionTest() : topo_({.k = 4, .seed = 2}), routes_(topo_.graph()) {}
+
+  ExpandedPath expand(Direction dir, std::uint32_t bs,
+                      std::vector<NodeId> mbs) {
+    return expand_policy_path(topo_.graph(), routes_, dir,
+                              topo_.access_switch(bs), mbs, topo_.gateway(),
+                              topo_.internet());
+  }
+
+  CellularTopology topo_;
+  RoutingOracle routes_;
+};
+
+TEST_F(PathExpansionTest, UplinkEndsAtInternet) {
+  const auto p = expand(Direction::kUplink, 0, {});
+  ASSERT_FALSE(p.fabric.empty());
+  EXPECT_EQ(p.fabric.back().sw, topo_.gateway());
+  EXPECT_EQ(p.fabric.back().out_to, topo_.internet());
+  EXPECT_TRUE(p.access_tail.empty());  // uplink needs no access-switch rules
+}
+
+TEST_F(PathExpansionTest, DownlinkStartsAtGateway) {
+  const auto p = expand(Direction::kDownlink, 0, {});
+  ASSERT_FALSE(p.fabric.empty());
+  EXPECT_EQ(p.fabric.front().sw, topo_.gateway());
+  EXPECT_EQ(p.dir, Direction::kDownlink);
+}
+
+TEST_F(PathExpansionTest, HopsAreLinkConsistent) {
+  const auto& mb1 = topo_.pod_instance(0, 0);
+  const auto& mb2 = topo_.core_instance(1, 0);
+  for (Direction dir : {Direction::kUplink, Direction::kDownlink}) {
+    const auto p = expand(dir, 5, {mb1.node, mb2.node});
+    std::vector<PathHop> all(p.fabric);
+    all.insert(all.end(), p.access_tail.begin(), p.access_tail.end());
+    for (const auto& h : all) {
+      const auto& nbrs = topo_.graph().neighbors(h.sw);
+      EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), h.out_to), nbrs.end())
+          << "hop at " << h.sw.value() << " -> " << h.out_to.value();
+    }
+  }
+}
+
+TEST_F(PathExpansionTest, MiddleboxDetourCreatesTwoHopsAtHost) {
+  const auto& mb = topo_.pod_instance(2, 0);
+  const auto p = expand(Direction::kUplink, 0, {mb.node});
+  int to_mb = 0, from_mb = 0;
+  for (const auto& h : p.fabric) {
+    if (h.out_to == mb.node) {
+      ++to_mb;
+      EXPECT_EQ(h.sw, mb.host_switch);
+    }
+    if (h.in_from == mb.node) {
+      ++from_mb;
+      EXPECT_EQ(h.sw, mb.host_switch);
+      EXPECT_TRUE(h.from_middlebox);
+    }
+  }
+  EXPECT_EQ(to_mb, 1);
+  EXPECT_EQ(from_mb, 1);
+}
+
+TEST_F(PathExpansionTest, DownlinkReversesMiddleboxOrder) {
+  const auto& a = topo_.pod_instance(0, 0);
+  const auto& b = topo_.core_instance(1, 0);
+  const auto up = expand(Direction::kUplink, 0, {a.node, b.node});
+  const auto down = expand(Direction::kDownlink, 0, {a.node, b.node});
+  // Uplink visits a before b; downlink visits b before a.
+  const auto first_visit = [](const ExpandedPath& p, NodeId mb) {
+    for (std::size_t i = 0; i < p.fabric.size(); ++i)
+      if (p.fabric[i].out_to == mb) return i;
+    return p.fabric.size();
+  };
+  EXPECT_LT(first_visit(up, a.node), first_visit(up, b.node));
+  EXPECT_LT(first_visit(down, b.node), first_visit(down, a.node));
+}
+
+TEST_F(PathExpansionTest, DownlinkTailCoversRingTransit) {
+  // A base station deep in its ring needs location rules on the access
+  // switches between the aggregation switch and itself.
+  // Station index 4 sits 5 hops into the 10-station ring.
+  const auto p = expand(Direction::kDownlink, 4, {});
+  EXPECT_FALSE(p.access_tail.empty());
+  for (const auto& h : p.access_tail)
+    EXPECT_EQ(topo_.graph().kind(h.sw), NodeKind::kAccessSwitch);
+  // The last tail hop delivers to the destination access switch.
+  EXPECT_EQ(p.access_tail.back().out_to, topo_.access_switch(4));
+}
+
+TEST_F(PathExpansionTest, RingHeadStationHasNoTail) {
+  // Station 0 is adjacent to the aggregation switch.
+  const auto p = expand(Direction::kDownlink, 0, {});
+  EXPECT_TRUE(p.access_tail.empty());
+  EXPECT_EQ(p.fabric.back().out_to, topo_.access_switch(0));
+}
+
+TEST_F(PathExpansionTest, NoRuleHopsAtMiddleboxNodes) {
+  const auto& mb = topo_.core_instance(0, 1);
+  for (Direction dir : {Direction::kUplink, Direction::kDownlink}) {
+    const auto p = expand(dir, 7, {mb.node});
+    for (const auto& h : p.fabric)
+      EXPECT_NE(topo_.graph().kind(h.sw), NodeKind::kMiddlebox);
+  }
+}
+
+TEST_F(PathExpansionTest, ConsecutiveHopsChain) {
+  const auto& mb = topo_.pod_instance(1, 1);
+  const auto p = expand(Direction::kUplink, 11, {mb.node});
+  for (std::size_t i = 0; i + 1 < p.fabric.size(); ++i) {
+    const auto& cur = p.fabric[i];
+    const auto& nxt = p.fabric[i + 1];
+    // Either directly linked switches, or a middlebox bounce at one switch.
+    if (cur.out_to == nxt.sw) {
+      EXPECT_EQ(nxt.in_from, cur.sw);
+    } else {
+      // bounce: cur sends to a middlebox, nxt is at the same switch from it
+      EXPECT_EQ(topo_.graph().kind(cur.out_to), NodeKind::kMiddlebox);
+      EXPECT_EQ(nxt.sw, cur.sw);
+      EXPECT_EQ(nxt.in_from, cur.out_to);
+    }
+  }
+}
+
+TEST_F(PathExpansionTest, SameHostConsecutiveMiddleboxes) {
+  // Two middleboxes on the same host switch: the path must bounce twice at
+  // that switch without an intermediate segment.
+  const auto& m0 = topo_.pod_instance(0, 0);
+  // Find another type instance on the same host, if the seed placed one;
+  // otherwise use the same instance's host with a core instance (skip).
+  const auto p = expand(Direction::kUplink, 0, {m0.node, m0.node});
+  // Visiting the same middlebox twice is degenerate but must not crash and
+  // must produce two detours.
+  int detours = 0;
+  for (const auto& h : p.fabric)
+    if (h.out_to == m0.node) ++detours;
+  EXPECT_EQ(detours, 2);
+}
+
+}  // namespace
+}  // namespace softcell

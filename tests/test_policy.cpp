@@ -1,0 +1,169 @@
+#include "policy/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace softcell {
+namespace {
+
+SubscriberProfile home_user() {
+  SubscriberProfile p;
+  p.provider = 0;
+  p.plan = BillingPlan::kSilver;
+  p.device = DeviceClass::kSmartphone;
+  return p;
+}
+
+TEST(Predicate, Atoms) {
+  const auto p = home_user();
+  EXPECT_TRUE(Predicate::any().matches(p, AppType::kWeb));
+  EXPECT_TRUE(Predicate::provider_is(0).matches(p, AppType::kWeb));
+  EXPECT_FALSE(Predicate::provider_is(1).matches(p, AppType::kWeb));
+  EXPECT_TRUE(Predicate::plan_is(BillingPlan::kSilver).matches(p, AppType::kWeb));
+  EXPECT_FALSE(Predicate::plan_is(BillingPlan::kGold).matches(p, AppType::kWeb));
+  EXPECT_TRUE(Predicate::app_is(AppType::kVideo).matches(p, AppType::kVideo));
+  EXPECT_FALSE(Predicate::app_is(AppType::kVideo).matches(p, AppType::kWeb));
+  EXPECT_FALSE(Predicate::roaming().matches(p, AppType::kWeb));
+  EXPECT_FALSE(Predicate::over_cap().matches(p, AppType::kWeb));
+}
+
+TEST(Predicate, BooleanCombinators) {
+  const auto p = home_user();
+  const auto silver_video = Predicate::plan_is(BillingPlan::kSilver) &&
+                            Predicate::app_is(AppType::kVideo);
+  EXPECT_TRUE(silver_video.matches(p, AppType::kVideo));
+  EXPECT_FALSE(silver_video.matches(p, AppType::kWeb));
+  const auto either = Predicate::provider_is(9) || Predicate::provider_is(0);
+  EXPECT_TRUE(either.matches(p, AppType::kWeb));
+  EXPECT_TRUE((!Predicate::roaming()).matches(p, AppType::kWeb));
+}
+
+TEST(Predicate, DependsOnApp) {
+  EXPECT_FALSE(Predicate::provider_is(0).depends_on_app());
+  EXPECT_TRUE(Predicate::app_is(AppType::kWeb).depends_on_app());
+  EXPECT_TRUE((Predicate::provider_is(0) && Predicate::app_is(AppType::kWeb))
+                  .depends_on_app());
+  EXPECT_TRUE((!Predicate::app_is(AppType::kWeb)).depends_on_app());
+}
+
+TEST(Predicate, ToStringMentionsStructure) {
+  const auto pred = Predicate::provider_is(0) && Predicate::app_is(AppType::kVoip);
+  const auto s = pred.to_string();
+  EXPECT_NE(s.find("provider=0"), std::string::npos);
+  EXPECT_NE(s.find("voip"), std::string::npos);
+  EXPECT_NE(s.find("&&"), std::string::npos);
+}
+
+TEST(AppMapping, PortsRoundTrip) {
+  for (AppType a : {AppType::kWeb, AppType::kVideo, AppType::kVoip,
+                    AppType::kM2mTelemetry}) {
+    for (const auto port : ports_of_app(a)) EXPECT_EQ(app_from_dst_port(port), a);
+  }
+  EXPECT_EQ(app_from_dst_port(22), AppType::kOther);
+  EXPECT_TRUE(ports_of_app(AppType::kOther).empty());
+}
+
+TEST(ServicePolicy, HighestPriorityClauseWins) {
+  ServicePolicy pol;
+  pol.add_clause(1, Predicate::any(), ServiceAction{true, {}, QosClass::kBestEffort});
+  const auto hi = pol.add_clause(
+      9, Predicate::app_is(AppType::kVoip),
+      ServiceAction{true, {mb::kEchoCanceller}, QosClass::kBestEffort});
+  const auto* c = pol.match(home_user(), AppType::kVoip);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->id, hi);
+  const auto* d = pol.match(home_user(), AppType::kWeb);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->priority, 1u);
+}
+
+TEST(ServicePolicy, NoMatchReturnsNull) {
+  ServicePolicy pol;
+  pol.add_clause(5, Predicate::provider_is(3),
+                 ServiceAction{true, {}, QosClass::kBestEffort});
+  EXPECT_EQ(pol.match(home_user(), AppType::kWeb), nullptr);
+}
+
+TEST(ServicePolicy, ClauseLookupById) {
+  ServicePolicy pol;
+  const auto id = pol.add_clause(5, Predicate::any(),
+                                 ServiceAction{true, {mb::kFirewall}});
+  EXPECT_EQ(pol.clause(id).action.middleboxes.size(), 1u);
+  EXPECT_THROW((void)pol.clause(ClauseId(99)), std::out_of_range);
+}
+
+// --- the Table 1 example policy ---------------------------------------------
+
+TEST(Table1Policy, PartnerRoamersGoThroughFirewall) {
+  const auto pol = make_table1_policy();
+  SubscriberProfile roamer = home_user();
+  roamer.provider = 1;
+  const auto* c = pol.match(roamer, AppType::kWeb);
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->action.allow);
+  ASSERT_EQ(c->action.middleboxes.size(), 1u);
+  EXPECT_EQ(c->action.middleboxes[0], mb::kFirewall);
+}
+
+TEST(Table1Policy, UnknownCarriersAreDropped) {
+  const auto pol = make_table1_policy();
+  SubscriberProfile outsider = home_user();
+  outsider.provider = 7;
+  const auto* c = pol.match(outsider, AppType::kWeb);
+  ASSERT_NE(c, nullptr);
+  EXPECT_FALSE(c->action.allow);
+}
+
+TEST(Table1Policy, SilverVideoGetsTranscoderAfterFirewall) {
+  const auto pol = make_table1_policy();
+  const auto* c = pol.match(home_user(), AppType::kVideo);
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->action.middleboxes.size(), 2u);
+  EXPECT_EQ(c->action.middleboxes[0], mb::kFirewall);
+  EXPECT_EQ(c->action.middleboxes[1], mb::kTranscoder);
+}
+
+TEST(Table1Policy, GoldVideoFallsToDefaultFirewallOnly) {
+  const auto pol = make_table1_policy();
+  SubscriberProfile gold = home_user();
+  gold.plan = BillingPlan::kGold;
+  const auto* c = pol.match(gold, AppType::kVideo);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->action.middleboxes.size(), 1u);  // just the firewall default
+}
+
+TEST(Table1Policy, VoipGetsEchoCancellation) {
+  const auto pol = make_table1_policy();
+  const auto* c = pol.match(home_user(), AppType::kVoip);
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->action.middleboxes.size(), 2u);
+  EXPECT_EQ(c->action.middleboxes[1], mb::kEchoCanceller);
+}
+
+TEST(Table1Policy, FleetTrackerGetsLowLatency) {
+  const auto pol = make_table1_policy();
+  SubscriberProfile tracker = home_user();
+  tracker.device = DeviceClass::kM2mFleetTracker;
+  const auto* c = pol.match(tracker, AppType::kM2mTelemetry);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->action.qos, QosClass::kLowLatency);
+}
+
+TEST(Table1Policy, EveryHomeAppHitsSomeClauseWithFirewallFirst) {
+  const auto pol = make_table1_policy();
+  for (AppType a : {AppType::kWeb, AppType::kVideo, AppType::kVoip,
+                    AppType::kM2mTelemetry, AppType::kOther}) {
+    const auto* c = pol.match(home_user(), a);
+    ASSERT_NE(c, nullptr) << to_string(a);
+    EXPECT_TRUE(c->action.allow);
+    ASSERT_FALSE(c->action.middleboxes.empty());
+    EXPECT_EQ(c->action.middleboxes[0], mb::kFirewall);
+  }
+}
+
+TEST(Table1Policy, MiddleboxNames) {
+  EXPECT_EQ(mb::name(mb::kFirewall), "firewall");
+  EXPECT_EQ(mb::name(mb::kTranscoder), "transcoder");
+}
+
+}  // namespace
+}  // namespace softcell

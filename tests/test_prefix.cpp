@@ -1,0 +1,113 @@
+#include "packet/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace softcell {
+namespace {
+
+TEST(Prefix, MasksHostBits) {
+  const Prefix p(0x0A0B0C0Du, 16);
+  EXPECT_EQ(p.addr(), 0x0A0B0000u);
+  EXPECT_EQ(p.len(), 16);
+}
+
+TEST(Prefix, ZeroLengthCoversEverything) {
+  const Prefix p(0xFFFFFFFFu, 0);
+  EXPECT_EQ(p.addr(), 0u);
+  EXPECT_TRUE(p.contains(0u));
+  EXPECT_TRUE(p.contains(0xFFFFFFFFu));
+  EXPECT_FALSE(p.sibling().has_value());
+  EXPECT_FALSE(p.parent().has_value());
+}
+
+TEST(Prefix, ContainsAddress) {
+  const Prefix p(0x0A000000u, 8);
+  EXPECT_TRUE(p.contains(0x0A123456u));
+  EXPECT_FALSE(p.contains(0x0B000000u));
+}
+
+TEST(Prefix, ContainsPrefixIsReflexiveAndAntisymmetric) {
+  const Prefix outer(0x0A000000u, 8);
+  const Prefix inner(0x0A0B0000u, 16);
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+}
+
+TEST(Prefix, SiblingIsInvolution) {
+  const Prefix p(0x0A0B0000u, 16);
+  const auto s = p.sibling();
+  ASSERT_TRUE(s);
+  EXPECT_NE(*s, p);
+  EXPECT_EQ(s->sibling().value(), p);
+}
+
+TEST(Prefix, SiblingsShareParent) {
+  const Prefix p(0xC0A80100u, 24);
+  const auto s = p.sibling();
+  ASSERT_TRUE(s);
+  EXPECT_EQ(p.parent(), s->parent());
+  EXPECT_TRUE(p.parent()->contains(p));
+  EXPECT_TRUE(p.parent()->contains(*s));
+}
+
+TEST(Prefix, ContiguousMatchesSiblingDefinition) {
+  const Prefix p(0x0A000000u, 10);
+  EXPECT_TRUE(Prefix::contiguous(p, *p.sibling()));
+  EXPECT_FALSE(Prefix::contiguous(p, p));
+  EXPECT_FALSE(Prefix::contiguous(p, Prefix(0x0A000000u, 11)));
+  // Adjacent in address space but not siblings (would not merge cleanly).
+  const Prefix a(0x0A400000u, 10);  // 10.64/10 -- sibling of 10.0/10
+  const Prefix b(0x0A800000u, 10);  // 10.128/10 -- adjacent to a, not sibling
+  EXPECT_FALSE(Prefix::contiguous(a, b));
+}
+
+TEST(Prefix, Host32Prefix) {
+  const Prefix p(0x0A0B0C0Du, 32);
+  EXPECT_TRUE(p.contains(0x0A0B0C0Du));
+  EXPECT_FALSE(p.contains(0x0A0B0C0Cu));
+  ASSERT_TRUE(p.sibling());
+  EXPECT_EQ(p.sibling()->addr(), 0x0A0B0C0Cu);
+}
+
+TEST(Prefix, ToString) {
+  EXPECT_EQ(Prefix(0x0A000000u, 8).to_string(), "10.0.0.0/8");
+  EXPECT_EQ(to_dotted(0xC0A80101u), "192.168.1.1");
+}
+
+// Property: for random prefixes, parent contains both siblings and exactly
+// covers their union (checked on sampled addresses).
+TEST(PrefixProperty, ParentCoversExactlySiblingUnion) {
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.next_in(1, 32));
+    const Prefix p(static_cast<Ipv4Addr>(rng.next_u64()), len);
+    const Prefix s = *p.sibling();
+    const Prefix par = *p.parent();
+    for (int j = 0; j < 8; ++j) {
+      const auto a = static_cast<Ipv4Addr>(rng.next_u64());
+      EXPECT_EQ(par.contains(a), p.contains(a) || s.contains(a));
+    }
+  }
+}
+
+TEST(PrefixProperty, OrderingGroupsNestedPrefixes) {
+  // With (addr, len) ordering, a prefix sorts before everything nested in it.
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.next_in(1, 31));
+    const Prefix outer(static_cast<Ipv4Addr>(rng.next_u64()), len);
+    const auto inner_len = static_cast<std::uint8_t>(rng.next_in(len + 1, 32));
+    const Prefix inner(
+        outer.addr() |
+            (static_cast<Ipv4Addr>(rng.next_u64()) & ~(~0u << (32 - len))),
+        inner_len);
+    ASSERT_TRUE(outer.contains(inner));
+    EXPECT_TRUE(outer < inner || outer == inner);
+  }
+}
+
+}  // namespace
+}  // namespace softcell

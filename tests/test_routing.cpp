@@ -1,0 +1,95 @@
+#include "topo/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/cellular.hpp"
+
+namespace softcell {
+namespace {
+
+TEST(RoutingOracle, PathEndpointsAndAdjacency) {
+  const CellularTopology topo({.k = 4});
+  const RoutingOracle routes(topo.graph());
+  const NodeId src = topo.access_switch(0);
+  const NodeId dst = topo.gateway();
+  const auto p = routes.path(src, dst);
+  ASSERT_GE(p.size(), 2u);
+  EXPECT_EQ(p.front(), src);
+  EXPECT_EQ(p.back(), dst);
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    const auto& nbrs = topo.graph().neighbors(p[i]);
+    EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), p[i + 1]), nbrs.end());
+  }
+}
+
+TEST(RoutingOracle, PathLengthMatchesDistance) {
+  const CellularTopology topo({.k = 4});
+  const RoutingOracle routes(topo.graph());
+  for (std::uint32_t b = 0; b < topo.num_base_stations(); b += 7) {
+    const auto p = routes.path(topo.access_switch(b), topo.gateway());
+    EXPECT_EQ(p.size(),
+              routes.distance(topo.access_switch(b), topo.gateway()) + 1);
+  }
+}
+
+TEST(RoutingOracle, TrivialSelfPath) {
+  const CellularTopology topo({.k = 2});
+  const RoutingOracle routes(topo.graph());
+  const auto p = routes.path(topo.gateway(), topo.gateway());
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], topo.gateway());
+}
+
+TEST(RoutingOracle, MiddleboxesAreNotTransit) {
+  // Paths between switches must never go *through* a middlebox vertex.
+  const CellularTopology topo({.k = 4, .seed = 3});
+  const RoutingOracle routes(topo.graph());
+  for (std::uint32_t b = 0; b < topo.num_base_stations(); b += 11) {
+    const auto p = routes.path(topo.access_switch(b), topo.gateway());
+    for (std::size_t i = 1; i + 1 < p.size(); ++i)
+      EXPECT_NE(topo.graph().kind(p[i]), NodeKind::kMiddlebox);
+  }
+}
+
+TEST(RoutingOracle, PathToMiddleboxHost) {
+  const CellularTopology topo({.k = 4, .seed = 3});
+  const RoutingOracle routes(topo.graph());
+  const auto& mb = topo.pod_instance(0, 1);
+  const auto p = routes.path(topo.access_switch(0), mb.host_switch);
+  EXPECT_EQ(p.back(), mb.host_switch);
+}
+
+TEST(RoutingOracle, TreesAreMemoized) {
+  const CellularTopology topo({.k = 4});
+  const RoutingOracle routes(topo.graph());
+  (void)routes.path(topo.access_switch(0), topo.gateway());
+  (void)routes.path(topo.access_switch(1), topo.gateway());
+  EXPECT_EQ(routes.cached_trees(), 1u);  // both share the gateway tree
+}
+
+TEST(RoutingOracle, DistancesSymmetricInUnweightedGraph) {
+  const CellularTopology topo({.k = 4, .seed = 7});
+  const RoutingOracle routes(topo.graph());
+  const NodeId a = topo.access_switch(3);
+  const NodeId b = topo.core_switches()[5];
+  EXPECT_EQ(routes.distance(a, b), routes.distance(b, a));
+}
+
+TEST(RoutingOracle, RingPathsTakeShortSide) {
+  // In a 10-station ring closing through the aggregation switch, station 0
+  // is 1 hop from the agg switch and station 9 is also 1 hop (other side).
+  const CellularTopology topo({.k = 2});
+  const RoutingOracle routes(topo.graph());
+  const auto& g = topo.graph();
+  // Find the agg switch adjacent to access switch 0.
+  NodeId agg{};
+  for (NodeId n : g.neighbors(topo.access_switch(0)))
+    if (g.kind(n) == NodeKind::kAggSwitch) agg = n;
+  ASSERT_TRUE(agg.valid());
+  EXPECT_EQ(routes.distance(topo.access_switch(0), agg), 1u);
+  EXPECT_EQ(routes.distance(topo.access_switch(9), agg), 1u);
+  EXPECT_EQ(routes.distance(topo.access_switch(4), agg), 5u);
+}
+
+}  // namespace
+}  // namespace softcell

@@ -1,0 +1,212 @@
+// The section-7 discussion features: mobile-to-mobile direct paths,
+// Internet-initiated traffic via public IPs, and offline recompaction.
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+
+namespace softcell {
+namespace {
+
+class Section7Test : public ::testing::Test {
+ protected:
+  Section7Test() : net_(SoftCellConfig{.topo = {.k = 4, .seed = 41}},
+                        make_table1_policy()) {}
+
+  UeId silver_ue(std::uint32_t bs) {
+    SubscriberProfile p;
+    p.plan = BillingPlan::kSilver;
+    const UeId ue = net_.add_subscriber(p);
+    net_.attach(ue, bs);
+    return ue;
+  }
+
+  SoftCellNetwork net_;
+};
+
+// --- mobile-to-mobile --------------------------------------------------------
+
+TEST_F(Section7Test, M2mFlowNeverTouchesTheGateway) {
+  const UeId a = silver_ue(3);
+  const UeId b = silver_ue(97);  // different pod
+  const auto flow = net_.open_m2m_flow(a, b, 80);
+  const auto d = net_.send_m2m(flow, /*a_to_b=*/true, TcpFlag::kSyn);
+  ASSERT_TRUE(d.delivered) << d.drop_reason;
+  for (const NodeId n : d.hops) {
+    EXPECT_NE(n, net_.topology().gateway());
+    EXPECT_NE(n, net_.topology().internet());
+  }
+}
+
+TEST_F(Section7Test, M2mDeliversWithPermanentAddresses) {
+  const UeId a = silver_ue(0);
+  const UeId b = silver_ue(50);
+  const auto flow = net_.open_m2m_flow(a, b, 80);
+  const auto d = net_.send_m2m(flow, true, TcpFlag::kSyn);
+  ASSERT_TRUE(d.delivered) << d.drop_reason;
+  // B sees A's permanent source and its own permanent destination.
+  EXPECT_EQ(d.final_packet.key.src_ip, flow.key.src_ip);
+  EXPECT_EQ(d.final_packet.key.dst_ip, flow.key.dst_ip);
+  EXPECT_EQ(d.final_packet.key.dst_port, 80);
+}
+
+TEST_F(Section7Test, M2mPolicyAppliesInBothDirections) {
+  const UeId a = silver_ue(5);
+  const UeId b = silver_ue(120);
+  const auto flow = net_.open_m2m_flow(a, b, 80);  // web: firewall clause
+  const auto fwd = net_.send_m2m(flow, true, TcpFlag::kSyn);
+  ASSERT_TRUE(fwd.delivered) << fwd.drop_reason;
+  ASSERT_EQ(fwd.middlebox_sequence.size(), 1u);
+  EXPECT_EQ(net_.middlebox(fwd.middlebox_sequence[0]).kind(), "firewall");
+  // The reply crosses the *same* stateful instance (and is accepted).
+  const auto rev = net_.send_m2m(flow, false);
+  ASSERT_TRUE(rev.delivered) << rev.drop_reason;
+  EXPECT_EQ(rev.middlebox_sequence, fwd.middlebox_sequence);
+  EXPECT_EQ(rev.final_packet.key.dst_ip, flow.key.src_ip);
+}
+
+TEST_F(Section7Test, M2mReverseWithoutSynIsFirewalled) {
+  const UeId a = silver_ue(5);
+  const UeId b = silver_ue(120);
+  const auto flow = net_.open_m2m_flow(a, b, 80);
+  // B speaks first: the connection was never opened UE-A-side, so the
+  // stateful firewall drops it.
+  const auto rev = net_.send_m2m(flow, false);
+  EXPECT_FALSE(rev.delivered);
+  EXPECT_EQ(rev.drop_reason, "dropped by middlebox");
+}
+
+TEST_F(Section7Test, M2mShorterThanGatewayDetour) {
+  // The whole point of section 7's M2M handling: no P-GW-style detour.
+  const UeId a = silver_ue(2);
+  const UeId b = silver_ue(38);  // same pod
+  const auto m2m = net_.open_m2m_flow(a, b, 80);
+  const auto direct = net_.send_m2m(m2m, true, TcpFlag::kSyn);
+  ASSERT_TRUE(direct.delivered) << direct.drop_reason;
+  // Reference: Internet round trip (UE a -> server) costs at least as many
+  // hops one-way as the whole direct path.
+  const auto inet = net_.open_flow(a, 0x08080808u, 80);
+  const auto up = net_.send_uplink(inet, TcpFlag::kSyn);
+  ASSERT_TRUE(up.delivered);
+  EXPECT_LT(direct.hops.size(), 2 * up.hops.size());
+}
+
+TEST_F(Section7Test, M2mRequiresDistinctBaseStations) {
+  const UeId a = silver_ue(7);
+  const UeId b = silver_ue(7);
+  EXPECT_THROW(net_.open_m2m_flow(a, b, 80), std::invalid_argument);
+}
+
+TEST_F(Section7Test, M2mDeniedByPolicy) {
+  SubscriberProfile outsider;
+  outsider.provider = 9;
+  const UeId a = net_.add_subscriber(outsider);
+  net_.attach(a, 1);
+  const UeId b = silver_ue(90);
+  EXPECT_THROW(net_.open_m2m_flow(a, b, 80), std::invalid_argument);
+}
+
+TEST_F(Section7Test, M2mPathsAreCachedPerClausePair) {
+  const UeId a = silver_ue(3);
+  const UeId b = silver_ue(97);
+  const UeId c = silver_ue(3);  // same bs as a
+  (void)net_.open_m2m_flow(a, b, 80);
+  const auto installs = net_.controller().path_installs();
+  (void)net_.open_m2m_flow(c, b, 80);  // same (clause, src-bs, dst-bs) pair
+  EXPECT_EQ(net_.controller().path_installs(), installs);
+}
+
+// --- Internet-initiated traffic ----------------------------------------------
+
+TEST_F(Section7Test, InboundTrafficReachesExposedService) {
+  const UeId ue = silver_ue(12);
+  const auto svc = net_.expose_service(ue, 80);
+  EXPECT_NE(svc.public_ip, 0u);
+  const auto d = net_.send_inbound(svc, 0x08080808u, 51000);
+  ASSERT_TRUE(d.delivered) << d.drop_reason;
+  // Delivered to the UE's permanent address and service port.
+  EXPECT_EQ(d.final_packet.key.dst_port, 80);
+  EXPECT_FALSE(net_.plan().carrier().contains(d.final_packet.key.dst_ip));
+}
+
+TEST_F(Section7Test, InboundTraversesThePolicyPath) {
+  const UeId ue = silver_ue(12);
+  const auto svc = net_.expose_service(ue, 80);
+  const auto d = net_.send_inbound(svc, 0x08080808u, 51000);
+  ASSERT_TRUE(d.delivered) << d.drop_reason;
+  ASSERT_FALSE(d.middlebox_sequence.empty());
+  EXPECT_EQ(net_.middlebox(d.middlebox_sequence.back()).kind(), "firewall");
+}
+
+TEST_F(Section7Test, ServiceRepliesUseTheStablePublicEndpoint) {
+  const UeId ue = silver_ue(30);
+  const auto svc = net_.expose_service(ue, 80);
+  ASSERT_TRUE(net_.send_inbound(svc, 0x08080808u, 51000).delivered);
+  const auto reply = net_.send_service_reply(svc, 0x08080808u, 51000);
+  ASSERT_TRUE(reply.delivered) << reply.drop_reason;
+  EXPECT_EQ(reply.final_packet.key.src_ip, svc.public_ip);
+  EXPECT_EQ(reply.final_packet.key.src_port, svc.port);
+}
+
+TEST_F(Section7Test, ReplyBeforeInboundHasNoRule) {
+  const UeId ue = silver_ue(30);
+  const auto svc = net_.expose_service(ue, 80);
+  EXPECT_FALSE(net_.send_service_reply(svc, 0x08080808u, 51000).delivered);
+}
+
+TEST_F(Section7Test, UnknownPublicDestinationDropsAtGateway) {
+  const UeId ue = silver_ue(30);
+  const auto svc = net_.expose_service(ue, 80);
+  PublicEndpoint unused;
+  (void)unused;
+  SoftCellNetwork::PublicService bogus{svc.public_ip, 8080};
+  const auto d = net_.send_inbound(bogus, 0x08080808u, 51000);
+  EXPECT_FALSE(d.delivered);
+}
+
+TEST_F(Section7Test, InboundNeedsNoPerFlowControllerWork) {
+  const UeId ue = silver_ue(12);
+  const auto svc = net_.expose_service(ue, 80);
+  const auto installs = net_.controller().path_installs();
+  for (std::uint16_t p = 50000; p < 50032; ++p)
+    ASSERT_TRUE(net_.send_inbound(svc, 0x08080808u, p).delivered);
+  EXPECT_EQ(net_.controller().path_installs(), installs);  // coarse, once
+}
+
+// --- offline recompaction ------------------------------------------------------
+
+TEST_F(Section7Test, RecompactPreservesReachabilityAndNeverGrowsState) {
+  // Install paths in adversarial (bs-major) order by touching many base
+  // stations with several clauses.
+  for (std::uint32_t bs = 0; bs < 30; bs += 3) {
+    const UeId ue = silver_ue(bs);
+    for (std::uint16_t port : {std::uint16_t{80}, std::uint16_t{1935},
+                               std::uint16_t{5060}})
+      ASSERT_TRUE(
+          net_.send_uplink(net_.open_flow(ue, 0x08080808u, port), TcpFlag::kSyn)
+              .delivered);
+  }
+  const auto r = net_.controller().recompact();
+  EXPECT_LE(r.rules_after, r.rules_before);
+  EXPECT_LE(r.tags_after, r.tags_before);
+
+  // Fresh flows work after the rebuild (classifier tags were pushed).
+  const UeId ue = silver_ue(29);
+  const auto flow = net_.open_flow(ue, 0x08080809u, 1935);
+  ASSERT_TRUE(net_.send_uplink(flow, TcpFlag::kSyn).delivered);
+  ASSERT_TRUE(net_.send_downlink(flow).delivered);
+}
+
+TEST_F(Section7Test, RecompactRefusesDuringMigration) {
+  const UeId ue = silver_ue(0);
+  ASSERT_TRUE(
+      net_.send_uplink(net_.open_flow(ue, 0x08080808u, 80), TcpFlag::kSyn)
+          .delivered);
+  SubscriberProfile p;
+  p.plan = BillingPlan::kSilver;
+  const auto* clause = net_.controller().policy().match(p, AppType::kWeb);
+  (void)net_.controller().migrate_path(0, clause->id);
+  EXPECT_THROW(net_.controller().recompact(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace softcell

@@ -1,0 +1,86 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace softcell {
+namespace {
+
+TEST(SampleSet, PercentileNearestRank) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSet, SingleSample) {
+  SampleSet s;
+  s.add(7);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99.999), 7.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.0);
+}
+
+TEST(SampleSet, EmptyThrows) {
+  SampleSet s;
+  EXPECT_THROW((void)s.percentile(50), std::logic_error);
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_EQ(s.cdf_at(1.0), 0.0);
+}
+
+TEST(SampleSet, OutOfRangePercentileThrows) {
+  SampleSet s;
+  s.add(1);
+  EXPECT_THROW((void)s.percentile(-1), std::invalid_argument);
+  EXPECT_THROW((void)s.percentile(101), std::invalid_argument);
+}
+
+TEST(SampleSet, CdfAt) {
+  SampleSet s;
+  for (int v : {1, 2, 2, 3}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1), 0.25);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2), 0.75);
+  EXPECT_DOUBLE_EQ(s.cdf_at(3), 1.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(99), 1.0);
+}
+
+TEST(SampleSet, CdfPointsMonotone) {
+  SampleSet s;
+  for (int i = 0; i < 1000; ++i) s.add(i % 37);
+  const auto pts = s.cdf_points(20);
+  ASSERT_EQ(pts.size(), 20u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i - 1].first, pts[i].first);
+    EXPECT_LT(pts[i - 1].second, pts[i].second);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(SampleSet, InterleavedAddAndQuery) {
+  SampleSet s;
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+  s.add(20);
+  s.add(0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+}
+
+TEST(RunningStat, Basics) {
+  RunningStat r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_DOUBLE_EQ(r.mean(), 0.0);
+  for (double v : {3.0, 1.0, 2.0}) r.add(v);
+  EXPECT_EQ(r.count(), 3u);
+  EXPECT_DOUBLE_EQ(r.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(r.min(), 1.0);
+  EXPECT_DOUBLE_EQ(r.max(), 3.0);
+}
+
+}  // namespace
+}  // namespace softcell

@@ -1,0 +1,94 @@
+#include "ctrl/store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace softcell {
+namespace {
+
+SubscriberProfile profile(std::uint32_t provider) {
+  SubscriberProfile p;
+  p.provider = provider;
+  return p;
+}
+
+TEST(ControlStore, ProfileRoundTrip) {
+  ControlStore s(3);
+  s.put_profile(UeId(1), profile(7));
+  ASSERT_NE(s.profile(UeId(1)), nullptr);
+  EXPECT_EQ(s.profile(UeId(1))->provider, 7u);
+  EXPECT_EQ(s.profile(UeId(2)), nullptr);
+}
+
+TEST(ControlStore, PathRoundTrip) {
+  ControlStore s(2);
+  s.put_path(ClauseId(3), 12, PolicyTag(9));
+  ASSERT_TRUE(s.path(ClauseId(3), 12));
+  EXPECT_EQ(*s.path(ClauseId(3), 12), PolicyTag(9));
+  EXPECT_FALSE(s.path(ClauseId(3), 13));
+  s.erase_path(ClauseId(3), 12);
+  EXPECT_FALSE(s.path(ClauseId(3), 12));
+}
+
+TEST(ControlStore, ReplicasStayConsistent) {
+  ControlStore s(3);
+  for (int i = 0; i < 10; ++i) {
+    s.put_profile(UeId(i), profile(i));
+    s.put_path(ClauseId(i), i, PolicyTag(static_cast<std::uint16_t>(i)));
+  }
+  EXPECT_TRUE(s.replicas_consistent());
+}
+
+TEST(ControlStore, SlowStateSurvivesPrimaryFailure) {
+  ControlStore s(3);
+  s.put_profile(UeId(1), profile(5));
+  s.put_path(ClauseId(2), 4, PolicyTag(8));
+  s.set_location(UeId(1), UeLocation{4, LocalUeId(2)});
+  s.fail_primary();
+  EXPECT_EQ(s.replica_count(), 2u);
+  // Slow state survived...
+  ASSERT_NE(s.profile(UeId(1)), nullptr);
+  EXPECT_EQ(s.profile(UeId(1))->provider, 5u);
+  EXPECT_EQ(*s.path(ClauseId(2), 4), PolicyTag(8));
+  // ...but locations are gone until rebuilt.
+  EXPECT_FALSE(s.location(UeId(1)));
+}
+
+TEST(ControlStore, LocationRebuildFromAgents) {
+  ControlStore s(2);
+  s.put_profile(UeId(1), profile(0));
+  s.set_location(UeId(1), UeLocation{4, LocalUeId(2)});
+  s.fail_primary();
+  s.rebuild_locations([](const std::function<void(UeId, UeLocation)>& sink) {
+    sink(UeId(1), UeLocation{4, LocalUeId(2)});
+    sink(UeId(9), UeLocation{7, LocalUeId(0)});
+  });
+  ASSERT_TRUE(s.location(UeId(1)));
+  EXPECT_EQ(s.location(UeId(1))->bs, 4u);
+  EXPECT_EQ(s.attached_ues(), 2u);
+}
+
+TEST(ControlStore, SingleReplicaCannotFailOver) {
+  ControlStore s(1);
+  EXPECT_THROW(s.fail_primary(), std::logic_error);
+  EXPECT_THROW(ControlStore(0), std::invalid_argument);
+}
+
+TEST(ControlStore, LocationsClearAndUpdate) {
+  ControlStore s(2);
+  s.set_location(UeId(1), UeLocation{1, LocalUeId(0)});
+  s.set_location(UeId(1), UeLocation{2, LocalUeId(5)});
+  ASSERT_TRUE(s.location(UeId(1)));
+  EXPECT_EQ(s.location(UeId(1))->bs, 2u);
+  s.clear_location(UeId(1));
+  EXPECT_FALSE(s.location(UeId(1)));
+}
+
+TEST(ControlStore, VersionAdvancesOnWrites) {
+  ControlStore s(2);
+  const auto v0 = s.version();
+  s.put_profile(UeId(1), profile(1));
+  EXPECT_GT(s.version(), v0);
+}
+
+}  // namespace
+}  // namespace softcell

@@ -1,0 +1,311 @@
+#include "dataplane/switch_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace softcell {
+namespace {
+
+constexpr Direction kDl = Direction::kDownlink;
+constexpr Direction kUl = Direction::kUplink;
+
+NodeId node(std::uint32_t v) { return NodeId(v); }
+RuleAction to(std::uint32_t v) { return RuleAction{node(v), std::nullopt}; }
+
+TEST(SwitchTable, DefaultRuleMatchesAnyAddress) {
+  SwitchTable t;
+  t.add_default(kDl, InPortSpec::any(), PolicyTag(1), to(10));
+  const auto hit = t.lookup(kDl, node(99), PolicyTag(1), 0x0A000001u);
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->action.out_to, node(10));
+  EXPECT_EQ(hit->shape, RuleShape::kTagOnly);
+  EXPECT_FALSE(t.lookup(kDl, node(99), PolicyTag(2), 0x0A000001u));
+  EXPECT_EQ(t.rule_count(), 1u);
+}
+
+TEST(SwitchTable, DirectionsAreIndependent) {
+  SwitchTable t;
+  t.add_default(kDl, InPortSpec::any(), PolicyTag(1), to(10));
+  EXPECT_FALSE(t.lookup(kUl, node(0), PolicyTag(1), 0x0A000001u));
+  t.add_default(kUl, InPortSpec::any(), PolicyTag(1), to(20));
+  EXPECT_EQ(t.lookup(kUl, node(0), PolicyTag(1), 0u)->action.out_to, node(20));
+  EXPECT_EQ(t.lookup(kDl, node(0), PolicyTag(1), 0u)->action.out_to, node(10));
+}
+
+TEST(SwitchTable, PrefixOverridesDefault) {
+  SwitchTable t;
+  const Prefix pre(0x0A010000u, 16);
+  t.add_default(kDl, InPortSpec::any(), PolicyTag(1), to(10));
+  t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1), pre, to(20));
+  EXPECT_EQ(t.lookup(kDl, node(0), PolicyTag(1), 0x0A010001u)->action.out_to,
+            node(20));
+  EXPECT_EQ(t.lookup(kDl, node(0), PolicyTag(1), 0x0A020001u)->action.out_to,
+            node(10));
+  EXPECT_EQ(t.rule_count(), 2u);
+}
+
+TEST(SwitchTable, LongestPrefixWins) {
+  SwitchTable t;
+  t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1),
+                    Prefix(0x0A000000u, 8), to(1));
+  t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1),
+                    Prefix(0x0A010000u, 16), to(2));
+  t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1),
+                    Prefix(0x0A010100u, 24), to(3));
+  EXPECT_EQ(t.lookup(kDl, node(0), PolicyTag(1), 0x0A010101u)->action.out_to,
+            node(3));
+  EXPECT_EQ(t.lookup(kDl, node(0), PolicyTag(1), 0x0A010201u)->action.out_to,
+            node(2));
+  EXPECT_EQ(t.lookup(kDl, node(0), PolicyTag(1), 0x0A990001u)->action.out_to,
+            node(1));
+}
+
+TEST(SwitchTable, SiblingMergeReducesRuleCount) {
+  SwitchTable t;
+  const Prefix a(0x0A000000u, 24);
+  const Prefix b = *a.sibling();
+  t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1), a, to(5));
+  EXPECT_EQ(t.rule_count(), 1u);
+  t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1), b, to(5));
+  // The two siblings merged into their /23 parent.
+  EXPECT_EQ(t.rule_count(), 1u);
+  EXPECT_EQ(t.lookup(kDl, node(0), PolicyTag(1), a.addr())->action.out_to,
+            node(5));
+  EXPECT_EQ(t.lookup(kDl, node(0), PolicyTag(1), b.addr())->action.out_to,
+            node(5));
+}
+
+TEST(SwitchTable, MergeCascadesUpward) {
+  SwitchTable t;
+  // Four consecutive aligned /24s with the same action -> one /22.
+  for (std::uint32_t i = 0; i < 4; ++i)
+    t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1),
+                      Prefix(0x0A000000u + (i << 8), 24), to(5));
+  EXPECT_EQ(t.rule_count(), 1u);
+  EXPECT_EQ(t.type1_count(), 1u);
+}
+
+TEST(SwitchTable, NoMergeAcrossDifferentActions) {
+  SwitchTable t;
+  const Prefix a(0x0A000000u, 24);
+  const Prefix b = *a.sibling();
+  t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1), a, to(5));
+  t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1), b, to(6));
+  EXPECT_EQ(t.rule_count(), 2u);
+  EXPECT_EQ(t.lookup(kDl, node(0), PolicyTag(1), a.addr())->action.out_to,
+            node(5));
+  EXPECT_EQ(t.lookup(kDl, node(0), PolicyTag(1), b.addr())->action.out_to,
+            node(6));
+}
+
+TEST(SwitchTable, NoMergeWhenNotSiblings) {
+  SwitchTable t;
+  // Adjacent but not siblings: 10.0.1/24 and 10.0.2/24.
+  t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1),
+                    Prefix(0x0A000100u, 24), to(5));
+  t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1),
+                    Prefix(0x0A000200u, 24), to(5));
+  EXPECT_EQ(t.rule_count(), 2u);
+}
+
+TEST(SwitchTable, CanAggregateReportsExactlySiblingSameAction) {
+  SwitchTable t;
+  const Prefix a(0x0A000000u, 24);
+  t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1), a, to(5));
+  EXPECT_TRUE(
+      t.can_aggregate(kDl, InPortSpec::any(), PolicyTag(1), *a.sibling(), to(5)));
+  EXPECT_FALSE(
+      t.can_aggregate(kDl, InPortSpec::any(), PolicyTag(1), *a.sibling(), to(6)));
+  EXPECT_FALSE(t.can_aggregate(kDl, InPortSpec::any(), PolicyTag(2),
+                               *a.sibling(), to(5)));
+  EXPECT_FALSE(t.can_aggregate(kDl, InPortSpec::any(), PolicyTag(1),
+                               Prefix(0x0B000000u, 24), to(5)));
+}
+
+TEST(SwitchTable, InPortClassBeatsWildcard) {
+  SwitchTable t;
+  const auto mb = InPortSpec::from(node(77));
+  t.add_default(kDl, InPortSpec::any(), PolicyTag(1), to(10));
+  t.add_default(kDl, mb, PolicyTag(1), to(20));
+  // Packet arriving from the middlebox hits the specific class...
+  EXPECT_EQ(t.lookup(kDl, node(77), PolicyTag(1), 0u)->action.out_to, node(20));
+  // ...everyone else falls to the wildcard class.
+  EXPECT_EQ(t.lookup(kDl, node(3), PolicyTag(1), 0u)->action.out_to, node(10));
+}
+
+TEST(SwitchTable, SpecificClassMissFallsThroughToWildcard) {
+  SwitchTable t;
+  const auto mb = InPortSpec::from(node(77));
+  const Prefix pre(0x0A010000u, 16);
+  t.add_default(kDl, InPortSpec::any(), PolicyTag(1), to(10));
+  t.add_prefix_rule(kDl, mb, PolicyTag(1), pre, to(20));
+  // From the middlebox, an address outside `pre` misses the specific class
+  // entirely and must fall through to the wildcard default.
+  EXPECT_EQ(t.lookup(kDl, node(77), PolicyTag(1), 0x0B000001u)->action.out_to,
+            node(10));
+  EXPECT_EQ(t.lookup(kDl, node(77), PolicyTag(1), 0x0A010001u)->action.out_to,
+            node(20));
+}
+
+TEST(SwitchTable, ResolveReportsEntryLocation) {
+  SwitchTable t;
+  const Prefix pre(0x0A010000u, 16);
+  t.add_default(kDl, InPortSpec::any(), PolicyTag(1), to(10));
+  const auto r1 = t.resolve(kDl, InPortSpec::any(), PolicyTag(1), pre);
+  ASSERT_TRUE(r1);
+  EXPECT_TRUE(r1->is_default);
+  t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1), pre, to(20));
+  const auto r2 = t.resolve(kDl, InPortSpec::any(), PolicyTag(1), pre);
+  ASSERT_TRUE(r2);
+  EXPECT_FALSE(r2->is_default);
+  EXPECT_EQ(r2->covering, pre);
+  EXPECT_EQ(r2->action.out_to, node(20));
+}
+
+TEST(SwitchTable, ResolveIgnoresLongerPrefixes) {
+  SwitchTable t;
+  const Prefix bs(0x0A010000u, 16);
+  const Prefix ue(0x0A010001u, 32);  // a /32 mobility rule under bs
+  t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1), ue, to(9));
+  // Resolution for the whole /16 must not be hijacked by the /32.
+  EXPECT_FALSE(t.resolve(kDl, InPortSpec::any(), PolicyTag(1), bs));
+}
+
+TEST(SwitchTable, RefcountsKeepSharedEntriesAlive) {
+  SwitchTable t;
+  t.add_default(kDl, InPortSpec::any(), PolicyTag(1), to(10));
+  t.add_default(kDl, InPortSpec::any(), PolicyTag(1), to(10));  // 2nd path
+  t.release_default(kDl, InPortSpec::any(), PolicyTag(1));
+  EXPECT_TRUE(t.lookup(kDl, node(0), PolicyTag(1), 0u));
+  t.release_default(kDl, InPortSpec::any(), PolicyTag(1));
+  EXPECT_FALSE(t.lookup(kDl, node(0), PolicyTag(1), 0u));
+  EXPECT_EQ(t.rule_count(), 0u);
+}
+
+TEST(SwitchTable, ConflictingDefaultThrows) {
+  SwitchTable t;
+  t.add_default(kDl, InPortSpec::any(), PolicyTag(1), to(10));
+  EXPECT_THROW(t.add_default(kDl, InPortSpec::any(), PolicyTag(1), to(11)),
+               std::logic_error);
+}
+
+TEST(SwitchTable, ExactConflictingPrefixThrows) {
+  SwitchTable t;
+  const Prefix pre(0x0A010000u, 16);
+  t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1), pre, to(10));
+  EXPECT_THROW(
+      t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1), pre, to(11)),
+      std::logic_error);
+}
+
+TEST(SwitchTable, MoreSpecificOverrideUnderCoveringEntry) {
+  SwitchTable t;
+  const Prefix parent(0x0A000000u, 15);
+  const Prefix child(0x0A010000u, 16);
+  t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1), parent, to(10));
+  t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1), child, to(20));
+  EXPECT_EQ(t.rule_count(), 2u);
+  EXPECT_EQ(t.lookup(kDl, node(0), PolicyTag(1), 0x0A010001u)->action.out_to,
+            node(20));
+  EXPECT_EQ(t.lookup(kDl, node(0), PolicyTag(1), 0x0A000001u)->action.out_to,
+            node(10));
+}
+
+TEST(SwitchTable, ReleaseMergedEntryViaEitherChild) {
+  SwitchTable t;
+  const Prefix a(0x0A000000u, 24);
+  const Prefix b = *a.sibling();
+  t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1), a, to(5));
+  t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1), b, to(5));
+  ASSERT_EQ(t.rule_count(), 1u);  // merged into parent, refcount 2
+  t.release_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1), a);
+  EXPECT_EQ(t.rule_count(), 1u);  // still referenced by b's path
+  t.release_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1), b);
+  EXPECT_EQ(t.rule_count(), 0u);
+}
+
+TEST(SwitchTable, ReleaseUnknownThrows) {
+  SwitchTable t;
+  EXPECT_THROW(t.release_default(kDl, InPortSpec::any(), PolicyTag(1)),
+               std::logic_error);
+  EXPECT_THROW(t.release_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1),
+                                     Prefix(0u, 8)),
+               std::logic_error);
+  EXPECT_THROW(t.release_location_rule(kDl, Prefix(0u, 8)), std::logic_error);
+}
+
+TEST(SwitchTable, LocationTierIsLowestPriority) {
+  SwitchTable t;
+  const Prefix pre(0x0A010000u, 16);
+  t.add_location_rule(kDl, pre, to(30));
+  EXPECT_EQ(t.lookup(kDl, node(0), PolicyTag(1), 0x0A010001u)->shape,
+            RuleShape::kLocationOnly);
+  t.add_default(kDl, InPortSpec::any(), PolicyTag(1), to(10));
+  // Tag rules beat location rules (section 7 priority order).
+  EXPECT_EQ(t.lookup(kDl, node(0), PolicyTag(1), 0x0A010001u)->shape,
+            RuleShape::kTagOnly);
+  // Other tags still fall to the location tier.
+  EXPECT_EQ(t.lookup(kDl, node(0), PolicyTag(2), 0x0A010001u)->shape,
+            RuleShape::kLocationOnly);
+}
+
+TEST(SwitchTable, LocationMergeAndRelease) {
+  SwitchTable t;
+  const Prefix a(0x0A000000u, 24);
+  const Prefix b = *a.sibling();
+  t.add_location_rule(kDl, a, to(5));
+  t.add_location_rule(kDl, b, to(5));
+  EXPECT_EQ(t.location_count(), 1u);
+  t.release_location_rule(kDl, a);
+  t.release_location_rule(kDl, b);
+  EXPECT_EQ(t.location_count(), 0u);
+}
+
+TEST(SwitchTable, TagUsageTracksLiveTags) {
+  SwitchTable t;
+  t.add_default(kDl, InPortSpec::any(), PolicyTag(1), to(10));
+  t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(2),
+                    Prefix(0x0A000000u, 16), to(11));
+  EXPECT_EQ(t.tag_usage(kDl).size(), 2u);
+  EXPECT_TRUE(t.tag_usage(kUl).empty());
+  t.release_default(kDl, InPortSpec::any(), PolicyTag(1));
+  EXPECT_EQ(t.tag_usage(kDl).size(), 1u);
+  EXPECT_TRUE(t.tag_usage(kDl).contains(PolicyTag(2)));
+}
+
+// Property: random installs/releases keep rule_count equal to the sum of
+// entries, and lookups are always consistent with the most recent install.
+TEST(SwitchTableProperty, CountInvariantUnderChurn) {
+  SwitchTable t;
+  Rng rng(17);
+  std::vector<std::pair<PolicyTag, Prefix>> live;
+  for (int step = 0; step < 3000; ++step) {
+    if (live.empty() || rng.next_bernoulli(0.6)) {
+      const PolicyTag tag(static_cast<std::uint16_t>(rng.next_below(8)));
+      // Aligned /24s in a narrow range to provoke merges.
+      const Prefix pre(0x0A000000u + (static_cast<Ipv4Addr>(rng.next_below(64))
+                                      << 8),
+                       24);
+      const RuleAction act = to(1);  // same action everywhere -> merge-heavy
+      t.add_prefix_rule(kDl, InPortSpec::any(), tag, pre, act);
+      live.emplace_back(tag, pre);
+    } else {
+      const auto idx = rng.next_below(live.size());
+      const auto [tag, pre] = live[idx];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+      t.release_prefix_rule(kDl, InPortSpec::any(), tag, pre);
+    }
+    EXPECT_EQ(t.rule_count(), t.type1_count() + t.type2_count() +
+                                  t.type3_count());
+    // Everything still live must route correctly.
+    for (const auto& [tag, pre] : live) {
+      const auto hit = t.lookup(kDl, node(0), tag, pre.addr());
+      ASSERT_TRUE(hit);
+      EXPECT_EQ(hit->action.out_to, node(1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace softcell

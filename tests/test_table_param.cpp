@@ -1,0 +1,153 @@
+// Parameterized switch-table property sweeps: LPM correctness and
+// aggregation exactness across prefix lengths and install orders.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dataplane/switch_table.hpp"
+#include "packet/locip.hpp"
+#include "util/rng.hpp"
+
+namespace softcell {
+namespace {
+
+constexpr Direction kDl = Direction::kDownlink;
+
+RuleAction to(std::uint32_t v) { return RuleAction{NodeId(v), std::nullopt}; }
+
+// --- aggregation exactness across prefix lengths ---------------------------
+
+class MergeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeSweep, FullSiblingFanMergesToOneRule) {
+  // Install every /L prefix under a fixed /(L-4) parent with the same
+  // action: 16 aligned prefixes must collapse to exactly one entry.
+  const auto len = static_cast<std::uint8_t>(GetParam());
+  SwitchTable t;
+  const Prefix parent(0x0A000000u, static_cast<std::uint8_t>(len - 4));
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    const Ipv4Addr addr = parent.addr() | (i << (32 - len));
+    t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1), Prefix(addr, len),
+                      to(9));
+  }
+  EXPECT_EQ(t.rule_count(), 1u) << "len=" << int(len);
+  // Lookup anywhere under the parent resolves.
+  Rng rng(1);
+  for (int i = 0; i < 64; ++i) {
+    const Ipv4Addr probe =
+        parent.addr() |
+        (static_cast<Ipv4Addr>(rng.next_u64()) & ~(~0u << (32 - parent.len())));
+    const auto hit = t.lookup(kDl, NodeId(0), PolicyTag(1), probe);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(hit->action.out_to, NodeId(9));
+  }
+}
+
+TEST_P(MergeSweep, AlternatingActionsNeverMerge) {
+  const auto len = static_cast<std::uint8_t>(GetParam());
+  SwitchTable t;
+  const Prefix parent(0x0A000000u, static_cast<std::uint8_t>(len - 4));
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    const Ipv4Addr addr = parent.addr() | (i << (32 - len));
+    t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1), Prefix(addr, len),
+                      to(i % 2));
+  }
+  EXPECT_EQ(t.rule_count(), 16u);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    const Ipv4Addr addr = parent.addr() | (i << (32 - len));
+    EXPECT_EQ(t.lookup(kDl, NodeId(0), PolicyTag(1), addr)->action.out_to,
+              NodeId(i % 2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, MergeSweep,
+                         ::testing::Values(8, 12, 16, 20, 24, 28, 32));
+
+// --- LPM vs a reference model under random churn ----------------------------
+
+class LpmChurnSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpmChurnSweep, MatchesReferenceModel) {
+  // Disciplined install family, as the aggregation engine produces it: all
+  // entries at one base-station prefix length (here /24) plus /32 host
+  // overrides.  The table merges aggressively, but merges preserve
+  // semantics, so lookups must agree with a naive reference everywhere.
+  SwitchTable t;
+  Rng rng(GetParam());
+  std::map<Ipv4Addr, NodeId> by24;   // /24 -> action
+  std::map<Ipv4Addr, NodeId> by32;   // /32 -> action
+
+  for (int i = 0; i < 400; ++i) {
+    if (rng.next_bernoulli(0.7)) {
+      const Prefix pre(
+          0x0A000000u | (static_cast<Ipv4Addr>(rng.next_below(256)) << 8), 24);
+      const auto it = by24.find(pre.addr());
+      // Same-prefix re-installs must repeat the action (engine discipline:
+      // one path owns each (tag, prefix)); new prefixes pick any action.
+      const NodeId out = it != by24.end()
+                             ? it->second
+                             : NodeId(static_cast<std::uint32_t>(
+                                   rng.next_below(4)));
+      t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1), pre, {out, {}});
+      by24[pre.addr()] = out;
+    } else {
+      const Ipv4Addr host =
+          0x0A000000u | static_cast<Ipv4Addr>(rng.next_below(1u << 16));
+      const Prefix pre(host, 32);
+      const auto it = by32.find(host);
+      const NodeId out = it != by32.end()
+                             ? it->second
+                             : NodeId(static_cast<std::uint32_t>(
+                                   4 + rng.next_below(4)));
+      t.add_prefix_rule(kDl, InPortSpec::any(), PolicyTag(1), pre, {out, {}});
+      by32[host] = out;
+    }
+  }
+
+  Rng probe_rng(GetParam() * 31 + 1);
+  for (int i = 0; i < 4000; ++i) {
+    const Ipv4Addr addr =
+        0x0A000000u | static_cast<Ipv4Addr>(probe_rng.next_below(1u << 16));
+    const auto hit = t.lookup(kDl, NodeId(0), PolicyTag(1), addr);
+    if (const auto h32 = by32.find(addr); h32 != by32.end()) {
+      ASSERT_TRUE(hit.has_value()) << to_dotted(addr);
+      EXPECT_EQ(hit->action.out_to, h32->second) << to_dotted(addr);
+    } else if (const auto h24 = by24.find(addr & 0xFFFFFF00u);
+               h24 != by24.end()) {
+      ASSERT_TRUE(hit.has_value()) << to_dotted(addr);
+      EXPECT_EQ(hit->action.out_to, h24->second) << to_dotted(addr);
+    } else {
+      EXPECT_FALSE(hit.has_value()) << to_dotted(addr);
+    }
+  }
+  // Aggregation really happened: far fewer entries than installs.
+  EXPECT_LT(t.rule_count(), by24.size() + by32.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpmChurnSweep,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull, 55ull));
+
+// --- port codec splits --------------------------------------------------------
+
+class CodecSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecSweep, TagAndSlotPartitionThePort) {
+  const auto bits = static_cast<std::uint8_t>(GetParam());
+  const PortCodec codec(bits);
+  EXPECT_EQ(std::uint32_t{codec.max_tags()} * codec.max_flows_per_ue(),
+            0x10000u);
+  // Round-trip the extremes.
+  const PolicyTag top(static_cast<std::uint16_t>(codec.max_tags() - 1));
+  const auto slot_top =
+      static_cast<std::uint16_t>(codec.max_flows_per_ue() - 1);
+  const auto port = codec.encode(top, slot_top);
+  EXPECT_EQ(codec.tag_of(port), top);
+  EXPECT_EQ(codec.flow_slot_of(port), slot_top);
+  EXPECT_EQ(codec.encode(PolicyTag(0), 0), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, CodecSweep,
+                         ::testing::Values(1, 4, 8, 10, 12, 15));
+
+}  // namespace
+}  // namespace softcell

@@ -1,0 +1,150 @@
+#include "topo/cellular.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace softcell {
+namespace {
+
+TEST(Graph, BasicsAndChecks) {
+  Graph g;
+  const auto a = g.add_node(NodeKind::kCoreSwitch);
+  const auto b = g.add_node(NodeKind::kAggSwitch);
+  g.add_link(a, b);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.link_count(), 1u);
+  EXPECT_EQ(g.neighbors(a).size(), 1u);
+  EXPECT_EQ(g.neighbors(a)[0], b);
+  EXPECT_THROW(g.add_link(a, a), std::invalid_argument);
+  EXPECT_THROW((void)g.node(NodeId(5)), std::out_of_range);
+}
+
+TEST(CellularTopology, BaseStationCountFormula) {
+  // 10 k^3 / 4 base stations (paper section 6.3).
+  for (std::uint32_t k : {2u, 4u, 8u}) {
+    const CellularTopology topo({.k = k});
+    EXPECT_EQ(topo.num_base_stations(), 10 * k * k * k / 4) << "k=" << k;
+  }
+}
+
+TEST(CellularTopology, PaperSizesMatch) {
+  EXPECT_EQ(CellularTopology({.k = 8}).num_base_stations(), 1280u);
+  // k=20 would be 20000; construction is heavier, checked in benches.
+}
+
+TEST(CellularTopology, RejectsOddK) {
+  EXPECT_THROW(CellularTopology({.k = 3}), std::invalid_argument);
+  EXPECT_THROW(CellularTopology({.k = 0}), std::invalid_argument);
+}
+
+TEST(CellularTopology, LayerCounts) {
+  const std::uint32_t k = 4;
+  const CellularTopology topo({.k = k});
+  EXPECT_EQ(topo.agg_switches().size(), static_cast<std::size_t>(k * k));
+  EXPECT_EQ(topo.core_switches().size(), static_cast<std::size_t>(k * k));
+  EXPECT_EQ(topo.num_middlebox_types(), k);
+  // k types x (k pods + 2 core instances).
+  EXPECT_EQ(topo.middleboxes().size(), static_cast<std::size_t>(k * (k + 2)));
+}
+
+TEST(CellularTopology, MiddleboxPlacement) {
+  const std::uint32_t k = 4;
+  const CellularTopology topo({.k = k, .seed = 9});
+  for (std::uint32_t t = 0; t < k; ++t) {
+    for (std::uint32_t p = 0; p < k; ++p) {
+      const auto& inst = topo.pod_instance(t, p);
+      EXPECT_EQ(inst.type, t);
+      EXPECT_EQ(inst.pod, p);
+      EXPECT_EQ(topo.graph().kind(inst.host_switch), NodeKind::kAggSwitch);
+      EXPECT_EQ(topo.graph().node(inst.host_switch).aux, p);
+    }
+    for (std::uint32_t w = 0; w < 2; ++w) {
+      const auto& inst = topo.core_instance(t, w);
+      EXPECT_EQ(inst.pod, MiddleboxInstance::kNoPod);
+      EXPECT_EQ(topo.graph().kind(inst.host_switch), NodeKind::kCoreSwitch);
+    }
+  }
+  EXPECT_THROW((void)topo.core_instance(0, 2), std::out_of_range);
+}
+
+TEST(CellularTopology, RingClustersCloseThroughAggSwitch) {
+  const std::uint32_t k = 2;
+  const CellularTopology topo({.k = k, .cluster_size = 5});
+  const auto& g = topo.graph();
+  // Every access switch has exactly 2 ring neighbors (line neighbors or the
+  // aggregation switch at the ends).
+  for (std::uint32_t b = 0; b < topo.num_base_stations(); ++b) {
+    const auto nbrs = g.neighbors(topo.access_switch(b));
+    EXPECT_EQ(nbrs.size(), 2u) << "bs " << b;
+  }
+}
+
+TEST(CellularTopology, BsPrefixesDisjointAndDense) {
+  const CellularTopology topo({.k = 4});
+  std::unordered_set<Ipv4Addr> seen;
+  for (std::uint32_t b = 0; b < topo.num_base_stations(); ++b) {
+    const Prefix p = topo.bs_prefix(b);
+    EXPECT_TRUE(seen.insert(p.addr()).second);
+    EXPECT_TRUE(topo.plan().carrier().contains(p.addr()));
+  }
+}
+
+TEST(CellularTopology, PodOfBsConsistentWithAttachment) {
+  const std::uint32_t k = 4;
+  const CellularTopology topo({.k = k});
+  // Base stations are numbered pod-major, k^2/4 clusters of 10 per pod.
+  const std::uint32_t per_pod = topo.num_base_stations() / k;
+  for (std::uint32_t b = 0; b < topo.num_base_stations(); ++b)
+    EXPECT_EQ(topo.pod_of_bs(b), b / per_pod);
+}
+
+TEST(CellularTopology, GatewayConnectsCoreAndInternet) {
+  const CellularTopology topo({.k = 4});
+  const auto& g = topo.graph();
+  EXPECT_EQ(g.kind(topo.gateway()), NodeKind::kGatewaySwitch);
+  EXPECT_EQ(g.kind(topo.internet()), NodeKind::kInternet);
+  // gateway: k^2 core switches + internet
+  EXPECT_EQ(g.neighbors(topo.gateway()).size(), 16u + 1u);
+}
+
+TEST(CellularTopology, DeterministicForSeed) {
+  const CellularTopology a({.k = 4, .seed = 5});
+  const CellularTopology b({.k = 4, .seed = 5});
+  ASSERT_EQ(a.middleboxes().size(), b.middleboxes().size());
+  for (std::size_t i = 0; i < a.middleboxes().size(); ++i)
+    EXPECT_EQ(a.middleboxes()[i].host_switch, b.middleboxes()[i].host_switch);
+}
+
+TEST(CellularTopology, CoreStripingVariants) {
+  // Both stripings produce the same layer counts and k^3/4 pod-to-core
+  // links; the uniform variant touches every core switch.
+  for (const CoreStripe s : {CoreStripe::kBlocked, CoreStripe::kUniform}) {
+    const CellularTopology topo({.k = 8, .core_stripe = s});
+    std::size_t uplinks = 0;
+    std::unordered_set<NodeId> cores_linked;
+    for (const NodeId up : topo.agg_switches()) {
+      for (const NodeId n : topo.graph().neighbors(up)) {
+        if (topo.graph().kind(n) == NodeKind::kCoreSwitch) {
+          ++uplinks;
+          cores_linked.insert(n);
+        }
+      }
+    }
+    EXPECT_EQ(uplinks, 8u * 8u * 8u / 4u);
+    if (s == CoreStripe::kUniform) {
+      EXPECT_EQ(cores_linked.size(), topo.core_switches().size());
+    }
+  }
+}
+
+TEST(CellularTopology, UeBitsDerivedFromScale) {
+  const CellularTopology small({.k = 2});
+  EXPECT_GE(small.plan().max_base_stations(), small.num_base_stations());
+  const CellularTopology big({.k = 8});
+  EXPECT_GE(big.plan().max_base_stations(), big.num_base_stations());
+  EXPECT_EQ(big.plan().bs_bits() + big.plan().ue_bits(), 24);
+}
+
+}  // namespace
+}  // namespace softcell

@@ -1,0 +1,119 @@
+#include "workload/lte_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace softcell {
+namespace {
+
+TEST(LteTrace, DiurnalCurveHasUnitMeanAndPeaksEvening) {
+  LteTraceGenerator gen;
+  double sum = 0;
+  for (int h = 0; h < 24; ++h) sum += gen.diurnal(h * 3600.0, 0.75);
+  EXPECT_NEAR(sum / 24.0, 1.0, 0.01);
+  EXPECT_GT(gen.diurnal(20 * 3600.0, 0.75), gen.diurnal(8 * 3600.0, 0.75));
+  EXPECT_GT(gen.diurnal(20 * 3600.0, 0.75), 1.5);
+  EXPECT_LT(gen.diurnal(4 * 3600.0, 0.75), 0.7);
+}
+
+// A reduced day (2 hours, fewer samples) keeps the test fast while checking
+// the generator produces the right orders of magnitude; the full-day
+// calibration against the paper's percentiles lives in bench_fig6_workload.
+LteDayStats quick_day(std::uint64_t seed = 42) {
+  LteWorkloadParams p;
+  p.duration_s = 7200;
+  p.seed = seed;
+  LteTraceGenerator gen(p);
+  return gen.day_statistics(/*per_bs_samples=*/60'000);
+}
+
+TEST(LteTrace, ArrivalRatesInPlausibleRange) {
+  const auto stats = quick_day();
+  // 1M UEs x 2 attaches / day ~ 23/s mean.
+  EXPECT_NEAR(stats.ue_arrivals_per_s.mean(), 23.1, 12.0);
+  EXPECT_GT(stats.ue_arrivals_per_s.percentile(99.9), 40.0);
+  // Handoffs run hotter than arrivals by the configured ratio.
+  EXPECT_GT(stats.handoffs_per_s.mean(), stats.ue_arrivals_per_s.mean());
+}
+
+TEST(LteTrace, ActiveUesPerBsScale) {
+  const auto stats = quick_day();
+  // ~167 active UEs per BS on average (hundreds, per the paper).
+  EXPECT_GT(stats.active_ues_per_bs.mean(), 80.0);
+  EXPECT_LT(stats.active_ues_per_bs.mean(), 350.0);
+  EXPECT_LT(stats.active_ues_per_bs.percentile(99.999), 900.0);
+}
+
+TEST(LteTrace, BearerArrivalsPerBsScale) {
+  const auto stats = quick_day();
+  EXPECT_GT(stats.bearer_arrivals_per_bs_s.mean(), 1.0);
+  EXPECT_LT(stats.bearer_arrivals_per_bs_s.mean(), 15.0);
+  EXPECT_LT(stats.bearer_arrivals_per_bs_s.percentile(99.999), 80.0);
+}
+
+TEST(LteTrace, DeterministicForSeed) {
+  const auto a = quick_day(7);
+  const auto b = quick_day(7);
+  const auto c = quick_day(8);
+  EXPECT_DOUBLE_EQ(a.ue_arrivals_per_s.mean(), b.ue_arrivals_per_s.mean());
+  EXPECT_NE(a.ue_arrivals_per_s.mean(), c.ue_arrivals_per_s.mean());
+}
+
+TEST(LteTrace, EventStreamIsWellFormed) {
+  LteTraceGenerator gen;
+  LteTraceGenerator::ScaledScenario sc;
+  sc.num_ues = 20;
+  sc.num_bs = 6;
+  sc.duration_s = 100.0;
+
+  std::map<std::uint32_t, double> first_seen;   // ue -> arrival time
+  std::map<std::uint32_t, std::uint32_t> at_bs; // ue -> current bs
+  std::size_t flows = 0, moves = 0;
+  gen.generate_events(sc, [&](const LteTraceGenerator::Event& e) {
+    EXPECT_GE(e.t, 0.0);
+    EXPECT_LT(e.bs, sc.num_bs);
+    EXPECT_LT(e.ue, sc.num_ues);
+    switch (e.kind) {
+      case LteTraceGenerator::Event::Kind::kUeArrival:
+        EXPECT_FALSE(first_seen.contains(e.ue));
+        first_seen[e.ue] = e.t;
+        at_bs[e.ue] = e.bs;
+        break;
+      case LteTraceGenerator::Event::Kind::kHandoff:
+        ASSERT_TRUE(first_seen.contains(e.ue));
+        EXPECT_GE(e.t, first_seen[e.ue]);
+        EXPECT_NE(at_bs[e.ue], e.bs);  // moves go to a *different* bs
+        at_bs[e.ue] = e.bs;
+        ++moves;
+        break;
+      case LteTraceGenerator::Event::Kind::kFlowStart:
+        ASSERT_TRUE(first_seen.contains(e.ue));
+        EXPECT_GE(e.t, first_seen[e.ue]);
+        ++flows;
+        break;
+    }
+  });
+  EXPECT_EQ(first_seen.size(), sc.num_ues);
+  EXPECT_GT(flows, sc.num_ues);  // flow rate x duration >> 1 per UE
+  EXPECT_GT(moves, 0u);
+}
+
+TEST(LteTrace, PopularityIsMeanNormalized) {
+  // Indirect check: doubling popularity sigma must not shift the mean of
+  // active UEs per BS, only widen the tail.
+  LteWorkloadParams narrow;
+  narrow.duration_s = 3600;
+  narrow.bs_popularity_sigma = 0.1;
+  LteWorkloadParams wide = narrow;
+  wide.bs_popularity_sigma = 0.6;
+  auto sn = LteTraceGenerator(narrow).day_statistics(40'000);
+  auto sw = LteTraceGenerator(wide).day_statistics(40'000);
+  EXPECT_NEAR(sn.active_ues_per_bs.mean(), sw.active_ues_per_bs.mean(),
+              sn.active_ues_per_bs.mean() * 0.2);
+  EXPECT_GT(sw.active_ues_per_bs.percentile(99.9),
+            sn.active_ues_per_bs.percentile(99.9));
+}
+
+}  // namespace
+}  // namespace softcell
