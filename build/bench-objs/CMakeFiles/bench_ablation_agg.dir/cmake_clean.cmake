@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_agg"
+  "../bench/bench_ablation_agg.pdb"
+  "CMakeFiles/bench_ablation_agg.dir/bench_ablation_agg.cpp.o"
+  "CMakeFiles/bench_ablation_agg.dir/bench_ablation_agg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

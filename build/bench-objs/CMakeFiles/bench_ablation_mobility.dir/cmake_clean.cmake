@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_mobility"
+  "../bench/bench_ablation_mobility.pdb"
+  "CMakeFiles/bench_ablation_mobility.dir/bench_ablation_mobility.cpp.o"
+  "CMakeFiles/bench_ablation_mobility.dir/bench_ablation_mobility.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

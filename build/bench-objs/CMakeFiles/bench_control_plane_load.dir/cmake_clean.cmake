@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_control_plane_load"
+  "../bench/bench_control_plane_load.pdb"
+  "CMakeFiles/bench_control_plane_load.dir/bench_control_plane_load.cpp.o"
+  "CMakeFiles/bench_control_plane_load.dir/bench_control_plane_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_control_plane_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_controller_micro"
+  "../bench/bench_controller_micro.pdb"
+  "CMakeFiles/bench_controller_micro.dir/bench_controller_micro.cpp.o"
+  "CMakeFiles/bench_controller_micro.dir/bench_controller_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_controller_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

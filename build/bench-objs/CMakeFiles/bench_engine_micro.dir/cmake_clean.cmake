@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_engine_micro"
+  "../bench/bench_engine_micro.pdb"
+  "CMakeFiles/bench_engine_micro.dir/bench_engine_micro.cpp.o"
+  "CMakeFiles/bench_engine_micro.dir/bench_engine_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

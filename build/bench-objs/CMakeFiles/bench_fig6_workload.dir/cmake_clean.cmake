@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_workload"
+  "../bench/bench_fig6_workload.pdb"
+  "CMakeFiles/bench_fig6_workload.dir/bench_fig6_workload.cpp.o"
+  "CMakeFiles/bench_fig6_workload.dir/bench_fig6_workload.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

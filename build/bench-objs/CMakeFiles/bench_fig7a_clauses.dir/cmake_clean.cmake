@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7a_clauses"
+  "../bench/bench_fig7a_clauses.pdb"
+  "CMakeFiles/bench_fig7a_clauses.dir/bench_fig7a_clauses.cpp.o"
+  "CMakeFiles/bench_fig7a_clauses.dir/bench_fig7a_clauses.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_clauses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

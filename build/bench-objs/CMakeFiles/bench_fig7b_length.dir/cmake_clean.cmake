@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7b_length"
+  "../bench/bench_fig7b_length.pdb"
+  "CMakeFiles/bench_fig7b_length.dir/bench_fig7b_length.cpp.o"
+  "CMakeFiles/bench_fig7b_length.dir/bench_fig7b_length.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7b_length.
+# This may be replaced when dependencies are built.

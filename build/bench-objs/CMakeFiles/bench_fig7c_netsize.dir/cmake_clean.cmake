@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7c_netsize"
+  "../bench/bench_fig7c_netsize.pdb"
+  "CMakeFiles/bench_fig7c_netsize.dir/bench_fig7c_netsize.cpp.o"
+  "CMakeFiles/bench_fig7c_netsize.dir/bench_fig7c_netsize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7c_netsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_headline_capacity"
+  "../bench/bench_headline_capacity.pdb"
+  "CMakeFiles/bench_headline_capacity.dir/bench_headline_capacity.cpp.o"
+  "CMakeFiles/bench_headline_capacity.dir/bench_headline_capacity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_agent"
+  "../bench/bench_table2_agent.pdb"
+  "CMakeFiles/bench_table2_agent.dir/bench_table2_agent.cpp.o"
+  "CMakeFiles/bench_table2_agent.dir/bench_table2_agent.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

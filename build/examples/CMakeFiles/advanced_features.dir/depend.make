@@ -1,0 +1,2 @@
+# Empty dependencies file for advanced_features.
+# This may be replaced when dependencies are built.

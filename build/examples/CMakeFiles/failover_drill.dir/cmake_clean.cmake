@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_drill.dir/failover_drill.cpp.o"
+  "CMakeFiles/failover_drill.dir/failover_drill.cpp.o.d"
+  "failover_drill"
+  "failover_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

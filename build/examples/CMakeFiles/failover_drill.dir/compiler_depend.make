@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for failover_drill.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_handoff.dir/mobility_handoff.cpp.o"
+  "CMakeFiles/mobility_handoff.dir/mobility_handoff.cpp.o.d"
+  "mobility_handoff"
+  "mobility_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_routing.dir/policy_routing.cpp.o"
+  "CMakeFiles/policy_routing.dir/policy_routing.cpp.o.d"
+  "policy_routing"
+  "policy_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

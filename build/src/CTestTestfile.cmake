@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("packet")
+subdirs("topo")
+subdirs("dataplane")
+subdirs("policy")
+subdirs("core")
+subdirs("mbox")
+subdirs("ctrl")
+subdirs("agent")
+subdirs("mobility")
+subdirs("sim")
+subdirs("workload")
+subdirs("ofp")
+subdirs("legacy")

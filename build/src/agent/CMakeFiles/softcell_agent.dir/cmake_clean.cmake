@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcell_agent.dir/local_agent.cpp.o"
+  "CMakeFiles/softcell_agent.dir/local_agent.cpp.o.d"
+  "libsoftcell_agent.a"
+  "libsoftcell_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcell_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

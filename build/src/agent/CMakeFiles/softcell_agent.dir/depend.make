@@ -1,0 +1,2 @@
+# Empty dependencies file for softcell_agent.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/softcell_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/softcell_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/softcell_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/softcell_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/path.cpp" "src/core/CMakeFiles/softcell_core.dir/path.cpp.o" "gcc" "src/core/CMakeFiles/softcell_core.dir/path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/softcell_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/softcell_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/softcell_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/softcell_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/softcell_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

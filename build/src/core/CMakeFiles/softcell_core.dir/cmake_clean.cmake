@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcell_core.dir/baselines.cpp.o"
+  "CMakeFiles/softcell_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/softcell_core.dir/engine.cpp.o"
+  "CMakeFiles/softcell_core.dir/engine.cpp.o.d"
+  "CMakeFiles/softcell_core.dir/path.cpp.o"
+  "CMakeFiles/softcell_core.dir/path.cpp.o.d"
+  "libsoftcell_core.a"
+  "libsoftcell_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcell_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcell_ctrl.dir/controller.cpp.o"
+  "CMakeFiles/softcell_ctrl.dir/controller.cpp.o.d"
+  "libsoftcell_ctrl.a"
+  "libsoftcell_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcell_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

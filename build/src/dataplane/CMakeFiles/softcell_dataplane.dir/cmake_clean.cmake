@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcell_dataplane.dir/switch_table.cpp.o"
+  "CMakeFiles/softcell_dataplane.dir/switch_table.cpp.o.d"
+  "libsoftcell_dataplane.a"
+  "libsoftcell_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcell_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for softcell_dataplane.
+# This may be replaced when dependencies are built.

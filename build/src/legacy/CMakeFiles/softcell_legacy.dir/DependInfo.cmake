@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/legacy/epc.cpp" "src/legacy/CMakeFiles/softcell_legacy.dir/epc.cpp.o" "gcc" "src/legacy/CMakeFiles/softcell_legacy.dir/epc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/softcell_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/softcell_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/softcell_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcell_legacy.dir/epc.cpp.o"
+  "CMakeFiles/softcell_legacy.dir/epc.cpp.o.d"
+  "libsoftcell_legacy.a"
+  "libsoftcell_legacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcell_legacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

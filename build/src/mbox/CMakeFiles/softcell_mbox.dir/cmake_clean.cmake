@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcell_mbox.dir/middlebox.cpp.o"
+  "CMakeFiles/softcell_mbox.dir/middlebox.cpp.o.d"
+  "libsoftcell_mbox.a"
+  "libsoftcell_mbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcell_mbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for softcell_mbox.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcell_mobility.dir/handoff.cpp.o"
+  "CMakeFiles/softcell_mobility.dir/handoff.cpp.o.d"
+  "libsoftcell_mobility.a"
+  "libsoftcell_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcell_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ofp/flowmod.cpp" "src/ofp/CMakeFiles/softcell_ofp.dir/flowmod.cpp.o" "gcc" "src/ofp/CMakeFiles/softcell_ofp.dir/flowmod.cpp.o.d"
+  "/root/repo/src/ofp/mirror.cpp" "src/ofp/CMakeFiles/softcell_ofp.dir/mirror.cpp.o" "gcc" "src/ofp/CMakeFiles/softcell_ofp.dir/mirror.cpp.o.d"
+  "/root/repo/src/ofp/switch_agent.cpp" "src/ofp/CMakeFiles/softcell_ofp.dir/switch_agent.cpp.o" "gcc" "src/ofp/CMakeFiles/softcell_ofp.dir/switch_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/softcell_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/softcell_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/softcell_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/softcell_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/softcell_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/softcell_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

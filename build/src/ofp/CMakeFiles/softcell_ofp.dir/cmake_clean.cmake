@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcell_ofp.dir/flowmod.cpp.o"
+  "CMakeFiles/softcell_ofp.dir/flowmod.cpp.o.d"
+  "CMakeFiles/softcell_ofp.dir/mirror.cpp.o"
+  "CMakeFiles/softcell_ofp.dir/mirror.cpp.o.d"
+  "CMakeFiles/softcell_ofp.dir/switch_agent.cpp.o"
+  "CMakeFiles/softcell_ofp.dir/switch_agent.cpp.o.d"
+  "libsoftcell_ofp.a"
+  "libsoftcell_ofp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcell_ofp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

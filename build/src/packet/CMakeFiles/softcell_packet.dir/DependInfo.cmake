@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/nat.cpp" "src/packet/CMakeFiles/softcell_packet.dir/nat.cpp.o" "gcc" "src/packet/CMakeFiles/softcell_packet.dir/nat.cpp.o.d"
+  "/root/repo/src/packet/packet.cpp" "src/packet/CMakeFiles/softcell_packet.dir/packet.cpp.o" "gcc" "src/packet/CMakeFiles/softcell_packet.dir/packet.cpp.o.d"
+  "/root/repo/src/packet/prefix.cpp" "src/packet/CMakeFiles/softcell_packet.dir/prefix.cpp.o" "gcc" "src/packet/CMakeFiles/softcell_packet.dir/prefix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/softcell_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

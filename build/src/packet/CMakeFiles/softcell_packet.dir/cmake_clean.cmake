@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcell_packet.dir/nat.cpp.o"
+  "CMakeFiles/softcell_packet.dir/nat.cpp.o.d"
+  "CMakeFiles/softcell_packet.dir/packet.cpp.o"
+  "CMakeFiles/softcell_packet.dir/packet.cpp.o.d"
+  "CMakeFiles/softcell_packet.dir/prefix.cpp.o"
+  "CMakeFiles/softcell_packet.dir/prefix.cpp.o.d"
+  "libsoftcell_packet.a"
+  "libsoftcell_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcell_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcell_policy.dir/policy.cpp.o"
+  "CMakeFiles/softcell_policy.dir/policy.cpp.o.d"
+  "libsoftcell_policy.a"
+  "libsoftcell_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcell_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

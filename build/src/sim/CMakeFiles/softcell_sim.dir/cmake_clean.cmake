@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcell_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/softcell_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/softcell_sim.dir/network.cpp.o"
+  "CMakeFiles/softcell_sim.dir/network.cpp.o.d"
+  "libsoftcell_sim.a"
+  "libsoftcell_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcell_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcell_topo.dir/cellular.cpp.o"
+  "CMakeFiles/softcell_topo.dir/cellular.cpp.o.d"
+  "CMakeFiles/softcell_topo.dir/routing.cpp.o"
+  "CMakeFiles/softcell_topo.dir/routing.cpp.o.d"
+  "libsoftcell_topo.a"
+  "libsoftcell_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcell_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcell_util.dir/stats.cpp.o"
+  "CMakeFiles/softcell_util.dir/stats.cpp.o.d"
+  "libsoftcell_util.a"
+  "libsoftcell_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcell_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsoftcell_util.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcell_workload.dir/cbench.cpp.o"
+  "CMakeFiles/softcell_workload.dir/cbench.cpp.o.d"
+  "CMakeFiles/softcell_workload.dir/lte_trace.cpp.o"
+  "CMakeFiles/softcell_workload.dir/lte_trace.cpp.o.d"
+  "libsoftcell_workload.a"
+  "libsoftcell_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcell_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

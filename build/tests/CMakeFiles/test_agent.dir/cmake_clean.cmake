@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agent.dir/test_agent.cpp.o"
+  "CMakeFiles/test_agent.dir/test_agent.cpp.o.d"
+  "test_agent"
+  "test_agent.pdb"
+  "test_agent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consistent_updates.dir/test_consistent_updates.cpp.o"
+  "CMakeFiles/test_consistent_updates.dir/test_consistent_updates.cpp.o.d"
+  "test_consistent_updates"
+  "test_consistent_updates.pdb"
+  "test_consistent_updates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consistent_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

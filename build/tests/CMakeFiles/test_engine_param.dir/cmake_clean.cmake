@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_param.dir/test_engine_param.cpp.o"
+  "CMakeFiles/test_engine_param.dir/test_engine_param.cpp.o.d"
+  "test_engine_param"
+  "test_engine_param.pdb"
+  "test_engine_param[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

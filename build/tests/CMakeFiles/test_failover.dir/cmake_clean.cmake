@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failover.dir/test_failover.cpp.o"
+  "CMakeFiles/test_failover.dir/test_failover.cpp.o.d"
+  "test_failover"
+  "test_failover.pdb"
+  "test_failover[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

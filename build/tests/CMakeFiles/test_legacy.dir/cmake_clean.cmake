@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_legacy.dir/test_legacy.cpp.o"
+  "CMakeFiles/test_legacy.dir/test_legacy.cpp.o.d"
+  "test_legacy"
+  "test_legacy.pdb"
+  "test_legacy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_legacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

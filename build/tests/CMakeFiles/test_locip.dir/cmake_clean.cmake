@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_locip.dir/test_locip.cpp.o"
+  "CMakeFiles/test_locip.dir/test_locip.cpp.o.d"
+  "test_locip"
+  "test_locip.pdb"
+  "test_locip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_locip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microflow.dir/test_microflow.cpp.o"
+  "CMakeFiles/test_microflow.dir/test_microflow.cpp.o.d"
+  "test_microflow"
+  "test_microflow.pdb"
+  "test_microflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_middlebox.dir/test_middlebox.cpp.o"
+  "CMakeFiles/test_middlebox.dir/test_middlebox.cpp.o.d"
+  "test_middlebox"
+  "test_middlebox.pdb"
+  "test_middlebox[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_middlebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

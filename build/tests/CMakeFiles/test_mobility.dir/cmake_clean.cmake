@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mobility.dir/test_mobility.cpp.o"
+  "CMakeFiles/test_mobility.dir/test_mobility.cpp.o.d"
+  "test_mobility"
+  "test_mobility.pdb"
+  "test_mobility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monitoring.dir/test_monitoring.cpp.o"
+  "CMakeFiles/test_monitoring.dir/test_monitoring.cpp.o.d"
+  "test_monitoring"
+  "test_monitoring.pdb"
+  "test_monitoring[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

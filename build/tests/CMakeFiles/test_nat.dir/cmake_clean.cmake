@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nat.dir/test_nat.cpp.o"
+  "CMakeFiles/test_nat.dir/test_nat.cpp.o.d"
+  "test_nat"
+  "test_nat.pdb"
+  "test_nat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

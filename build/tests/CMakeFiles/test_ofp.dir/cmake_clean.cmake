@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ofp.dir/test_ofp.cpp.o"
+  "CMakeFiles/test_ofp.dir/test_ofp.cpp.o.d"
+  "test_ofp"
+  "test_ofp.pdb"
+  "test_ofp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ofp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

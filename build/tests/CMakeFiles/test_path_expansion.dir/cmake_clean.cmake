@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_expansion.dir/test_path_expansion.cpp.o"
+  "CMakeFiles/test_path_expansion.dir/test_path_expansion.cpp.o.d"
+  "test_path_expansion"
+  "test_path_expansion.pdb"
+  "test_path_expansion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_section7.dir/test_section7.cpp.o"
+  "CMakeFiles/test_section7.dir/test_section7.cpp.o.d"
+  "test_section7"
+  "test_section7.pdb"
+  "test_section7[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_section7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

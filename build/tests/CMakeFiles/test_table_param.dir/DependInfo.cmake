@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_table_param.cpp" "tests/CMakeFiles/test_table_param.dir/test_table_param.cpp.o" "gcc" "tests/CMakeFiles/test_table_param.dir/test_table_param.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/softcell_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbox/CMakeFiles/softcell_mbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/softcell_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/softcell_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/softcell_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/softcell_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ofp/CMakeFiles/softcell_ofp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/softcell_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/softcell_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/softcell_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/legacy/CMakeFiles/softcell_legacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/softcell_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/softcell_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/softcell_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

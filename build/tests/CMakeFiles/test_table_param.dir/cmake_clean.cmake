@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_param.dir/test_table_param.cpp.o"
+  "CMakeFiles/test_table_param.dir/test_table_param.cpp.o.d"
+  "test_table_param"
+  "test_table_param.pdb"
+  "test_table_param[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
