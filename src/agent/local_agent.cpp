@@ -146,7 +146,9 @@ LocalAgent::FlowResult LocalAgent::handle_new_flow(UeId ue,
   } else {
     // Miss: the first flow at this base station needing this policy path.
     ++misses_;
-    out.tag = controller_->request_policy_path(bs_index_, cls->clause);
+    out.tag = path_requester_
+                  ? path_requester_(ue, bs_index_, cls->clause)
+                  : controller_->request_policy_path(bs_index_, cls->clause);
     // Update the cached classifier so later flows hit.
     for (auto& c : st.classifiers)
       if (c.clause == cls->clause) c.tag = out.tag;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -72,6 +73,15 @@ class LocalAgent {
   // Controller push: a policy path's tag changed (consistent migration) --
   // update every cached classifier for that clause.
   void update_classifier_tag(ClauseId clause, PolicyTag tag);
+
+  // Reroutes the cache-miss controller round-trip (e.g. through the
+  // ControlPlaneRuntime pipeline, which coalesces duplicate misses and
+  // records latency).  Unset: the agent calls its controller directly.
+  using PathRequester =
+      std::function<PolicyTag(UeId ue, std::uint32_t bs, ClauseId clause)>;
+  void set_path_requester(PathRequester requester) {
+    path_requester_ = std::move(requester);
+  }
 
   // --- mobility support ---------------------------------------------------------
   // Adopts a UE arriving by handoff: keeps the permanent IP, assigns a new
@@ -131,6 +141,7 @@ class LocalAgent {
   PortCodec codec_;
   Controller* controller_;
   AccessSwitch* access_;
+  PathRequester path_requester_;
 
   std::unordered_map<UeId, UeState> ues_;
   std::unordered_set<LocalUeId> used_ids_;

@@ -8,12 +8,34 @@ namespace softcell {
 
 Controller::Controller(const CellularTopology& topo, ServicePolicy policy,
                        ControllerOptions options)
+    : Controller(topo,
+                 std::make_shared<const ServicePolicy>(std::move(policy)),
+                 options) {}
+
+Controller::Controller(const CellularTopology& topo,
+                       std::shared_ptr<const ServicePolicy> policy,
+                       ControllerOptions options)
     : topo_(&topo),
       policy_(std::move(policy)),
       options_(options),
       routes_(topo.graph()),
       engine_(topo.graph(), options.engine),
-      store_(options.store_replicas) {}
+      store_(options.store_replicas) {
+  if (policy_ == nullptr)
+    throw std::invalid_argument("Controller: null policy snapshot");
+}
+
+void Controller::set_policy(std::shared_ptr<const ServicePolicy> policy) {
+  if (policy == nullptr)
+    throw std::invalid_argument("set_policy: null policy snapshot");
+  std::unique_lock lock(mu_);
+  policy_ = std::move(policy);
+}
+
+std::shared_ptr<const ServicePolicy> Controller::policy_snapshot() const {
+  std::shared_lock lock(mu_);
+  return policy_;
+}
 
 void Controller::provision_subscriber(UeId ue,
                                       const SubscriberProfile& profile) {
@@ -55,7 +77,7 @@ std::vector<PacketClassifier> Controller::fetch_classifiers(
   std::vector<PacketClassifier> out;
   for (AppType app : {AppType::kWeb, AppType::kVideo, AppType::kVoip,
                       AppType::kM2mTelemetry, AppType::kOther}) {
-    const PolicyClause* clause = policy_.match(*profile, app);
+    const PolicyClause* clause = policy_->match(*profile, app);
     if (clause == nullptr) {
       out.push_back(PacketClassifier{app, ClauseId{}, false, std::nullopt});
       continue;
@@ -72,10 +94,16 @@ std::vector<PacketClassifier> Controller::fetch_classifiers(
 
 std::vector<NodeId> Controller::select_instances(std::uint32_t bs,
                                                  ClauseId clause) const {
+  std::shared_lock lock(mu_);
+  return select_instances_locked(bs, clause);
+}
+
+std::vector<NodeId> Controller::select_instances_locked(
+    std::uint32_t bs, ClauseId clause) const {
   if (const auto it = selected_.find(SlowState::PathKey{clause, bs});
       it != selected_.end())
     return it->second;
-  const PolicyClause& c = policy_.clause(clause);
+  const PolicyClause& c = policy_->clause(clause);
   const std::uint32_t pod = topo_->pod_of_bs(bs);
   std::vector<NodeId> out;
   out.reserve(c.action.middleboxes.size());
@@ -115,7 +143,8 @@ std::vector<NodeId> Controller::select_instances(std::uint32_t bs,
                                       topo_->core_instance(type, 1).node};
         NodeId best = candidates[0];
         for (const NodeId cand : candidates)
-          if (instance_load(cand) < instance_load(best)) best = cand;
+          if (instance_load_locked(cand) < instance_load_locked(best))
+            best = cand;
         out.push_back(best);
         break;
       }
@@ -128,7 +157,7 @@ using InstallResultAlias = AggregationEngine::InstallResult;
 
 Controller::InstalledPath Controller::install_path_locked(
     std::uint32_t bs, ClauseId clause, std::optional<PolicyTag> hint) {
-  const auto instances = select_instances(bs, clause);
+  const auto instances = select_instances_locked(bs, clause);
   selected_[SlowState::PathKey{clause, bs}] = instances;
   const auto up = expand_policy_path(topo_->graph(), routes_,
                                      Direction::kUplink,
@@ -190,7 +219,7 @@ PolicyTag Controller::request_m2m_path(std::uint32_t src_bs,
   // direction traverses them in reverse order.  Rules match the peer's
   // LocIP prefix, so tag uniqueness is tracked against the destination
   // base station (same namespace as gateway-downlink paths).
-  auto instances = select_instances(std::min(src_bs, dst_bs), clause);
+  auto instances = select_instances_locked(std::min(src_bs, dst_bs), clause);
   if (src_bs > dst_bs) std::reverse(instances.begin(), instances.end());
   const auto path = expand_m2m_path(topo_->graph(), routes_,
                                     topo_->access_switch(src_bs), instances,
@@ -283,7 +312,8 @@ Controller::RecompactResult Controller::recompact() {
     if (listener_) listener_(key.bs, key.clause, path.tag);
   }
   for (const auto& key : m2m_keys) {
-    auto instances = select_instances(std::min(key.src, key.dst), key.clause);
+    auto instances =
+        select_instances_locked(std::min(key.src, key.dst), key.clause);
     if (key.src > key.dst) std::reverse(instances.begin(), instances.end());
     const auto path = expand_m2m_path(topo_->graph(), routes_,
                                       topo_->access_switch(key.src), instances,
@@ -296,6 +326,82 @@ Controller::RecompactResult Controller::recompact() {
   result.rules_after = engine_.total_rules();
   result.tags_after = engine_.tags_in_use();
   return result;
+}
+
+namespace {
+// FNV-1a, folded over 64-bit words.
+struct Fnv {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 0x100000001B3ull;
+    }
+  }
+};
+}  // namespace
+
+std::uint64_t Controller::state_fingerprint() const {
+  std::shared_lock lock(mu_);
+  Fnv f;
+
+  // Installed gateway paths, canonical order.
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint16_t>> paths;
+  paths.reserve(installed_.size());
+  for (const auto& [key, p] : installed_)
+    paths.emplace_back(key.clause.value(), key.bs, p.tag.value());
+  std::sort(paths.begin(), paths.end());
+  f.mix(paths.size());
+  for (const auto& [clause, bs, tag] : paths) {
+    f.mix(clause);
+    f.mix(bs);
+    f.mix(tag);
+  }
+
+  // M2M half-paths.
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
+                         std::uint16_t>>
+      m2m;
+  m2m.reserve(m2m_installed_.size());
+  for (const auto& [key, tag] : m2m_installed_)
+    m2m.emplace_back(key.clause.value(), key.src, key.dst, tag.value());
+  std::sort(m2m.begin(), m2m.end());
+  f.mix(m2m.size());
+  for (const auto& [clause, src, dst, tag] : m2m) {
+    f.mix(clause);
+    f.mix(src);
+    f.mix(dst);
+    f.mix(tag);
+  }
+
+  // Middlebox load assignment.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> loads;
+  loads.reserve(instance_load_.size());
+  for (const auto& [node, n] : instance_load_)
+    loads.emplace_back(node.value(), n);
+  std::sort(loads.begin(), loads.end());
+  for (const auto& [node, n] : loads) {
+    f.mix(node);
+    f.mix(n);
+  }
+
+  // Engine rule universe: per-switch table sizes pin down the installed
+  // rule set far more tightly than the global total alone.
+  const auto stats = engine_.table_stats();
+  for (const auto s : stats.fabric_sizes) f.mix(s);
+  for (const auto s : stats.access_sizes) f.mix(s);
+  f.mix(stats.type1);
+  f.mix(stats.type2);
+  f.mix(stats.type3);
+  f.mix(engine_.total_rules());
+  f.mix(engine_.tags_in_use());
+
+  // Store + lifecycle counters.
+  f.mix(store_.version());
+  f.mix(store_.attached_ues());
+  f.mix(draining_.size());
+  f.mix(path_installs_);
+  return f.h;
 }
 
 void Controller::fail_primary_replica() {

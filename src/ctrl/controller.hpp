@@ -12,11 +12,27 @@
 //   * survive primary failure: slow state by replication, UE locations by
 //     re-querying local agents.
 //
-// The classifier-fetch and path-request entry points are thread-safe: the
-// controller micro-benchmark (section 6.2) drives them from many threads.
+// Thread-safety contract (the re-entrant API the sharded runtime builds
+// on, see src/runtime/):
+//   * Every mutating entry point takes the controller's writer lock; the
+//     read-mostly hot paths (fetch_classifiers, ue_location,
+//     select_instances, instance_load, path_installs) take the reader
+//     lock.  All of them may be called concurrently from any thread.
+//   * The service policy is held as an immutable shared snapshot
+//     (shared_ptr<const ServicePolicy>).  policy() returns a reference
+//     into the *current* snapshot -- valid until the next set_policy();
+//     concurrent readers that must outlive an update should hold
+//     policy_snapshot() instead.
+//   * engine(), store(), topology(), routes() return references to
+//     internals and are NOT independently synchronized: reading them while
+//     another thread mutates the controller is a race.  They exist for the
+//     single-threaded simulation harness and post-drain introspection; in
+//     the runtime, only touch them while no worker is processing requests
+//     for this controller (shard).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -59,6 +75,10 @@ struct ControllerOptions {
 class Controller {
  public:
   Controller(const CellularTopology& topo, ServicePolicy policy,
+             ControllerOptions options = {});
+  // Shards of a ShardedController share one immutable policy snapshot.
+  Controller(const CellularTopology& topo,
+             std::shared_ptr<const ServicePolicy> policy,
              ControllerOptions options = {});
 
   // --- provisioning ---------------------------------------------------------
@@ -131,23 +151,47 @@ class Controller {
       const std::function<void(
           const std::function<void(UeId, UeLocation)>&)>& query);
 
+  // --- policy snapshot (RCU-style; see runtime/snapshot.hpp) ----------------
+  // Swaps in a new immutable policy.  Installed paths keep their clause
+  // ids, so the new policy must keep existing ClauseIds stable (append or
+  // re-prioritize clauses; use recompact() after destructive edits).
+  void set_policy(std::shared_ptr<const ServicePolicy> policy);
+  [[nodiscard]] std::shared_ptr<const ServicePolicy> policy_snapshot() const;
+
   // --- introspection ----------------------------------------------------------
+  // Audit note (re-entrant API): engine()/store()/policy() return
+  // references into live controller state -- see the thread-safety
+  // contract at the top of this header.
   [[nodiscard]] const AggregationEngine& engine() const { return engine_; }
   [[nodiscard]] AggregationEngine& engine() { return engine_; }
-  [[nodiscard]] const ServicePolicy& policy() const { return policy_; }
+  [[nodiscard]] const ServicePolicy& policy() const { return *policy_; }
   [[nodiscard]] const CellularTopology& topology() const { return *topo_; }
   [[nodiscard]] const RoutingOracle& routes() const { return routes_; }
   [[nodiscard]] const ControlStore& store() const { return store_; }
-  [[nodiscard]] std::uint64_t path_installs() const { return path_installs_; }
-  [[nodiscard]] std::uint64_t instance_load(NodeId mb) const {
-    const auto it = instance_load_.find(mb);
-    return it == instance_load_.end() ? 0 : it->second;
+  [[nodiscard]] std::uint64_t path_installs() const {
+    std::shared_lock lock(mu_);
+    return path_installs_;
   }
+  [[nodiscard]] std::uint64_t instance_load(NodeId mb) const {
+    std::shared_lock lock(mu_);
+    return instance_load_locked(mb);
+  }
+
+  // Order-insensitive hash of the externally observable control-plane
+  // state (installed paths and their tags, engine table sizes, store
+  // versions, attached UEs).  Two controllers that processed the same
+  // per-shard request sequence -- regardless of worker count or
+  // duplicate-miss coalescing -- hash identically; the runtime stress
+  // tests assert exactly that.
+  [[nodiscard]] std::uint64_t state_fingerprint() const;
 
   // The middlebox instances serving the (clause, bs) path.  Once a path is
   // installed its selection is memoized, so mobility and verification always
   // see the instances actually in use (essential for kLeastLoaded, whose
-  // fresh selections drift with load).
+  // fresh selections drift with load).  Audit fix: this used to read the
+  // memo map unlocked -- racy against concurrent installs; it now takes
+  // the reader lock (internal callers already under the writer lock use
+  // the _locked variant).
   [[nodiscard]] std::vector<NodeId> select_instances(std::uint32_t bs,
                                                      ClauseId clause) const;
 
@@ -161,9 +205,15 @@ class Controller {
   // Installs (clause, bs) under a fresh-or-reused tag; lock must be held.
   InstalledPath install_path_locked(std::uint32_t bs, ClauseId clause,
                                     std::optional<PolicyTag> hint);
+  [[nodiscard]] std::vector<NodeId> select_instances_locked(
+      std::uint32_t bs, ClauseId clause) const;
+  [[nodiscard]] std::uint64_t instance_load_locked(NodeId mb) const {
+    const auto it = instance_load_.find(mb);
+    return it == instance_load_.end() ? 0 : it->second;
+  }
 
   const CellularTopology* topo_;
-  ServicePolicy policy_;
+  std::shared_ptr<const ServicePolicy> policy_;
   ControllerOptions options_;
   RoutingOracle routes_;
   AggregationEngine engine_;

@@ -8,6 +8,22 @@
 //     attached to exactly one base station, so after a primary failure the
 //     new primary rebuilds the location map by querying each base station's
 //     local agent.
+//
+// Thread safety: ControlStore is NOT internally synchronized.  It is owned
+// by exactly one Controller (one shard of the runtime) and every access
+// happens under that controller's mutex.  Audit notes for the re-entrant
+// controller API:
+//   * profile() returns a pointer into an unordered_map node; it is
+//     invalidated by the next put_profile() (rehash may move the node).
+//     Callers must consume it under the same controller lock section that
+//     obtained it -- Controller::fetch_classifiers does exactly that --
+//     and must never cache it across calls.
+//   * mutate() applies a write to every replica before returning, so a
+//     reader that runs strictly before or after a (controller-serialized)
+//     write always observes consistent replicas; replicas_consistent()
+//     checks that invariant.
+//   * fail_primary() invalidates everything previously returned by
+//     profile() (the primary replica is destroyed).
 #pragma once
 
 #include <cstdint>

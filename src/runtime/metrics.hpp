@@ -1,0 +1,121 @@
+// Per-shard lock-free runtime metrics.
+//
+// Every shard owns one ShardMetrics; workers update it with relaxed atomic
+// increments only (no locks, no false sharing with neighbour shards thanks
+// to the alignas).  Aggregation walks the shards on demand and merges the
+// counters and latency histograms into a MetricsSnapshot -- readers never
+// stall writers.
+//
+// Latencies use a fixed power-of-two bucket histogram (bucket i counts
+// samples in [2^i, 2^{i+1}) nanoseconds), so p50/p99 come out with at most
+// 2x resolution error and recording is a single relaxed fetch_add.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace softcell {
+
+class LatencyHistogram {
+ public:
+  // Bucket 47 tops out at ~2^48 ns (~3 days); everything above saturates.
+  static constexpr std::size_t kBuckets = 48;
+
+  void record(std::uint64_t nanos) {
+    buckets_[bucket_of(nanos)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t nanos) {
+    const std::size_t b = nanos == 0 ? 0 : std::bit_width(nanos) - 1;
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+  // Upper bound (exclusive) of a bucket, i.e. the value reported for
+  // quantiles that land in it -- a conservative (pessimistic) estimate.
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t bucket) {
+    return bucket + 1 >= 64 ? UINT64_MAX : (std::uint64_t{1} << (bucket + 1));
+  }
+
+  void merge_into(std::array<std::uint64_t, kBuckets>& out) const {
+    for (std::size_t i = 0; i < kBuckets; ++i)
+      out[i] += buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+// Aggregated view of one or more shards at a point in time.
+struct MetricsSnapshot {
+  std::uint64_t requests = 0;           // every control-plane call
+  std::uint64_t classifier_fetches = 0;
+  std::uint64_t path_requests = 0;      // executed (post-coalescing)
+  std::uint64_t coalesced_misses = 0;   // duplicate misses folded away
+  std::uint64_t errors = 0;
+  std::array<std::uint64_t, LatencyHistogram::kBuckets> latency_buckets{};
+
+  [[nodiscard]] std::uint64_t latency_count() const {
+    std::uint64_t n = 0;
+    for (const auto b : latency_buckets) n += b;
+    return n;
+  }
+
+  // Quantile in [0, 1]; returns the upper bound of the bucket holding the
+  // q-th sample (nearest-rank over the histogram), 0 if empty.
+  [[nodiscard]] std::uint64_t latency_quantile_ns(double q) const {
+    const std::uint64_t total = latency_count();
+    if (total == 0) return 0;
+    auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+    if (rank >= total) rank = total - 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < latency_buckets.size(); ++i) {
+      seen += latency_buckets[i];
+      if (seen > rank) return LatencyHistogram::bucket_upper(i);
+    }
+    return LatencyHistogram::bucket_upper(latency_buckets.size() - 1);
+  }
+};
+
+// One shard's counters.  All updates are relaxed atomics: the counters are
+// monotonic and independent, so aggregation tolerates being slightly stale
+// but never tears or blocks the request path.
+class alignas(64) ShardMetrics {
+ public:
+  void count_request() { requests_.fetch_add(1, std::memory_order_relaxed); }
+  void count_classifier_fetch() {
+    classifier_fetches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_path_request() {
+    path_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_coalesced() {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_error() { errors_.fetch_add(1, std::memory_order_relaxed); }
+  void record_latency(std::uint64_t nanos) { latency_.record(nanos); }
+
+  void merge_into(MetricsSnapshot& out) const {
+    out.requests += requests_.load(std::memory_order_relaxed);
+    out.classifier_fetches +=
+        classifier_fetches_.load(std::memory_order_relaxed);
+    out.path_requests += path_requests_.load(std::memory_order_relaxed);
+    out.coalesced_misses += coalesced_.load(std::memory_order_relaxed);
+    out.errors += errors_.load(std::memory_order_relaxed);
+    latency_.merge_into(out.latency_buckets);
+  }
+
+  [[nodiscard]] std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> classifier_fetches_{0};
+  std::atomic<std::uint64_t> path_requests_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace softcell

@@ -1,0 +1,153 @@
+// ControlPlaneRuntime: the lock-free request pipeline over the shards.
+//
+// Wiring (one box per concept; see DESIGN.md "Concurrency model"):
+//
+//   post(Request) --shard_of(ue)--> worker(shard % W) SPSC ring
+//        |                              |
+//        |  duplicate (bs, clause)      v
+//        +--> coalescer (attach to   worker executes on the owning shard,
+//             the in-flight install)  records latency, fires completions
+//
+// Guarantees:
+//   * shard affinity -- every request for a UE executes on the one worker
+//     that owns its shard, so shard state needs no cross-worker ordering;
+//   * per-shard FIFO -- requests posted from the dispatcher thread execute
+//     in posting order (ThreadPool ring guarantee), which makes the final
+//     controller state independent of the worker count: the N-worker run
+//     is byte-identical to the 1-worker reference (stress-tested);
+//   * duplicate-miss coalescing -- concurrent flow misses for the same
+//     (bs, clause) while an install is in flight attach to that install
+//     instead of enqueueing their own; one path is installed, every caller
+//     gets the same tag (Table 2's miss storm collapses to one install);
+//   * backpressure -- bounded queues throttle the dispatcher instead of
+//     growing the backlog without bound.
+//
+// Completions run on the worker thread; keep them cheap and never call
+// back into the runtime's blocking API from one (call()/drain() from a
+// completion would self-deadlock the worker).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/metrics.hpp"
+#include "runtime/sharded_controller.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace softcell {
+
+enum class RequestKind : std::uint8_t {
+  kProvision,
+  kAttach,
+  kDetach,
+  kUpdateLocation,
+  kFetchClassifiers,
+  kPolicyPath,
+};
+
+struct Response {
+  bool ok = true;
+  std::string error;                          // set when !ok
+  PolicyTag tag{};                            // kPolicyPath
+  std::vector<PacketClassifier> classifiers;  // kFetchClassifiers
+};
+
+struct Request {
+  RequestKind kind = RequestKind::kFetchClassifiers;
+  UeId ue{};
+  std::uint32_t bs = 0;
+  ClauseId clause{};       // kPolicyPath
+  LocalUeId local{};       // kAttach / kUpdateLocation
+  SubscriberProfile profile{};  // kProvision
+  // Optional completion; runs on the worker thread.
+  std::function<void(Response&&)> done;
+};
+
+struct RuntimeOptions {
+  unsigned workers = 2;
+  std::size_t queue_capacity = 4096;
+  bool coalesce_path_misses = true;
+  // Test hook, forwarded to the thread pool.
+  bool start_suspended = false;
+};
+
+class ControlPlaneRuntime {
+ public:
+  ControlPlaneRuntime(ShardedController& controller,
+                      RuntimeOptions options = {});
+  ~ControlPlaneRuntime();
+
+  ControlPlaneRuntime(const ControlPlaneRuntime&) = delete;
+  ControlPlaneRuntime& operator=(const ControlPlaneRuntime&) = delete;
+
+  // Releases a start_suspended pool.
+  void start();
+
+  // Asynchronous submission.  Blocks only under backpressure (bounded
+  // queues); returns false if the runtime is shutting down.
+  bool post(Request request);
+
+  // Blocking conveniences for synchronous callers (the simulation
+  // harness).  Must not be called from a worker completion.
+  Response call(Request request);
+  std::vector<PacketClassifier> fetch_classifiers(UeId ue, std::uint32_t bs);
+  PolicyTag request_policy_path(UeId ue, std::uint32_t bs, ClauseId clause);
+
+  // Waits until every posted request has completed.
+  void drain();
+
+  [[nodiscard]] unsigned worker_count() const { return pool_->worker_count(); }
+  [[nodiscard]] unsigned worker_of(std::size_t shard) const {
+    return static_cast<unsigned>(shard % pool_->worker_count());
+  }
+  [[nodiscard]] ShardedController& controller() { return controller_; }
+  // Aggregated shard metrics (counts, coalescing, latency percentiles).
+  [[nodiscard]] MetricsSnapshot metrics() const {
+    return controller_.aggregate_metrics();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    Request request;
+    std::size_t shard = 0;
+    Clock::time_point submitted{};
+  };
+
+  struct Waiter {
+    std::function<void(Response&&)> done;
+    Clock::time_point submitted{};
+  };
+
+  // In-flight path installs, per shard: (bs, clause) -> attached waiters.
+  struct ShardPending {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, std::vector<Waiter>> waiting;
+  };
+  static std::uint64_t path_key(std::uint32_t bs, ClauseId clause) {
+    return (static_cast<std::uint64_t>(clause.value()) << 32) | bs;
+  }
+
+  void execute(unsigned worker, Job& job);
+  void finish(std::size_t shard, Clock::time_point submitted,
+              std::function<void(Response&&)>& done, Response&& response);
+  void complete_one();
+
+  ShardedController& controller_;
+  RuntimeOptions options_;
+  std::vector<std::unique_ptr<ShardPending>> pending_;
+  std::unique_ptr<ThreadPool<Job>> pool_;
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+};
+
+}  // namespace softcell

@@ -1,0 +1,123 @@
+#include "runtime/sharded_controller.hpp"
+
+#include <stdexcept>
+
+namespace softcell {
+
+namespace {
+// splitmix64 finalizer: spreads consecutive UE ids across shards.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+ShardedController::ShardedController(const CellularTopology& topo,
+                                     ServicePolicy policy,
+                                     ShardedControllerOptions options)
+    : policy_(std::make_shared<const ServicePolicy>(std::move(policy))) {
+  if (options.shards == 0)
+    throw std::invalid_argument("ShardedController: need at least one shard");
+  shards_.reserve(options.shards);
+  const auto snapshot = policy_.load();
+  for (std::size_t i = 0; i < options.shards; ++i)
+    shards_.push_back(
+        std::make_unique<Controller>(topo, snapshot, options.controller));
+  metrics_ = std::make_unique<ShardMetrics[]>(options.shards);
+}
+
+std::size_t ShardedController::shard_of(UeId ue) const {
+  return mix64(ue.value()) % shards_.size();
+}
+
+void ShardedController::provision_subscriber(UeId ue,
+                                             const SubscriberProfile& profile) {
+  const auto s = shard_of(ue);
+  metrics_[s].count_request();
+  shards_[s]->provision_subscriber(ue, profile);
+}
+
+void ShardedController::attach_ue(UeId ue, std::uint32_t bs, LocalUeId local) {
+  const auto s = shard_of(ue);
+  metrics_[s].count_request();
+  shards_[s]->attach_ue(ue, bs, local);
+}
+
+void ShardedController::detach_ue(UeId ue) {
+  const auto s = shard_of(ue);
+  metrics_[s].count_request();
+  shards_[s]->detach_ue(ue);
+}
+
+void ShardedController::update_location(UeId ue, std::uint32_t bs,
+                                        LocalUeId local) {
+  const auto s = shard_of(ue);
+  metrics_[s].count_request();
+  shards_[s]->update_location(ue, bs, local);
+}
+
+std::optional<UeLocation> ShardedController::ue_location(UeId ue) const {
+  const auto s = shard_of(ue);
+  metrics_[s].count_request();
+  return shards_[s]->ue_location(ue);
+}
+
+std::vector<PacketClassifier> ShardedController::fetch_classifiers(
+    UeId ue, std::uint32_t bs) const {
+  const auto s = shard_of(ue);
+  metrics_[s].count_request();
+  metrics_[s].count_classifier_fetch();
+  return shards_[s]->fetch_classifiers(ue, bs);
+}
+
+PolicyTag ShardedController::request_policy_path(UeId ue, std::uint32_t bs,
+                                                 ClauseId clause) {
+  const auto s = shard_of(ue);
+  metrics_[s].count_request();
+  metrics_[s].count_path_request();
+  return shards_[s]->request_policy_path(bs, clause);
+}
+
+PolicyTag ShardedController::request_m2m_path(UeId src_ue,
+                                              std::uint32_t src_bs,
+                                              std::uint32_t dst_bs,
+                                              ClauseId clause) {
+  // M2M half-paths are owned by the *initiating* UE's shard: both
+  // directions of a connection are requested by their respective source
+  // UEs, so each half lands with its requester.
+  const auto s = shard_of(src_ue);
+  metrics_[s].count_request();
+  metrics_[s].count_path_request();
+  return shards_[s]->request_m2m_path(src_bs, dst_bs, clause);
+}
+
+std::uint64_t ShardedController::update_policy(ServicePolicy next) {
+  auto snapshot = std::make_shared<const ServicePolicy>(std::move(next));
+  const auto version = policy_.update(snapshot);
+  // Each shard swaps its pointer under its own lock -- a pointer store,
+  // not a policy rebuild, so the request path stalls for nanoseconds, and
+  // requests already running keep the snapshot they loaded.
+  for (auto& shard : shards_) shard->set_policy(snapshot);
+  return version;
+}
+
+MetricsSnapshot ShardedController::aggregate_metrics() const {
+  MetricsSnapshot out;
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    metrics_[i].merge_into(out);
+  return out;
+}
+
+std::uint64_t ShardedController::state_fingerprint() const {
+  // Combine per-shard fingerprints positionally (shard identity matters:
+  // the same paths on a different shard is a different partition).
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    h ^= mix64(i + 1) ^ shards_[i]->state_fingerprint();
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace softcell

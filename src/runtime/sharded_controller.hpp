@@ -1,0 +1,107 @@
+// Horizontally sharded control plane (the runtime's state partition).
+//
+// The paper keeps the central controller off the per-flow fast path by
+// devolving classifier caching to local agents (section 4.2); this module
+// adds the other half of the scalability story -- the controller itself
+// runs as N independent shards, in the spirit of the multi-threaded SDN
+// controllers surveyed by Kreutz et al. (PAPERS.md).  Each shard is a full
+// Controller owning a partition of the subscriber base:
+//
+//   shard(ue) = splitmix64(ue) % N
+//
+// UE state (profiles, locations), the classifier tables compiled for those
+// UEs, and the policy paths their flows request all live on the owning
+// shard; requests for different shards never touch the same lock.  The
+// topology is immutable for the lifetime of the sharded controller and
+// shared read-only by every shard; the service policy is a versioned
+// RCU-style snapshot (runtime/snapshot.hpp) -- update_policy() builds the
+// new policy off to the side and swaps a pointer, so policy pushes never
+// stall the request path.
+//
+// Shard ownership rules (also in DESIGN.md "Concurrency model"):
+//   * a UE's requests must always be routed by its UeId -- the shard owns
+//     the UE's profile, location and the (clause, bs) paths its flows
+//     installed;
+//   * mobility handoff of a UE stays on its shard (the shard key is the
+//     UE, not the base station), so no cross-shard transfer is needed;
+//   * cross-shard state does not exist: each shard has its own
+//     AggregationEngine rule universe, modelling one controller instance's
+//     switch partition.  The end-to-end packet simulator therefore runs
+//     with shards = 1 (a single rule universe the forwarding walk can
+//     query); multi-shard configurations serve control-plane scale-out.
+//
+// Thread safety: all methods are safe to call from any thread.  Different
+// shards proceed fully in parallel; calls hitting one shard serialize on
+// that shard's internal lock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ctrl/controller.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/snapshot.hpp"
+
+namespace softcell {
+
+struct ShardedControllerOptions {
+  std::size_t shards = 4;
+  ControllerOptions controller;
+};
+
+class ShardedController {
+ public:
+  ShardedController(const CellularTopology& topo, ServicePolicy policy,
+                    ShardedControllerOptions options = {});
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t shard_of(UeId ue) const;
+  [[nodiscard]] Controller& shard(std::size_t i) { return *shards_[i]; }
+  [[nodiscard]] const Controller& shard(std::size_t i) const {
+    return *shards_[i];
+  }
+
+  // --- UE-keyed request API (routes to the owning shard) --------------------
+  void provision_subscriber(UeId ue, const SubscriberProfile& profile);
+  void attach_ue(UeId ue, std::uint32_t bs, LocalUeId local);
+  void detach_ue(UeId ue);
+  void update_location(UeId ue, std::uint32_t bs, LocalUeId local);
+  [[nodiscard]] std::optional<UeLocation> ue_location(UeId ue) const;
+  [[nodiscard]] std::vector<PacketClassifier> fetch_classifiers(
+      UeId ue, std::uint32_t bs) const;
+  PolicyTag request_policy_path(UeId ue, std::uint32_t bs, ClauseId clause);
+  PolicyTag request_m2m_path(UeId src_ue, std::uint32_t src_bs,
+                             std::uint32_t dst_bs, ClauseId clause);
+
+  // --- policy snapshot (RCU swap; never stalls the request path) ------------
+  [[nodiscard]] std::shared_ptr<const ServicePolicy> policy_snapshot() const {
+    return policy_.load();
+  }
+  [[nodiscard]] std::uint64_t policy_version() const {
+    return policy_.version();
+  }
+  // Publishes `next` to every shard and returns the new version.  Existing
+  // ClauseIds must stay stable (see Controller::set_policy).
+  std::uint64_t update_policy(ServicePolicy next);
+
+  // --- metrics --------------------------------------------------------------
+  [[nodiscard]] ShardMetrics& metrics(std::size_t shard) {
+    return metrics_[shard];
+  }
+  [[nodiscard]] const ShardMetrics& metrics(std::size_t shard) const {
+    return metrics_[shard];
+  }
+  [[nodiscard]] MetricsSnapshot aggregate_metrics() const;
+
+  // Combined state hash over all shards (see Controller::state_fingerprint).
+  [[nodiscard]] std::uint64_t state_fingerprint() const;
+
+ private:
+  VersionedSnapshot<ServicePolicy> policy_;
+  std::vector<std::unique_ptr<Controller>> shards_;
+  std::unique_ptr<ShardMetrics[]> metrics_;
+};
+
+}  // namespace softcell

@@ -1,0 +1,82 @@
+// RCU-style versioned snapshot for read-mostly shared state.
+//
+// The sharded runtime shares one topology/policy view across all shards.
+// Updates build a complete new immutable object off to the side and then
+// swap a single shared_ptr -- readers on the request path only ever load
+// the pointer (wait-free with std::atomic<shared_ptr>, a brief CAS loop on
+// the libstdc++ fallback) and keep their snapshot alive for as long as
+// they hold it, so a policy update never stalls in-flight requests and no
+// reader ever observes a half-built policy.  Old snapshots retire when the
+// last reader drops its reference (shared_ptr refcount = the grace
+// period).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <version>
+
+// std::atomic<std::shared_ptr> in libstdc++ is a lock-free tagged-pointer
+// protocol (_Sp_atomic) that ThreadSanitizer cannot model -- it reports the
+// internal plain loads as races.  Under TSan we fall back to the
+// std::atomic_load/store free functions (a real mutex pool TSan does
+// understand); the semantics are identical, only reader wait-freedom is
+// lost in sanitized builds.
+#if defined(__SANITIZE_THREAD__)
+#define SOFTCELL_SNAPSHOT_LOCKED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SOFTCELL_SNAPSHOT_LOCKED 1
+#endif
+#endif
+#if !defined(SOFTCELL_SNAPSHOT_LOCKED) && !defined(__cpp_lib_atomic_shared_ptr)
+#define SOFTCELL_SNAPSHOT_LOCKED 1
+#endif
+
+namespace softcell {
+
+template <typename T>
+class VersionedSnapshot {
+ public:
+  explicit VersionedSnapshot(std::shared_ptr<const T> initial)
+      : ptr_(std::move(initial)) {}
+
+  // Reader side: grab the current snapshot.  Never blocks on writers.
+  [[nodiscard]] std::shared_ptr<const T> load() const {
+#if defined(SOFTCELL_SNAPSHOT_LOCKED)
+    return std::atomic_load_explicit(&ptr_, std::memory_order_acquire);
+#else
+    return ptr_.load(std::memory_order_acquire);
+#endif
+  }
+
+  [[nodiscard]] std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  // Writer side: publish `next` and return the new version.  Writers are
+  // serialized against each other; readers are never stalled.
+  std::uint64_t update(std::shared_ptr<const T> next) {
+    std::lock_guard lock(write_mu_);
+#if defined(SOFTCELL_SNAPSHOT_LOCKED)
+    std::atomic_store_explicit(&ptr_, std::move(next),
+                               std::memory_order_release);
+#else
+    ptr_.store(std::move(next), std::memory_order_release);
+#endif
+    return version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+ private:
+#if defined(SOFTCELL_SNAPSHOT_LOCKED)
+  std::shared_ptr<const T> ptr_;  // accessed via std::atomic_load/store
+#else
+  std::atomic<std::shared_ptr<const T>> ptr_;
+#endif
+  std::atomic<std::uint64_t> version_{1};
+  std::mutex write_mu_;  // serializes writers only
+};
+
+}  // namespace softcell

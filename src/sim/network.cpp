@@ -42,9 +42,15 @@ SoftCellNetwork::SoftCellNetwork(SoftCellConfig config, ServicePolicy policy)
     : config_(config),
       topo_(config.topo),
       codec_(config.tag_bits),
-      controller_(topo_, std::move(policy),
-                  with_tag_bound(config.controller, config.tag_bits)),
+      sharded_(topo_, std::move(policy),
+               {.shards = 1,
+                .controller = with_tag_bound(config.controller,
+                                             config.tag_bits)}),
+      controller_(sharded_.shard(0)),
       mobility_(controller_, topo_.plan(), codec_, config.mobility) {
+  if (config.runtime_workers > 0)
+    runtime_ = std::make_unique<ControlPlaneRuntime>(
+        sharded_, RuntimeOptions{.workers = config.runtime_workers});
   const auto n = topo_.num_base_stations();
   access_.reserve(n);
   agents_.reserve(n);
@@ -56,6 +62,11 @@ SoftCellNetwork::SoftCellNetwork(SoftCellConfig config, ServicePolicy policy)
     access_.push_back(std::make_unique<AccessSwitch>(node, bs, to_gw.at(1)));
     agents_.push_back(std::make_unique<LocalAgent>(
         bs, topo_.plan(), codec_, controller_, *access_.back()));
+    if (runtime_)
+      agents_.back()->set_path_requester(
+          [this](UeId ue, std::uint32_t abs, ClauseId clause) {
+            return runtime_->request_policy_path(ue, abs, clause);
+          });
     node_to_bs_.emplace(node, bs);
   }
   for (const auto& inst : topo_.middleboxes())
@@ -70,6 +81,18 @@ SoftCellNetwork::SoftCellNetwork(SoftCellConfig config, ServicePolicy policy)
 AccessSwitch* SoftCellNetwork::access_by_node(NodeId node) {
   const auto it = node_to_bs_.find(node);
   return it == node_to_bs_.end() ? nullptr : access_.at(it->second).get();
+}
+
+std::vector<PacketClassifier> SoftCellNetwork::cp_fetch_classifiers(
+    UeId ue, std::uint32_t bs) {
+  if (runtime_) return runtime_->fetch_classifiers(ue, bs);
+  return controller_.fetch_classifiers(ue, bs);
+}
+
+PolicyTag SoftCellNetwork::cp_request_policy_path(UeId ue, std::uint32_t bs,
+                                                  ClauseId clause) {
+  if (runtime_) return runtime_->request_policy_path(ue, bs, clause);
+  return controller_.request_policy_path(bs, clause);
 }
 
 UeId SoftCellNetwork::add_subscriber(const SubscriberProfile& profile) {
@@ -184,7 +207,7 @@ SoftCellNetwork::M2mFlowHandle SoftCellNetwork::open_m2m_flow(
         "open_m2m_flow: same base station (handled locally, no core path)");
 
   // Classify by the initiator's profile and the destination application.
-  const auto cls = controller_.fetch_classifiers(a, loc_a->bs);
+  const auto cls = cp_fetch_classifiers(a, loc_a->bs);
   const AppType app = app_from_dst_port(dst_port);
   const PacketClassifier* match = nullptr;
   for (const auto& c : cls)
@@ -481,7 +504,7 @@ SoftCellNetwork::PublicService SoftCellNetwork::expose_service(
 
   // Classify by the UE's profile and the service's application class; the
   // policy path is installed once, when the service is exposed.
-  const auto cls = controller_.fetch_classifiers(ue, loc->bs);
+  const auto cls = cp_fetch_classifiers(ue, loc->bs);
   const AppType app = app_from_dst_port(service_port);
   const PacketClassifier* match = nullptr;
   for (const auto& c : cls) {
@@ -494,7 +517,7 @@ SoftCellNetwork::PublicService SoftCellNetwork::expose_service(
   if (match == nullptr || !match->allow)
     throw std::invalid_argument("expose_service: policy denies this traffic");
   const PolicyTag tag =
-      controller_.request_policy_path(loc->bs, match->clause);
+      cp_request_policy_path(ue, loc->bs, match->clause);
 
   ServiceEntry e;
   e.ue = ue;

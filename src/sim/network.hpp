@@ -22,6 +22,8 @@
 #include "mbox/middlebox.hpp"
 #include "mobility/handoff.hpp"
 #include "packet/nat.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/sharded_controller.hpp"
 #include "topo/cellular.hpp"
 
 namespace softcell {
@@ -33,6 +35,12 @@ struct SoftCellConfig {
   MobilityOptions mobility;
   bool enable_nat = false;     // per-flow NAT at the gateway (section 4.1)
   std::uint64_t nat_seed = 7;
+  // > 0: route classifier-fetch and policy-path requests through a
+  // ControlPlaneRuntime with this many workers (src/runtime/) instead of
+  // calling the controller inline -- the sim exercises the same pipeline
+  // the scaling bench measures (coalescing, metrics, shard affinity).
+  // 0 (default): inline calls, byte-for-byte the pre-runtime behaviour.
+  unsigned runtime_workers = 0;
 };
 
 class SoftCellNetwork {
@@ -119,6 +127,8 @@ class SoftCellNetwork {
   [[nodiscard]] const CellularTopology& topology() const { return topo_; }
   [[nodiscard]] Controller& controller() { return controller_; }
   [[nodiscard]] const Controller& controller() const { return controller_; }
+  // The runtime pipeline, or nullptr when runtime_workers == 0.
+  [[nodiscard]] ControlPlaneRuntime* runtime() { return runtime_.get(); }
   [[nodiscard]] LocalAgent& agent(std::uint32_t bs) { return *agents_.at(bs); }
   [[nodiscard]] AccessSwitch& access(std::uint32_t bs) {
     return *access_.at(bs);
@@ -148,10 +158,22 @@ class SoftCellNetwork {
                    QosClass qos = QosClass::kBestEffort);
   [[nodiscard]] AccessSwitch* access_by_node(NodeId node);
 
+  // Control-plane entry points used by the harness: routed through the
+  // runtime pipeline when configured, inline otherwise.
+  std::vector<PacketClassifier> cp_fetch_classifiers(UeId ue,
+                                                     std::uint32_t bs);
+  PolicyTag cp_request_policy_path(UeId ue, std::uint32_t bs,
+                                   ClauseId clause);
+
   SoftCellConfig config_;
   CellularTopology topo_;
   PortCodec codec_;
-  Controller controller_;
+  // The packet-forwarding walk needs a single rule universe, so the e2e
+  // harness runs one shard; controller_ aliases that shard (see the shard
+  // ownership rules in runtime/sharded_controller.hpp).
+  ShardedController sharded_;
+  Controller& controller_;
+  std::unique_ptr<ControlPlaneRuntime> runtime_;
   MobilityManager mobility_;
   std::vector<std::unique_ptr<AccessSwitch>> access_;   // by bs index
   std::vector<std::unique_ptr<LocalAgent>> agents_;     // by bs index

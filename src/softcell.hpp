@@ -27,6 +27,12 @@
 #include "packet/packet.hpp"          // packet/flow model
 #include "packet/prefix.hpp"          // IPv4 prefixes
 #include "policy/policy.hpp"          // service policies
+#include "runtime/metrics.hpp"        // per-shard lock-free counters
+#include "runtime/queue.hpp"          // MPMC + SPSC request queues
+#include "runtime/runtime.hpp"        // concurrent request pipeline
+#include "runtime/sharded_controller.hpp"  // horizontally sharded control plane
+#include "runtime/snapshot.hpp"       // RCU-style versioned snapshots
+#include "runtime/thread_pool.hpp"    // worker pool with per-worker rings
 #include "sim/event_queue.hpp"        // discrete-event scheduler
 #include "sim/network.hpp"            // whole-system simulation harness
 #include "topo/cellular.hpp"          // section 6.3 topology generator

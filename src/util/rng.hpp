@@ -3,6 +3,14 @@
 // All stochastic components (workload synthesis, topology wiring, policy
 // generation) draw from a seeded SplitMix64/xoshiro-style generator so every
 // experiment is exactly reproducible from its seed.
+//
+// Thread safety: an Rng instance is a single mutable word with NO internal
+// synchronization, and there is deliberately no shared global generator
+// anywhere in the codebase -- sharing one instance across threads would be
+// both a data race and a determinism leak (interleaving order would pick
+// the stream).  Concurrent code derives one generator per thread or per
+// shard with Rng::stream(seed, stream_id) (statistically independent,
+// reproducible regardless of scheduling) and keeps it thread-local.
 #pragma once
 
 #include <cstdint>
@@ -94,7 +102,26 @@ class Rng {
   // Derive an independent generator (for parallel streams).
   constexpr Rng split() { return Rng(next_u64()); }
 
+  // Deterministic per-shard/per-thread stream: workers seeded with
+  // stream(seed, shard) produce sequences that are independent of each
+  // other and of scheduling order, so parallel workload generation stays
+  // reproducible per shard.  Unlike split(), the derivation is stateless:
+  // any thread can construct its stream from (seed, id) alone.
+  static constexpr Rng stream(std::uint64_t seed, std::uint64_t stream_id) {
+    // Finalize the (seed, id) pair through the splitmix64 mixer twice so
+    // neighbouring stream ids land far apart in the state space.
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (stream_id + 1);
+    z = mix64(z);
+    return Rng(mix64(z + 0x9E3779B97F4A7C15ull));
+  }
+
  private:
+  static constexpr std::uint64_t mix64(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
   std::uint64_t state_;
 };
 

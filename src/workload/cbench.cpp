@@ -39,7 +39,8 @@ MicroBenchResult bench_classifier_fetch(Controller& controller,
   workers.reserve(threads);
   for (std::uint32_t w = 0; w < threads; ++w) {
     workers.emplace_back([&, w] {
-      Rng rng(w * 7919 + 17);
+      // One deterministic stream per worker thread (see util/rng.hpp).
+      Rng rng = Rng::stream(0x5EEDCELLu, w);
       while (!go.load(std::memory_order_acquire)) {
       }
       for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
@@ -160,6 +161,76 @@ AgentBenchResult bench_agent_flows(const AgentBenchConfig& config) {
     }
   }
   result.total = MicroBenchResult{ops, seconds_since(start)};
+  return result;
+}
+
+RuntimeBenchResult bench_runtime_pipeline(const CellularTopology& topo,
+                                          const RuntimeBenchConfig& config) {
+  // Provider-based policy, one clause per provider, so each subscriber
+  // profile maps to its own policy path (same scheme as bench_agent_flows).
+  ServicePolicy policy;
+  std::vector<ClauseId> clause_ids;
+  clause_ids.reserve(config.num_clauses);
+  for (std::uint32_t c = 0; c < config.num_clauses; ++c) {
+    std::vector<MbType> seq{0u, 1u + (c % (topo.num_middlebox_types() - 1))};
+    clause_ids.push_back(
+        policy.add_clause(10 + c, Predicate::provider_is(100 + c),
+                          ServiceAction{true, seq, QosClass::kBestEffort}));
+  }
+
+  ShardedControllerOptions shard_opts;
+  shard_opts.shards = config.shards;
+  ShardedController controller(topo, std::move(policy), shard_opts);
+
+  // Provision and attach the subscriber base outside the timed region (UE
+  // arrival is a different event class than flow handling).
+  const std::uint64_t total_ues =
+      static_cast<std::uint64_t>(config.num_agents) * config.ues_per_agent;
+  const std::uint32_t num_bs = topo.num_base_stations();
+  for (std::uint64_t i = 0; i < total_ues; ++i) {
+    const UeId ue(static_cast<std::uint32_t>(i + 1));
+    SubscriberProfile p;
+    p.ue = ue;
+    p.provider = 100 + static_cast<std::uint32_t>(i % config.num_clauses);
+    controller.provision_subscriber(ue, p);
+    const auto bs =
+        static_cast<std::uint32_t>((i / config.ues_per_agent) % num_bs);
+    controller.attach_ue(ue, bs,
+                         LocalUeId(static_cast<std::uint16_t>(i & 0xFFFF)));
+  }
+
+  ControlPlaneRuntime runtime(
+      controller, {.workers = config.workers, .queue_capacity = 8192});
+
+  // Single dispatcher thread = deterministic per-shard request order (the
+  // ThreadPool ring guarantee); worker count only changes who executes.
+  Rng rng = Rng::stream(config.seed, /*stream_id=*/0);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < config.requests; ++i) {
+    const auto idx = rng.next_below(total_ues);
+    const UeId ue(static_cast<std::uint32_t>(idx + 1));
+    const auto bs = static_cast<std::uint32_t>(
+        (idx / config.ues_per_agent) % num_bs);
+    Request r;
+    r.ue = ue;
+    r.bs = bs;
+    if (rng.next_double() < config.path_request_ratio) {
+      // A flow miss: the agent asks for the UE's clause path at its bs.
+      r.kind = RequestKind::kPolicyPath;
+      r.clause = clause_ids[idx % config.num_clauses];
+    } else {
+      // The Cbench op: classifier fetch on UE arrival/handoff.
+      r.kind = RequestKind::kFetchClassifiers;
+    }
+    runtime.post(std::move(r));
+  }
+  runtime.drain();
+  const double seconds = seconds_since(start);
+
+  RuntimeBenchResult result;
+  result.total = MicroBenchResult{config.requests, seconds};
+  result.metrics = runtime.metrics();
+  result.fingerprint = controller.state_fingerprint();
   return result;
 }
 

@@ -14,6 +14,8 @@
 
 #include "agent/local_agent.hpp"
 #include "ctrl/controller.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/sharded_controller.hpp"
 
 namespace softcell {
 
@@ -55,5 +57,28 @@ struct AgentBenchResult {
   std::uint64_t misses = 0;
 };
 AgentBenchResult bench_agent_flows(const AgentBenchConfig& config);
+
+// Sharded-runtime harness: the same Cbench protocol, but driven through
+// the ControlPlaneRuntime pipeline (src/runtime/) -- a dispatcher thread
+// emulating the agents posts classifier-fetch and flow-miss requests,
+// worker threads execute them on the owning shards.  This is the workload
+// behind bench_runtime_scaling: sweep `workers` and watch requests/sec.
+struct RuntimeBenchConfig {
+  std::size_t shards = 8;
+  unsigned workers = 1;
+  std::uint32_t num_agents = 64;      // emulated base stations
+  std::uint32_t ues_per_agent = 64;   // provisioned per base station
+  std::uint32_t num_clauses = 16;     // provider-based policy clauses
+  std::uint64_t requests = 100'000;
+  double path_request_ratio = 0.02;   // fraction of flow-miss requests
+  std::uint64_t seed = 1;
+};
+struct RuntimeBenchResult {
+  MicroBenchResult total;
+  MetricsSnapshot metrics;       // per-shard counters + latency histogram
+  std::uint64_t fingerprint = 0; // final sharded state (determinism check)
+};
+RuntimeBenchResult bench_runtime_pipeline(const CellularTopology& topo,
+                                          const RuntimeBenchConfig& config);
 
 }  // namespace softcell

@@ -1,0 +1,431 @@
+// Concurrency tests for the control-plane runtime (src/runtime/).
+//
+// Labelled `concurrency` in CMake so the suite can be re-run under
+// -DSOFTCELL_SANITIZE=thread (`ctest -L concurrency`): the queue, pool,
+// snapshot and pipeline tests all exercise real cross-thread traffic.
+#include "runtime/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "runtime/queue.hpp"
+#include "runtime/sharded_controller.hpp"
+#include "runtime/snapshot.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace softcell {
+namespace {
+
+// --- queues ------------------------------------------------------------------
+
+TEST(BoundedMpmcQueue, FifoOrderAndBounds) {
+  BoundedMpmcQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full: backpressure, not growth
+  int v = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(BoundedMpmcQueue, BlockingPushWaitsForSpace) {
+  BoundedMpmcQueue<int> q(2);
+  std::vector<int> got;
+  std::thread consumer([&] {
+    int v;
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(q.pop(v));
+      got.push_back(v);
+    }
+  });
+  // Three of these pushes must block until the consumer frees a slot.
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  consumer.join();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(BoundedMpmcQueue, CloseDrainsThenFails) {
+  BoundedMpmcQueue<int> q(8);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(q.pop(v));  // closed and drained
+}
+
+TEST(SpscRing, CrossThreadFifo) {
+  constexpr int kItems = 100'000;
+  SpscRing<int> ring(64);
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i)
+      while (!ring.try_push(i)) std::this_thread::yield();
+  });
+  int expect = 0, v = -1;
+  while (expect < kItems) {
+    if (ring.try_pop(v)) {
+      ASSERT_EQ(v, expect);  // strict FIFO across threads
+      ++expect;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+// --- thread pool -------------------------------------------------------------
+
+TEST(ThreadPool, PinnedProducerFifoWithBackpressure) {
+  // A tiny ring forces the producer through the spin-on-full path; order
+  // must still hold (the determinism guarantee the runtime builds on).
+  std::vector<int> seen;
+  ThreadPool<int> pool({.workers = 1, .ring_capacity = 8},
+                       [&](unsigned, int& v) { seen.push_back(v); });
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(pool.submit_to(0, i));
+  pool.drain();
+  ASSERT_EQ(seen.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(ThreadPool, SharedQueueRunsEverything) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool<int> pool({.workers = 2},
+                         [&](unsigned, int&) { count.fetch_add(1); });
+    for (int i = 0; i < 500; ++i) EXPECT_TRUE(pool.submit(i));
+    pool.drain();
+    EXPECT_EQ(count.load(), 500);
+    EXPECT_EQ(pool.processed(), 500u);
+  }
+}
+
+TEST(ThreadPool, SuspendedPoolRunsAcceptedTasksOnStop) {
+  std::vector<int> seen;
+  {
+    ThreadPool<int> pool({.workers = 1, .start_suspended = true},
+                         [&](unsigned, int& v) { seen.push_back(v); });
+    for (int i = 0; i < 10; ++i) EXPECT_TRUE(pool.submit_to(0, i));
+    EXPECT_TRUE(seen.empty());  // nothing runs before start()/stop()
+  }
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+// --- versioned snapshot ------------------------------------------------------
+
+TEST(VersionedSnapshot, ReadersNeverSeeTornState) {
+  struct Pair {
+    int a = 0;
+    int b = 0;
+  };
+  VersionedSnapshot<Pair> snap(std::make_shared<const Pair>());
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r)
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto p = snap.load();
+        ASSERT_EQ(p->a, p->b);  // the invariant every published object has
+      }
+    });
+  for (int i = 1; i <= 1000; ++i)
+    snap.update(std::make_shared<const Pair>(Pair{i, i}));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(snap.version(), 1001u);  // initial 1 + 1000 updates
+  EXPECT_EQ(snap.load()->a, 1000);
+}
+
+// --- metrics -----------------------------------------------------------------
+
+TEST(Metrics, HistogramQuantilesAndAggregation) {
+  ShardMetrics a, b;
+  for (int i = 0; i < 90; ++i) a.record_latency(1000);      // bucket [512,1024)
+  for (int i = 0; i < 10; ++i) b.record_latency(1'000'000);
+  a.count_request();
+  b.count_request();
+  b.count_coalesced();
+
+  MetricsSnapshot snap;
+  a.merge_into(snap);
+  b.merge_into(snap);
+  EXPECT_EQ(snap.requests, 2u);
+  EXPECT_EQ(snap.coalesced_misses, 1u);
+  EXPECT_EQ(snap.latency_count(), 100u);
+  // Power-of-two buckets report the bucket's upper bound.
+  EXPECT_EQ(snap.latency_quantile_ns(0.50), 1024u);
+  EXPECT_EQ(snap.latency_quantile_ns(0.99), 1u << 20);
+  EXPECT_LE(snap.latency_quantile_ns(0.50), snap.latency_quantile_ns(0.99));
+}
+
+// --- sharded controller + runtime pipeline ----------------------------------
+
+ServicePolicy provider_policy(const CellularTopology& topo,
+                              std::uint32_t clauses,
+                              std::vector<ClauseId>* ids = nullptr) {
+  ServicePolicy policy;
+  for (std::uint32_t c = 0; c < clauses; ++c) {
+    std::vector<MbType> seq{0u, 1u + (c % (topo.num_middlebox_types() - 1))};
+    const auto id =
+        policy.add_clause(10 + c, Predicate::provider_is(100 + c),
+                          ServiceAction{true, seq, QosClass::kBestEffort});
+    if (ids) ids->push_back(id);
+  }
+  return policy;
+}
+
+void populate(ShardedController& ctrl, std::uint32_t ues,
+              std::uint32_t clauses, std::uint32_t num_bs) {
+  for (std::uint32_t i = 0; i < ues; ++i) {
+    const UeId ue(i + 1);
+    SubscriberProfile p;
+    p.ue = ue;
+    p.provider = 100 + (i % clauses);
+    ctrl.provision_subscriber(ue, p);
+    ctrl.attach_ue(ue, i % num_bs, LocalUeId(static_cast<std::uint16_t>(i)));
+  }
+}
+
+TEST(ShardedController, RoutesByUeAndPartitionsState) {
+  CellularTopology topo({.k = 4, .seed = 1});
+  ShardedControllerOptions opts;
+  opts.shards = 4;
+  ShardedController ctrl(topo, provider_policy(topo, 4), opts);
+  populate(ctrl, 64, 4, topo.num_base_stations());
+
+  std::set<std::size_t> populated;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const UeId ue(i + 1);
+    const auto shard = ctrl.shard_of(ue);
+    ASSERT_LT(shard, ctrl.shard_count());
+    // The owning shard has the UE's state; the other shards do not.
+    ASSERT_TRUE(ctrl.ue_location(ue).has_value());
+    EXPECT_TRUE(ctrl.shard(shard).ue_location(ue).has_value());
+    for (std::size_t s = 0; s < ctrl.shard_count(); ++s) {
+      if (s != shard) {
+        EXPECT_FALSE(ctrl.shard(s).ue_location(ue).has_value());
+      }
+    }
+    populated.insert(shard);
+  }
+  EXPECT_EQ(populated.size(), ctrl.shard_count());  // splitmix spreads 64 UEs
+}
+
+TEST(ShardedController, PolicySnapshotSwapIsVersioned) {
+  CellularTopology topo({.k = 4, .seed = 1});
+  ShardedControllerOptions opts;
+  opts.shards = 2;
+  ShardedController ctrl(topo, provider_policy(topo, 2), opts);
+  const auto before = ctrl.policy_snapshot();
+  const auto v0 = ctrl.policy_version();
+  const auto v1 = ctrl.update_policy(provider_policy(topo, 3));
+  EXPECT_GT(v1, v0);
+  const auto after = ctrl.policy_snapshot();
+  EXPECT_NE(before.get(), after.get());  // old snapshot still alive, distinct
+  EXPECT_EQ(before->clauses().size() + 1, after->clauses().size());
+}
+
+TEST(Runtime, ShardAffinityEachShardOneWorker) {
+  CellularTopology topo({.k = 4, .seed = 1});
+  ShardedControllerOptions opts;
+  opts.shards = 4;
+  ShardedController ctrl(topo, provider_policy(topo, 4), opts);
+  populate(ctrl, 64, 4, topo.num_base_stations());
+  ControlPlaneRuntime runtime(ctrl, {.workers = 2});
+
+  std::mutex mu;
+  std::map<std::size_t, std::set<std::thread::id>> executed_on;
+  for (int round = 0; round < 50; ++round) {
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      const UeId ue(i + 1);
+      Request r;
+      r.kind = RequestKind::kFetchClassifiers;
+      r.ue = ue;
+      r.bs = i % topo.num_base_stations();
+      const auto shard = ctrl.shard_of(ue);
+      r.done = [&, shard](Response&&) {
+        std::lock_guard lock(mu);
+        executed_on[shard].insert(std::this_thread::get_id());
+      };
+      ASSERT_TRUE(runtime.post(std::move(r)));
+    }
+  }
+  runtime.drain();
+  ASSERT_EQ(executed_on.size(), 4u);
+  std::map<unsigned, std::thread::id> worker_thread;
+  for (const auto& [shard, threads] : executed_on) {
+    // Every request of a shard ran on exactly one worker thread...
+    ASSERT_EQ(threads.size(), 1u) << "shard " << shard;
+    // ...and shards mapping to the same worker share that thread.
+    const auto w = runtime.worker_of(shard);
+    const auto [it, inserted] = worker_thread.emplace(w, *threads.begin());
+    if (!inserted) {
+      EXPECT_EQ(it->second, *threads.begin());
+    }
+  }
+  EXPECT_EQ(worker_thread.size(), 2u);
+}
+
+TEST(Runtime, DuplicateMissesCoalesceToOneInstall) {
+  CellularTopology topo({.k = 4, .seed = 1});
+  std::vector<ClauseId> clauses;
+  ShardedControllerOptions opts;
+  opts.shards = 2;
+  ShardedController ctrl(topo, provider_policy(topo, 2, &clauses), opts);
+
+  // Suspended pool: the whole burst is posted before anything executes, so
+  // the coalescing decision is deterministic.
+  ControlPlaneRuntime runtime(ctrl, {.workers = 1, .start_suspended = true});
+  std::mutex mu;
+  std::vector<PolicyTag> tags;
+  constexpr int kBurst = 8;
+  for (int i = 0; i < kBurst; ++i) {
+    Request r;
+    r.kind = RequestKind::kPolicyPath;
+    r.ue = UeId(7);  // same UE -> same shard; same (bs, clause) key
+    r.bs = 3;
+    r.clause = clauses[0];
+    r.done = [&](Response&& resp) {
+      ASSERT_TRUE(resp.ok) << resp.error;
+      std::lock_guard lock(mu);
+      tags.push_back(resp.tag);
+    };
+    ASSERT_TRUE(runtime.post(std::move(r)));
+  }
+  runtime.start();
+  runtime.drain();
+
+  ASSERT_EQ(tags.size(), static_cast<std::size_t>(kBurst));
+  for (const auto t : tags) EXPECT_EQ(t, tags.front());  // one shared tag
+  const auto m = runtime.metrics();
+  EXPECT_EQ(m.path_requests, 1u);  // one install executed...
+  EXPECT_EQ(m.coalesced_misses, static_cast<std::uint64_t>(kBurst - 1));
+  EXPECT_EQ(m.latency_count(), static_cast<std::uint64_t>(kBurst));
+}
+
+TEST(Runtime, ErrorsPropagateAndAreCounted) {
+  CellularTopology topo({.k = 4, .seed = 1});
+  ShardedControllerOptions opts;
+  opts.shards = 2;
+  ShardedController ctrl(topo, provider_policy(topo, 2), opts);
+  ControlPlaneRuntime runtime(ctrl, {.workers = 1});
+  // Unknown clause: the worker catches the controller's exception and the
+  // synchronous wrapper rethrows it on the caller's thread.
+  EXPECT_THROW(runtime.request_policy_path(UeId(1), 0, ClauseId(9999)),
+               std::runtime_error);
+  EXPECT_GE(runtime.metrics().errors, 1u);
+}
+
+// The headline determinism property: N workers produce byte-identical final
+// controller state to the single-threaded reference, because a shard's
+// requests execute in posting order on its one worker.
+TEST(Runtime, StressFourWorkersMatchSerialReference) {
+  constexpr std::uint32_t kUes = 256;
+  constexpr std::uint32_t kClauses = 8;
+  constexpr std::uint64_t kRequests = 12'000;  // >= 4 threads x 10k+ total ops
+  CellularTopology topo({.k = 4, .seed = 1});
+  const auto num_bs = topo.num_base_stations();
+
+  struct Op {
+    bool path;
+    UeId ue;
+    std::uint32_t bs;
+    ClauseId clause;
+  };
+  std::vector<ClauseId> clauses;
+  provider_policy(topo, kClauses, &clauses);
+  std::vector<Op> ops;
+  ops.reserve(kRequests);
+  Rng rng = Rng::stream(0xD15EA5E, 0);
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    const auto idx = static_cast<std::uint32_t>(rng.next_below(kUes));
+    ops.push_back(Op{rng.next_double() < 0.05, UeId(idx + 1), idx % num_bs,
+                     clauses[idx % kClauses]});
+  }
+
+  const auto run = [&](unsigned workers) {
+    ShardedControllerOptions opts;
+    opts.shards = 4;
+    ShardedController ctrl(topo, provider_policy(topo, kClauses), opts);
+    populate(ctrl, kUes, kClauses, num_bs);
+    if (workers == 0) {
+      // Inline serial reference: no runtime, no threads.
+      for (const auto& op : ops) {
+        if (op.path)
+          (void)ctrl.request_policy_path(op.ue, op.bs, op.clause);
+        else
+          (void)ctrl.fetch_classifiers(op.ue, op.bs);
+      }
+      return ctrl.state_fingerprint();
+    }
+    ControlPlaneRuntime runtime(ctrl, {.workers = workers});
+    for (const auto& op : ops) {
+      Request r;
+      r.kind = op.path ? RequestKind::kPolicyPath
+                       : RequestKind::kFetchClassifiers;
+      r.ue = op.ue;
+      r.bs = op.bs;
+      r.clause = op.clause;
+      EXPECT_TRUE(runtime.post(std::move(r)));
+    }
+    runtime.drain();
+    EXPECT_EQ(runtime.metrics().errors, 0u);
+    return ctrl.state_fingerprint();
+  };
+
+  const auto reference = run(0);
+  EXPECT_EQ(run(1), reference);
+  EXPECT_EQ(run(4), reference);
+}
+
+// --- end-to-end: the simulator through the pipeline --------------------------
+
+TEST(Runtime, NetworkThroughPipelineMatchesInline) {
+  const auto scenario = [](SoftCellNetwork& net) {
+    std::vector<std::uint64_t> tags;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      SubscriberProfile p;
+      p.plan = i % 2 ? BillingPlan::kGold : BillingPlan::kSilver;
+      const UeId ue = net.add_subscriber(p);
+      net.attach(ue, i % net.topology().num_base_stations());
+      const auto flow = net.open_flow(ue, 0x08080808u, 80);
+      const auto d = net.send_uplink(flow, TcpFlag::kSyn);
+      EXPECT_TRUE(d.delivered) << d.drop_reason;
+      tags.push_back(net.codec().tag_of(d.final_packet.key.src_port).value());
+    }
+    return tags;
+  };
+
+  SoftCellConfig inline_cfg{.topo = {.k = 4, .seed = 17}};
+  SoftCellNetwork inline_net(inline_cfg, make_table1_policy());
+  const auto inline_tags = scenario(inline_net);
+
+  SoftCellConfig rt_cfg{.topo = {.k = 4, .seed = 17}};
+  rt_cfg.runtime_workers = 2;
+  SoftCellNetwork rt_net(rt_cfg, make_table1_policy());
+  const auto rt_tags = scenario(rt_net);
+
+  // Same policy tags on the wire, same final controller state.
+  EXPECT_EQ(inline_tags, rt_tags);
+  EXPECT_EQ(inline_net.controller().state_fingerprint(),
+            rt_net.controller().state_fingerprint());
+  // The pipeline really carried the control-plane traffic.
+  ASSERT_NE(rt_net.runtime(), nullptr);
+  EXPECT_EQ(inline_net.runtime(), nullptr);
+  EXPECT_GT(rt_net.runtime()->metrics().path_requests, 0u);
+}
+
+}  // namespace
+}  // namespace softcell
