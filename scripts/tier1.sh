@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verify (ROADMAP.md): configure, build, and run the full test suite.
+# Pass --perf to also run the perf-labelled smoke benchmarks (seconds, not
+# minutes: the bench binaries shrink their sweeps under SOFTCELL_SMOKE=1).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "${1:-}" == "--perf" ]]; then
+  (cd build && ctest --output-on-failure -L perf)
+fi

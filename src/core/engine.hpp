@@ -23,7 +23,6 @@
 #include <span>
 #include <optional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include <functional>
@@ -32,6 +31,8 @@
 #include "dataplane/switch_table.hpp"
 #include "packet/prefix.hpp"
 #include "topo/graph.hpp"
+#include "util/flat_map.hpp"
+#include "util/small_vector.hpp"
 
 namespace softcell {
 
@@ -90,6 +91,29 @@ struct EngineOptions {
   // is rolled back and PathRejected is thrown (section 7: "the policy path
   // request will be denied").
   std::size_t switch_capacity = 0;
+  // Indexed/memoized Step-1 scoring (see DESIGN.md "Aggregation fast
+  // path").  Disabling it selects the pre-fast-path reference scan -- the
+  // exact per-candidate resolve walk this PR replaced -- kept runtime-
+  // selectable so the differential tests and bench_agg_fastpath can pin
+  // behavioural equivalence and measure the speedup on the same binary.
+  bool fastpath = true;
+};
+
+// Hot-path counters of the aggregation engine (reset_perf() to rewindow).
+// Exposed per shard through the runtime metrics aggregation.
+struct AggPerf {
+  std::uint64_t installs = 0;
+  std::uint64_t candidate_scans = 0;   // inverted-index entries examined
+  std::uint64_t candidates_scored = 0; // tags that reached Step-1 scoring
+  std::uint64_t hop_evals = 0;         // per-(candidate, hop) scoring steps
+  std::uint64_t presence_skips = 0;    // hops settled by the presence probe
+  std::uint64_t filter_settles = 0;    // deferred-kind hops settled by the
+                                       // digest's prefix Bloom filter
+  std::uint64_t bound_skips = 0;       // candidates cut by the absence bound
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+  std::uint64_t score_resolves = 0;    // full resolve/aggregate probes run
+  std::uint64_t scratch_reuses = 0;    // installs served from reused buffers
 };
 
 class AggregationEngine {
@@ -131,6 +155,23 @@ class AggregationEngine {
                         std::optional<PolicyTag> hint = std::nullopt,
                         bool pin = false,
                         std::optional<std::uint64_t> exclude_also = std::nullopt);
+
+  // Batched install: one request per element, executed in order.  Callers
+  // that can reorder should sort by (bs, clause) first -- the controller's
+  // request_policy_paths() does -- so consecutive installs share origin
+  // prefixes and hit the memoized scores (see DESIGN.md "Aggregation fast
+  // path").  A rejected path throws PathRejected after rolling back only
+  // that request; earlier results stay installed.
+  struct InstallRequest {
+    const ExpandedPath* path = nullptr;
+    std::uint32_t bs_index = 0;
+    Prefix origin;
+    std::optional<PolicyTag> hint;
+    bool pin = false;
+    std::optional<std::uint64_t> exclude_also;
+  };
+  std::vector<InstallResult> install_paths(
+      std::span<const InstallRequest> requests);
 
   // Removes a previously installed path (requires track_paths).
   void remove(PathId id);
@@ -177,6 +218,18 @@ class AggregationEngine {
   [[nodiscard]] const EngineOptions& options() const { return options_; }
   [[nodiscard]] const Graph& graph() const { return *graph_; }
 
+  // Fast-path counters (candidate scans, memo hits/misses, scratch reuse).
+  [[nodiscard]] const AggPerf& perf() const { return perf_; }
+  void reset_perf() { perf_ = AggPerf{}; }
+  // Number of tags currently parked on the free list (tests).
+  [[nodiscard]] std::size_t free_tag_count() const { return free_tags_.size(); }
+  // Total (bs, direction)-namespace tag references (tests: leak detection).
+  [[nodiscard]] std::size_t bs_tag_refs() const {
+    std::size_t n = 0;
+    for (const auto& [bsd, tags] : bs_tags_) n += tags.size();
+    return n;
+  }
+
   // Streams every table mutation (including re-references/releases) to
   // `sink` -- the feed the southbound flow-mod layer encodes.
   void set_op_sink(RuleOpSink sink) { sink_ = std::move(sink); }
@@ -193,7 +246,8 @@ class AggregationEngine {
     std::vector<HopPlan> hops;
     std::uint32_t segments = 1;
   };
-  [[nodiscard]] static PathPlan plan_structure(std::span<const PathHop> hops);
+  // Fills `plan` in place, reusing this engine's planning scratch buffers.
+  void plan_structure(std::span<const PathHop> hops, PathPlan& plan);
 
   struct Reliance {
     enum class Kind : std::uint8_t { kDefault, kPrefix, kLocation };
@@ -238,19 +292,135 @@ class AggregationEngine {
                            const RuleAction& desired, Prefix origin,
                            Direction dir, bool class_only, PathRecord* rec);
 
+  // Memoized Step-1 scoring: one entry per (switch, in-port class, tag,
+  // origin, direction) holding the resolve outcome and the aggregate-probe
+  // summary, both action-independent.  Valid while the tag's structural
+  // epoch at that switch is unchanged (SwitchTable::tag_epoch); stale
+  // entries are refreshed in place.  Step-2 commits consult the same memo,
+  // so scoring the winning candidate warms the commit pass.  See DESIGN.md
+  // "Aggregation fast path".
+  struct MemoKey {
+    std::uint64_t a = 0;  // (switch << 32) | in-port
+    std::uint64_t b = 0;  // (origin addr << 32) | (tag << 16) | (len << 8) | dir
+    friend bool operator==(const MemoKey&, const MemoKey&) = default;
+  };
+  struct MemoKeyHash {
+    size_t operator()(const MemoKey& k) const noexcept {
+      // Full-avalanche (splitmix64) finalizer: the direct-mapped memo keys
+      // slots off the LOW bits, and multiplication alone never carries the
+      // switch id (bits 32+ of `a`) downward -- a weaker mix collided every
+      // switch with the same (tag, origin) onto one slot.
+      std::uint64_t v = k.a * 0x9E3779B97F4A7C15ull;
+      v ^= k.b;
+      v = (v ^ (v >> 30)) * 0xBF58476D1CE4E5B9ull;
+      v = (v ^ (v >> 27)) * 0x94D049BB133111EBull;
+      return static_cast<size_t>(v ^ (v >> 31));
+    }
+  };
+  struct MemoValue {
+    std::uint64_t epoch = kMemoInvalid;
+    bool has_res = false;
+    bool res_is_default = false;
+    // The aggregate summary is filled lazily (memo_agg_cost): scoring only
+    // needs it on action-mismatch hops, commits never do -- mirroring the
+    // reference scan, which only calls can_aggregate on that same branch.
+    bool agg_valid = false;
+    RuleAction res_action;
+    InPortSpec res_cls;  // class the resolved entry lives in
+    bool agg_parent_free = false;
+    std::optional<RuleAction> agg_sibling;
+  };
+  static constexpr std::uint64_t kMemoInvalid = ~std::uint64_t{0};
+  // The memo is a direct-mapped transposition table, not a map: slot =
+  // hash(key) mod size, collisions simply overwrite (it is an accelerator,
+  // never a source of truth, so dropped entries only cost a re-resolve).
+  // One predictable cache-line probe per lookup -- an earlier FlatMap-based
+  // memo spent more time probing than the resolves it saved.  Sized to
+  // stay cache-resident: the high-value reuse window is short (scoring
+  // warming the same install's commit, bursts against the same switches).
+  struct MemoEntry {
+    MemoKey key;
+    MemoValue val;
+  };
+  static constexpr std::size_t kMemoSlots = std::size_t{1} << 15;
+
+  // One scorable (non-swap) first-segment hop, hoisted once per install so
+  // the per-candidate scoring loop re-derives nothing: the class's digest
+  // column (pass 1 reads one dense entry per candidate), plus the switch,
+  // class and desired action the deferred memo probe needs.  The column
+  // pointer is stable for the whole of Step 1 -- rule mutations only
+  // happen in Step 2.
+  struct ScoreHop {
+    const SwitchTable* tbl = nullptr;
+    const SwitchTable::DigestColumn* col = nullptr;
+    NodeId sw{};
+    InPortSpec in;
+    RuleAction desired;
+  };
+
+  // Per-install scratch reused across installs (allocation-free steady
+  // state; fresh allocations happen only while high-water marks grow).
+  struct InstallScratch {
+    std::vector<PathHop> planned;
+    PathPlan plan;
+    std::vector<std::uint8_t> split_at;   // plan_structure: segment starts
+    std::vector<std::uint8_t> forced_at;  // plan_structure: in-port pinning
+    FlatMap<std::uint64_t, std::size_t> by_inlink;
+    FlatMap<std::uint64_t, std::size_t> by_wildcard;
+    std::vector<PolicyTag> cands;
+    std::vector<ScoreHop> score_hops;       // fastpath: hoisted hop state
+    std::vector<std::uint8_t> hop_present;  // fastpath: presence-pass marks
+    PathRecord rec;
+    bool warm = false;  // a prior install already sized the buffers
+  };
+
+  // Validated memo lookup for (switch, class, tag, origin) -- the resolve
+  // outcome plus the aggregate summary.  `epoch` is the caller-probed
+  // tag_epoch(dir, tag) at the switch; entries stamped with an older epoch
+  // miss, and epoch 0 (tag absent) short-circuits to a shared "absent"
+  // value without touching the table.  The wildcard/fall-through mode is
+  // implied by `in` (specific classes never fall through -- the same
+  // invariant the scoring and commit call sites maintain).
+  [[nodiscard]] MemoValue& memo_fetch(NodeId sw, Direction dir, InPortSpec in,
+                                      PolicyTag tag, Prefix origin,
+                                      std::uint64_t epoch);
+  // Origin-specific cost of one deferred hop -- a class the dense digest
+  // could not settle (kUniform wanting its own action, or kMixed).  Goes
+  // through the origin-keyed memo; returns the same cost the reference
+  // hop scan computes.
+  [[nodiscard]] std::uint32_t fast_hop_cost(const SwitchTable& tbl, NodeId sw,
+                                            Direction dir, InPortSpec in,
+                                            PolicyTag tag, Prefix origin,
+                                            const RuleAction& desired);
+  // Hop cost of a resolve-hit whose action diverges from `desired`: 0 when
+  // the override would merge with its sibling, 1 otherwise.  Fills the
+  // entry's aggregate summary on first use at this epoch.
+  [[nodiscard]] std::uint32_t memo_agg_cost(MemoValue& m, NodeId sw,
+                                            Direction dir, InPortSpec in,
+                                            PolicyTag tag, Prefix origin,
+                                            const RuleAction& desired);
+
   const Graph* graph_;
   EngineOptions options_;
   std::vector<SwitchTable> tables_;  // indexed by NodeId
 
   std::uint32_t next_tag_ = 0;
   std::vector<PolicyTag> free_tags_;
-  std::unordered_map<PolicyTag, std::uint32_t> tag_refs_;
-  std::unordered_map<std::uint64_t, std::unordered_set<PolicyTag>> bs_tags_;
+  FlatMap<PolicyTag, std::uint32_t> tag_refs_;
+  FlatMap<std::uint64_t, FlatSet<PolicyTag>> bs_tags_;
   std::deque<PolicyTag> mru_;
   // Loop-split segments reuse tags across paths: all paths sharing primary
   // tag T reuse the same tag for their s-th segment (their segment rules
   // then aggregate exactly like primary-segment rules).
-  std::unordered_map<std::uint64_t, PolicyTag> seg_hints_;
+  FlatMap<std::uint64_t, PolicyTag> seg_hints_;
+
+  std::vector<MemoEntry> memo_;  // direct-mapped, sized kMemoSlots on first use
+  InstallScratch scratch_;
+  // Candidate dedup marks, indexed by tag value; a tag is marked for the
+  // current install iff mark_[tag] == mark_gen_.
+  std::vector<std::uint32_t> mark_;
+  std::uint32_t mark_gen_ = 0;
+  AggPerf perf_;
 
   std::uint64_t next_path_ = 1;
   std::unordered_map<PathId, PathRecord> records_;

@@ -189,8 +189,8 @@ Controller::InstalledPath Controller::install_path_locked(
   return InstalledPath{up_res.tag, up_res.path, down_res.path};
 }
 
-PolicyTag Controller::request_policy_path(std::uint32_t bs, ClauseId clause) {
-  std::unique_lock lock(mu_);
+PolicyTag Controller::request_policy_path_locked(std::uint32_t bs,
+                                                 ClauseId clause) {
   const SlowState::PathKey key{clause, bs};
   if (const auto it = installed_.find(key); it != installed_.end())
     return it->second.tag;
@@ -203,6 +203,32 @@ PolicyTag Controller::request_policy_path(std::uint32_t bs, ClauseId clause) {
   clause_hints_[clause] = path.tag;
   store_.put_path(clause, bs, path.tag);
   return path.tag;
+}
+
+PolicyTag Controller::request_policy_path(std::uint32_t bs, ClauseId clause) {
+  std::unique_lock lock(mu_);
+  return request_policy_path_locked(bs, clause);
+}
+
+std::vector<PolicyTag> Controller::request_policy_paths(
+    std::span<const PathRequest> requests) {
+  // Process in (bs, clause) order: consecutive installs then share origin
+  // prefixes and candidate tags, which is exactly what the engine's memo
+  // and MRU heuristics exploit.  Results are reported in request order.
+  std::vector<std::uint32_t> order(requests.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const PathRequest& ra = requests[a];
+    const PathRequest& rb = requests[b];
+    if (ra.bs != rb.bs) return ra.bs < rb.bs;
+    if (ra.clause != rb.clause) return ra.clause < rb.clause;
+    return a < b;
+  });
+  std::vector<PolicyTag> tags(requests.size());
+  std::unique_lock lock(mu_);
+  for (const std::uint32_t i : order)
+    tags[i] = request_policy_path_locked(requests[i].bs, requests[i].clause);
+  return tags;
 }
 
 PolicyTag Controller::request_m2m_path(std::uint32_t src_bs,

@@ -37,6 +37,7 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <span>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -98,6 +99,18 @@ class Controller {
 
   // Ensures the (clause, bs) policy path exists and returns its tag.
   PolicyTag request_policy_path(std::uint32_t bs, ClauseId clause);
+
+  // Batched variant: installs every missing (bs, clause) path under one
+  // writer-lock acquisition, processing requests sorted by (bs, clause) so
+  // consecutive installs share an origin prefix and hit the engine's
+  // memoized Step-1 scores (see DESIGN.md "Aggregation fast path").
+  // Returns the tags in the order of `requests` (duplicates allowed).
+  struct PathRequest {
+    std::uint32_t bs = 0;
+    ClauseId clause{};
+  };
+  std::vector<PolicyTag> request_policy_paths(
+      std::span<const PathRequest> requests);
 
   // Mobile-to-mobile half-path (section 7): from `src_bs` through the
   // clause's middleboxes straight to `dst_bs`, no gateway detour.  Returns
@@ -176,6 +189,11 @@ class Controller {
     std::shared_lock lock(mu_);
     return instance_load_locked(mb);
   }
+  // Snapshot of the aggregation engine's hot-path counters (see AggPerf).
+  [[nodiscard]] AggPerf agg_perf() const {
+    std::shared_lock lock(mu_);
+    return engine_.perf();
+  }
 
   // Order-insensitive hash of the externally observable control-plane
   // state (installed paths and their tags, engine table sizes, store
@@ -205,6 +223,7 @@ class Controller {
   // Installs (clause, bs) under a fresh-or-reused tag; lock must be held.
   InstalledPath install_path_locked(std::uint32_t bs, ClauseId clause,
                                     std::optional<PolicyTag> hint);
+  PolicyTag request_policy_path_locked(std::uint32_t bs, ClauseId clause);
   [[nodiscard]] std::vector<NodeId> select_instances_locked(
       std::uint32_t bs, ClauseId clause) const;
   [[nodiscard]] std::uint64_t instance_load_locked(NodeId mb) const {

@@ -33,14 +33,31 @@ SwitchTable::TagClass& SwitchTable::class_for(Direction dir, InPortSpec in,
 }
 
 void SwitchTable::note_tag(Direction dir, PolicyTag tag, int delta) {
+  // Every structural change to the tag classes flows through here (fresh
+  // entries, sibling merges, removals -- never pure re-references), so this
+  // is the one place the memo-invalidation epochs advance.  The epoch is
+  // per tag: memoized summaries for other tags at this switch stay valid.
+  const std::uint64_t epoch = ++struct_epoch_[static_cast<int>(dir)];
   auto& usage = tag_usage_[static_cast<int>(dir)];
+  auto& bits = tag_bits_[static_cast<int>(dir)];
+  const std::size_t word = static_cast<std::size_t>(tag.value()) >> 6;
+  const std::uint64_t mask = std::uint64_t{1} << (tag.value() & 63);
   if (delta > 0) {
-    usage[tag] += static_cast<std::uint32_t>(delta);
+    TagUse& use = usage[tag];
+    use.count += static_cast<std::uint32_t>(delta);
+    use.epoch = epoch;
+    if (bits.size() <= word) bits.resize((std::size_t{1} << 16) / 64, 0);
+    bits[word] |= mask;
   } else {
     auto it = usage.find(tag);
     if (it == usage.end()) throw std::logic_error("tag usage underflow");
-    it->second -= static_cast<std::uint32_t>(-delta);
-    if (it->second == 0) usage.erase(it);
+    it->second.count -= static_cast<std::uint32_t>(-delta);
+    if (it->second.count == 0) {
+      usage.erase(it);
+      bits[word] &= ~mask;
+    } else {
+      it->second.epoch = epoch;
+    }
   }
 }
 
@@ -128,6 +145,59 @@ std::optional<SwitchTable::Resolved> SwitchTable::resolve(Direction dir,
   return std::nullopt;
 }
 
+SwitchTable::ClassSummary SwitchTable::class_summary(Direction dir,
+                                                     InPortSpec in,
+                                                     PolicyTag tag) const {
+  ClassSummary s;
+  const TagClass* cls = find_class(dir, in, tag);
+  if (cls == nullptr || cls->empty()) return s;  // kAbsent
+  if (cls->by_prefix.empty()) {
+    s.kind = ClassSummary::Kind::kDefaultOnly;
+    s.def = cls->def->action;
+  } else {
+    s.kind = ClassSummary::Kind::kMixed;
+  }
+  return s;
+}
+
+void SwitchTable::refresh_digest(Direction dir, InPortSpec in, PolicyTag tag,
+                                 const TagClass* cls) {
+  DigestColumn& col = in.wildcard()
+                          ? wc_digest_[static_cast<int>(dir)]
+                          : spec_digest_[static_cast<int>(dir)][in.specific];
+  const std::size_t t = tag.value();
+  if (col.size() <= t) col.resize(t + 1);
+  Digest& d = col[t];
+  d = Digest{};
+  if (cls == nullptr || cls->empty()) return;  // kAbsent
+  // One pass over the class decides uniformity and rebuilds the prefix
+  // Bloom filter.  Classes stay small (a default plus the not-yet-merged
+  // per-origin overrides), and content changes are rare next to digest
+  // reads -- the scoring loop reads this entry once per (hop, candidate).
+  bool have_act = false;
+  bool uniform = true;
+  if (cls->def) {
+    d.act = cls->def->action;
+    have_act = true;
+  }
+  for (const auto& [pre, e] : cls->by_prefix) {
+    d.pfilter |= pfilter_bit(pre);
+    if (!have_act) {
+      d.act = e.action;
+      have_act = true;
+    } else if (uniform && !(e.action == d.act)) {
+      uniform = false;  // keep scanning: the filter needs every key
+    }
+  }
+  d.len_mask = cls->len_mask;
+  if (!uniform)
+    d.kind = cls->def ? Digest::Kind::kMixedDef : Digest::Kind::kMixedBare;
+  else if (cls->by_prefix.empty())
+    d.kind = Digest::Kind::kDefaultOnly;
+  else
+    d.kind = cls->def ? Digest::Kind::kCovered : Digest::Kind::kUniform;
+}
+
 std::optional<RuleAction> SwitchTable::next_hop(Direction dir, InPortSpec in,
                                                 PolicyTag tag,
                                                 Prefix pre) const {
@@ -138,14 +208,24 @@ std::optional<RuleAction> SwitchTable::next_hop(Direction dir, InPortSpec in,
 
 bool SwitchTable::can_aggregate(Direction dir, InPortSpec in, PolicyTag tag,
                                 Prefix pre, const RuleAction& out) const {
+  const AggProbe p = aggregate_probe(dir, in, tag, pre);
+  return p.parent_free && p.sibling && *p.sibling == out;
+}
+
+SwitchTable::AggProbe SwitchTable::aggregate_probe(Direction dir, InPortSpec in,
+                                                   PolicyTag tag,
+                                                   Prefix pre) const {
+  AggProbe probe;
   const auto sib = pre.sibling();
   const auto par = pre.parent();
-  if (!sib || !par) return false;
+  if (!sib || !par) return probe;
   const TagClass* cls = find_class(dir, in, tag);
-  if (!cls) return false;
-  if (cls->by_prefix.contains(*par)) return false;  // parent slot taken
-  const auto it = cls->by_prefix.find(*sib);
-  return it != cls->by_prefix.end() && it->second.action == out;
+  if (!cls) return probe;
+  if (cls->by_prefix.contains(*par)) return probe;  // parent slot taken
+  probe.parent_free = true;
+  if (const auto it = cls->by_prefix.find(*sib); it != cls->by_prefix.end())
+    probe.sibling = it->second.action;
+  return probe;
 }
 
 void SwitchTable::add_default(Direction dir, InPortSpec in, PolicyTag tag,
@@ -161,6 +241,7 @@ void SwitchTable::add_default(Direction dir, InPortSpec in, PolicyTag tag,
   cls.def = Entry{action, 1};
   note_tag(dir, tag, +1);
   bump_rules(+1);
+  refresh_digest(dir, in, tag, &cls);
 }
 
 void SwitchTable::add_prefix_rule(Direction dir, InPortSpec in, PolicyTag tag,
@@ -198,6 +279,10 @@ void SwitchTable::add_prefix_rule(Direction dir, InPortSpec in, PolicyTag tag,
   cls.len_mask |= std::uint64_t{1} << pre.len();
   note_tag(dir, tag, +1);
   bump_rules(+1);
+  // The merges below never change the digest: they combine entries whose
+  // actions are equal, so the class's action set -- what the digest
+  // classifies -- is already final here.
+  refresh_digest(dir, in, tag, &cls);
 
   Prefix cur = pre;
   for (;;) {
@@ -230,7 +315,12 @@ void SwitchTable::release_default(Direction dir, InPortSpec in,
     it->second.def.reset();
     note_tag(dir, tag, -1);
     bump_rules(-1);
-    if (it->second.empty()) classes_.erase(it);
+    if (it->second.empty()) {
+      classes_.erase(it);
+      refresh_digest(dir, in, tag, nullptr);
+    } else {
+      refresh_digest(dir, in, tag, &it->second);
+    }
   }
 }
 
@@ -257,7 +347,12 @@ void SwitchTable::release_prefix_rule(Direction dir, InPortSpec in,
     cls.by_prefix.erase(*covering);
     note_tag(dir, tag, -1);
     bump_rules(-1);
-    if (cls.empty()) classes_.erase(cit);
+    if (cls.empty()) {
+      classes_.erase(cit);
+      refresh_digest(dir, in, tag, nullptr);
+    } else {
+      refresh_digest(dir, in, tag, &cls);
+    }
   }
 }
 

@@ -16,11 +16,11 @@
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "dataplane/rule.hpp"
 #include "packet/prefix.hpp"
+#include "util/flat_map.hpp"
 #include "util/ids.hpp"
 
 namespace softcell {
@@ -86,6 +86,94 @@ class SwitchTable {
   [[nodiscard]] std::optional<Resolved> resolve(Direction dir, InPortSpec in,
                                                 PolicyTag tag, Prefix pre,
                                                 bool fall_through = true) const;
+
+  // Origin-free classification of one (class, tag): resolve(tag, origin)
+  // with fall_through=false returns the same outcome for *every* origin
+  // when the class holds no prefix rules -- nullopt if the class is absent
+  // or empty (kAbsent), the default's action if it is default-only
+  // (kDefaultOnly).  Only kMixed classes (any prefix rule present) need an
+  // origin-specific resolve.  Valid while tag_epoch(dir, tag) holds.
+  struct ClassSummary {
+    enum class Kind : std::uint8_t { kAbsent, kDefaultOnly, kMixed };
+    Kind kind = Kind::kAbsent;
+    RuleAction def;  // the default's action, valid iff kDefaultOnly
+  };
+  [[nodiscard]] ClassSummary class_summary(Direction dir, InPortSpec in,
+                                           PolicyTag tag) const;
+
+  // Dense per-class digest, the index the scoring hot loop runs on.  One
+  // entry per (class, tag), indexed by tag value in a flat array (tags are
+  // allocated densely from zero, so these stay a few KiB per class and
+  // L2-resident where the class-map probe they replace was a cache miss).
+  // Classification exploits that sibling merging keeps most classes
+  // single-action:
+  //   kAbsent      -- no entries; any install costs one fresh rule.
+  //   kDefaultOnly -- a lone default; every origin resolves to `act` as a
+  //                   re-referencable default.
+  //   kCovered     -- default plus prefix entries, all with one action:
+  //                   every origin resolves to `act` (sometimes via the
+  //                   covering prefix, so not necessarily as a default).
+  //   kUniform     -- prefix entries only, all with one action: an install
+  //                   wanting a different action always costs one rule (no
+  //                   sibling carrying the desired action can exist), but
+  //                   whether `act` itself is free depends on the origin.
+  //   kMixedDef    -- at least two distinct actions, default present
+  //                   (`act` is the default's action): origin-specific.
+  //   kMixedBare   -- at least two distinct actions, no default.
+  // For the origin-specific kinds the digest still carries enough to
+  // settle most origins without touching the class: `pfilter` is a 64-bit
+  // Bloom filter over the class's prefix keys (pfilter_bit) and `len_mask`
+  // mirrors TagClass::len_mask.  Every probe resolve() or
+  // aggregate_probe() makes is an exact-key find in by_prefix, so a clear
+  // filter bit *proves* absence: an origin none of whose truncations (at
+  // the lengths in len_mask) hit the filter cannot match any prefix entry
+  // and falls through to the default -- settling the hop in the scoring
+  // loop's first pass.  Maintained at every rule mutation site
+  // (refresh_digest).
+  struct Digest {
+    enum class Kind : std::uint8_t {
+      kAbsent,
+      kDefaultOnly,
+      kCovered,
+      kUniform,
+      kMixedDef,
+      kMixedBare,
+    };
+    Kind kind = Kind::kAbsent;
+    RuleAction act;  // single action, or the default's action for kMixedDef
+    std::uint64_t pfilter = 0;   // Bloom over by_prefix keys (no false neg.)
+    std::uint64_t len_mask = 0;  // bit L set => some /L prefix entry exists
+  };
+  using DigestColumn = std::vector<Digest>;
+
+  // The Bloom bit for one exact prefix key; full-avalanche so sibling
+  // prefixes (one-bit address difference) land on independent bits.
+  [[nodiscard]] static constexpr std::uint64_t pfilter_bit(Prefix p) {
+    std::uint64_t x =
+        (static_cast<std::uint64_t>(p.addr()) << 6) ^ p.len();
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return std::uint64_t{1} << (x & 63);
+  }
+
+  // The digest column for one class (nullptr when the class has never held
+  // a rule).  The engine hoists this pointer once per install and then
+  // reads one entry per (hop, candidate); the pointer stays valid until
+  // the next rule mutation on this switch.
+  [[nodiscard]] const DigestColumn* digest_column(Direction dir,
+                                                  InPortSpec in) const {
+    if (in.wildcard()) return &wc_digest_[static_cast<int>(dir)];
+    const auto& cols = spec_digest_[static_cast<int>(dir)];
+    const auto it = cols.find(in.specific);
+    return it == cols.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] static Digest digest_at(const DigestColumn* col,
+                                        PolicyTag tag) {
+    const std::size_t t = tag.value();
+    return col != nullptr && t < col->size() ? (*col)[t] : Digest{};
+  }
   [[nodiscard]] std::optional<RuleAction> next_hop(Direction dir, InPortSpec in,
                                                    PolicyTag tag,
                                                    Prefix pre) const;
@@ -94,6 +182,16 @@ class SwitchTable {
   // (Algorithm 1's canAggregate: prefixes contiguous, same action).
   [[nodiscard]] bool can_aggregate(Direction dir, InPortSpec in, PolicyTag tag,
                                    Prefix pre, const RuleAction& out) const;
+
+  // Action-independent form of the same probe, memoizable by the
+  // aggregation fast path: can_aggregate(..., out) holds iff parent_free
+  // and sibling holds `out`.
+  struct AggProbe {
+    bool parent_free = false;
+    std::optional<RuleAction> sibling;
+  };
+  [[nodiscard]] AggProbe aggregate_probe(Direction dir, InPortSpec in,
+                                         PolicyTag tag, Prefix pre) const;
 
   // --- mutation (used by the aggregation engine) ---
 
@@ -144,10 +242,57 @@ class SwitchTable {
   [[nodiscard]] std::size_t type3_count() const { return location_count(); }
   [[nodiscard]] std::size_t location_count() const;
 
-  // Tags with at least one entry in the given direction (candTag source).
-  [[nodiscard]] const std::unordered_map<PolicyTag, std::uint32_t>& tag_usage(
-      Direction dir) const {
+  // Tags with at least one entry in the given direction -- the per-switch
+  // inverted index the candTag scan of Algorithm 1 walks.  Entries are
+  // stored densely, so iterating the candidate pool is a linear scan.
+  // `epoch` stamps the tag's last *structural* change (fresh entries,
+  // sibling merges, removals -- never pure re-references) with a
+  // per-(switch, direction) monotonic counter, so memoized resolve/
+  // aggregate summaries for one tag stay valid across installs that only
+  // touch other tags or only re-reference existing rules.
+  struct TagUse {
+    std::uint32_t count = 0;   // entries carrying the tag (all classes)
+    std::uint64_t epoch = 0;   // last structural change (> 0 once present)
+  };
+  using TagUsageIndex = FlatMap<PolicyTag, TagUse>;
+  [[nodiscard]] const TagUsageIndex& tag_usage(Direction dir) const {
     return tag_usage_[static_cast<int>(dir)];
+  }
+
+  // Cheap presence probe backing the aggregation engine's candidate
+  // scoring: true iff the tag has any entry (either in-port class) in the
+  // given direction.  A bitset, not a map probe: the scoring hot loop
+  // tests presence per (hop, candidate) pair, and an L1-resident bit test
+  // is what makes the bound-first scoring pass essentially free.
+  [[nodiscard]] bool carries_tag(Direction dir, PolicyTag tag) const {
+    const auto& bits = tag_bits_[static_cast<int>(dir)];
+    const std::size_t w = static_cast<std::size_t>(tag.value()) >> 6;
+    return w < bits.size() && ((bits[w] >> (tag.value() & 63)) & 1u) != 0;
+  }
+
+  // The tag's structural epoch, 0 when the tag has no entries here.  Two
+  // calls returning the same non-zero value bracket an interval with no
+  // structural change to the tag's classes; 0 always means "no rules", so
+  // equal values -- zero or not -- imply identical resolve outcomes.
+  [[nodiscard]] std::uint64_t tag_epoch(Direction dir, PolicyTag tag) const {
+    const auto& usage = tag_usage_[static_cast<int>(dir)];
+    const auto it = usage.find(tag);
+    return it == usage.end() ? 0 : it->second.epoch;
+  }
+
+  // Recounts tag usage from the authoritative class map -- the property
+  // tests assert the incrementally-maintained inverted index always agrees
+  // with this recount after arbitrary install/uninstall sequences.
+  [[nodiscard]] std::unordered_map<PolicyTag, std::uint32_t>
+  debug_recount_tag_usage(Direction dir) const {
+    std::unordered_map<PolicyTag, std::uint32_t> out;
+    for (const auto& [key, cls] : classes_) {
+      if (key.dir != dir) continue;
+      const auto n = static_cast<std::uint32_t>(cls.by_prefix.size() +
+                                                (cls.def ? 1 : 0));
+      if (n != 0) out[key.tag] += n;
+    }
+    return out;
   }
 
  private:
@@ -170,8 +315,8 @@ class SwitchTable {
 
   // Rules of one (direction, in-port, tag) class.
   struct TagClass {
-    std::optional<Entry> def;                   // Type 2
-    std::unordered_map<Prefix, Entry> by_prefix;  // Type 1
+    std::optional<Entry> def;              // Type 2
+    FlatMap<Prefix, Entry> by_prefix;      // Type 1
     std::uint64_t len_mask = 0;  // bit L set => some prefix of length L
 
     [[nodiscard]] bool empty() const { return !def && by_prefix.empty(); }
@@ -183,7 +328,7 @@ class SwitchTable {
     mutable std::uint64_t packets = 0;
   };
   struct LocationTier {
-    std::unordered_map<Prefix, LocationEntry> by_prefix;
+    FlatMap<Prefix, LocationEntry> by_prefix;
     std::uint64_t len_mask = 0;
   };
 
@@ -191,6 +336,10 @@ class SwitchTable {
                                            PolicyTag tag) const;
   TagClass& class_for(Direction dir, InPortSpec in, PolicyTag tag);
   void note_tag(Direction dir, PolicyTag tag, int delta);
+  // Re-derives the wildcard digest entry from the (possibly erased) class
+  // after a content change.  No-op for specific in-port classes.
+  void refresh_digest(Direction dir, InPortSpec in, PolicyTag tag,
+                      const TagClass* cls);
   void bump_rules(int delta);
   void ensure_space() const;
 
@@ -198,9 +347,18 @@ class SwitchTable {
   [[nodiscard]] static const Entry* lpm(const TagClass& cls, Ipv4Addr addr,
                                         Prefix* matched = nullptr);
 
-  std::unordered_map<ClassKey, TagClass, ClassKeyHash> classes_;
+  FlatMap<ClassKey, TagClass, ClassKeyHash> classes_;
   LocationTier location_[2];  // per direction
-  std::unordered_map<PolicyTag, std::uint32_t> tag_usage_[2];
+  TagUsageIndex tag_usage_[2];
+  // Presence bitmap over the 16-bit tag space (8 KiB per direction once a
+  // tag appears), kept in lockstep with tag_usage_ by note_tag.
+  std::vector<std::uint64_t> tag_bits_[2];
+  // Dense digest columns (see Digest above), grown on demand: one for the
+  // wildcard class per direction, one per specific in-port that ever held
+  // a rule (switches see only a handful of middlebox-facing in-ports).
+  DigestColumn wc_digest_[2];
+  FlatMap<NodeId, DigestColumn> spec_digest_[2];
+  std::uint64_t struct_epoch_[2] = {0, 0};
   std::size_t rule_count_ = 0;
   std::size_t capacity_ = 0;
   mutable std::uint64_t lookups_ = 0;
@@ -209,8 +367,8 @@ class SwitchTable {
 
  public:
   // Read-only view of the Type-3 tier (tests, diagnostics).
-  [[nodiscard]] const std::unordered_map<Prefix, LocationEntry>&
-  location_entries(Direction dir) const {
+  [[nodiscard]] const FlatMap<Prefix, LocationEntry>& location_entries(
+      Direction dir) const {
     return location_[static_cast<int>(dir)].by_prefix;
   }
 };

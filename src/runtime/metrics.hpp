@@ -55,6 +55,22 @@ struct MetricsSnapshot {
   std::uint64_t errors = 0;
   std::array<std::uint64_t, LatencyHistogram::kBuckets> latency_buckets{};
 
+  // Aggregation-engine hot-path counters summed over shards (one AggPerf
+  // per shard engine, see core/engine.hpp; filled by
+  // ShardedController::aggregate_metrics(), zero when aggregating raw
+  // ShardMetrics only).
+  std::uint64_t agg_installs = 0;
+  std::uint64_t agg_candidate_scans = 0;
+  std::uint64_t agg_candidates_scored = 0;
+  std::uint64_t agg_hop_evals = 0;
+  std::uint64_t agg_presence_skips = 0;
+  std::uint64_t agg_filter_settles = 0;
+  std::uint64_t agg_bound_skips = 0;
+  std::uint64_t agg_memo_hits = 0;
+  std::uint64_t agg_memo_misses = 0;
+  std::uint64_t agg_score_resolves = 0;
+  std::uint64_t agg_scratch_reuses = 0;
+
   [[nodiscard]] std::uint64_t latency_count() const {
     std::uint64_t n = 0;
     for (const auto b : latency_buckets) n += b;

@@ -79,6 +79,15 @@ PolicyTag ShardedController::request_policy_path(UeId ue, std::uint32_t bs,
   return shards_[s]->request_policy_path(bs, clause);
 }
 
+std::vector<PolicyTag> ShardedController::request_policy_paths(
+    UeId ue, std::span<const Controller::PathRequest> requests) {
+  const auto s = shard_of(ue);
+  metrics_[s].count_request();
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    metrics_[s].count_path_request();
+  return shards_[s]->request_policy_paths(requests);
+}
+
 PolicyTag ShardedController::request_m2m_path(UeId src_ue,
                                               std::uint32_t src_bs,
                                               std::uint32_t dst_bs,
@@ -106,6 +115,22 @@ MetricsSnapshot ShardedController::aggregate_metrics() const {
   MetricsSnapshot out;
   for (std::size_t i = 0; i < shards_.size(); ++i)
     metrics_[i].merge_into(out);
+  // Fold in each shard engine's hot-path counters (reader lock per shard;
+  // see Controller::agg_perf()).
+  for (const auto& shard : shards_) {
+    const AggPerf p = shard->agg_perf();
+    out.agg_installs += p.installs;
+    out.agg_candidate_scans += p.candidate_scans;
+    out.agg_candidates_scored += p.candidates_scored;
+    out.agg_hop_evals += p.hop_evals;
+    out.agg_presence_skips += p.presence_skips;
+    out.agg_filter_settles += p.filter_settles;
+    out.agg_bound_skips += p.bound_skips;
+    out.agg_memo_hits += p.memo_hits;
+    out.agg_memo_misses += p.memo_misses;
+    out.agg_score_resolves += p.score_resolves;
+    out.agg_scratch_reuses += p.scratch_reuses;
+  }
   return out;
 }
 

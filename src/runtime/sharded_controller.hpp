@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "ctrl/controller.hpp"
@@ -72,6 +73,11 @@ class ShardedController {
   [[nodiscard]] std::vector<PacketClassifier> fetch_classifiers(
       UeId ue, std::uint32_t bs) const;
   PolicyTag request_policy_path(UeId ue, std::uint32_t bs, ClauseId clause);
+  // Batched variant: all requests are routed to `ue`'s shard and installed
+  // under one lock acquisition in (bs, clause) order (see
+  // Controller::request_policy_paths).  Returns tags in request order.
+  std::vector<PolicyTag> request_policy_paths(
+      UeId ue, std::span<const Controller::PathRequest> requests);
   PolicyTag request_m2m_path(UeId src_ue, std::uint32_t src_bs,
                              std::uint32_t dst_bs, ClauseId clause);
 

@@ -1,0 +1,149 @@
+// SmallVector: a vector with N elements of inline storage, for the
+// per-install scratch of the aggregation fast path (hop plans, segment
+// tags, candidate lists).  Paths are a handful of hops and candidate pools
+// are capped, so the common case never touches the heap.
+//
+// Only the operations the hot path needs: push_back / emplace_back /
+// operator[] / size / clear / resize / assign / begin / end.  Elements must
+// be movable; inline elements are stored in a raw buffer and constructed
+// lazily.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace softcell {
+
+template <typename T, std::size_t N>
+class SmallVector {
+ public:
+  SmallVector() = default;
+  ~SmallVector() { destroy_all(); }
+
+  SmallVector(const SmallVector& other) { assign_from(other); }
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      destroy_all();
+      assign_from(other);
+    }
+    return *this;
+  }
+  SmallVector(SmallVector&& other) noexcept { move_from(std::move(other)); }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      destroy_all();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] T& back() { return data_[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return data_[size_ - 1]; }
+  [[nodiscard]] T& front() { return data_[0]; }
+  [[nodiscard]] const T& front() const { return data_[0]; }
+
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    T* p = new (data_ + size_) T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  void pop_back() { data_[--size_].~T(); }
+
+  void resize(std::size_t n, const T& fill = T{}) {
+    while (size_ > n) pop_back();
+    if (n > capacity_) grow(n);
+    while (size_ < n) emplace_back(fill);
+  }
+
+  void assign(std::size_t n, const T& fill) {
+    clear();
+    resize(n, fill);
+  }
+
+ private:
+  void grow(std::size_t want) {
+    std::size_t cap = capacity_;
+    while (cap < want) cap *= 2;
+    T* fresh = static_cast<T*>(::operator new(cap * sizeof(T), kAlign));
+    for (std::size_t i = 0; i < size_; ++i) {
+      new (fresh + i) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (data_ != inline_data()) ::operator delete(data_, kAlign);
+    data_ = fresh;
+    capacity_ = cap;
+  }
+
+  void destroy_all() {
+    clear();
+    if (data_ != inline_data()) ::operator delete(data_, kAlign);
+    data_ = inline_data();
+    capacity_ = N;
+  }
+
+  void assign_from(const SmallVector& other) {
+    if (other.size_ > capacity_) grow(other.size_);
+    for (std::size_t i = 0; i < other.size_; ++i)
+      new (data_ + i) T(other.data_[i]);
+    size_ = other.size_;
+  }
+
+  void move_from(SmallVector&& other) {
+    if (other.data_ != other.inline_data()) {
+      // Steal the heap buffer.
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_data();
+      other.capacity_ = N;
+      other.size_ = 0;
+      return;
+    }
+    for (std::size_t i = 0; i < other.size_; ++i) {
+      new (data_ + i) T(std::move(other.data_[i]));
+      other.data_[i].~T();
+    }
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+
+  [[nodiscard]] T* inline_data() {
+    return std::launder(reinterpret_cast<T*>(storage_));
+  }
+
+  static constexpr std::align_val_t kAlign{alignof(T)};
+
+  alignas(T) unsigned char storage_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace softcell

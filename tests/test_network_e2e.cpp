@@ -268,7 +268,7 @@ TEST(DeliveryTier, SharedAcrossClauses) {
       const auto& usage = eng.table(id).tag_usage(Direction::kDownlink);
       if (const auto it = usage.find(AggregationEngine::kDeliveryTag);
           it != usage.end())
-        n += it->second;
+        n += it->second.count;
     }
     return n;
   };
