@@ -1,14 +1,80 @@
 #!/usr/bin/env bash
-# Tier-1 verify (ROADMAP.md): configure, build, and run the full test suite.
-# Pass --perf to also run the perf-labelled smoke benchmarks (seconds, not
-# minutes: the bench binaries shrink their sweeps under SOFTCELL_SMOKE=1).
-set -euo pipefail
+# Tier-1 verify (ROADMAP.md), multi-stage:
+#   1. configure + build + full test suite (the tier-1 gate proper)
+#   2. ctest -L chaos      -- the 200-seed fault-injection corpus
+#   3. ctest -L nofastpath -- engine + e2e with SOFTCELL_FASTPATH=0
+#   4. ASan + TSan rebuilds running the concurrency|chaos labels with a
+#      trimmed corpus (SOFTCELL_CHAOS_SEEDS)
+#
+# Every stage runs even if an earlier one fails; a per-stage PASS/FAIL
+# summary is printed at the end and the script exits non-zero if ANY stage
+# failed (no silently swallowed exit codes).
+#
+#   --fast   skip the sanitizer rebuilds (stage 4)
+#   --perf   also run the perf-labelled smoke benchmarks (SOFTCELL_SMOKE=1)
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
-cmake --build build -j
-(cd build && ctest --output-on-failure -j)
+FAST=0
+PERF=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    --perf) PERF=1 ;;
+    *)
+      echo "usage: $0 [--fast] [--perf]" >&2
+      exit 2
+      ;;
+  esac
+done
 
-if [[ "${1:-}" == "--perf" ]]; then
-  (cd build && ctest --output-on-failure -L perf)
+STAGE_NAMES=()
+STAGE_RESULTS=()
+FAILED=0
+
+# run_stage <name> <cmd...>: runs the command, records PASS/FAIL, never
+# aborts the script -- the summary and final exit code carry the verdict.
+run_stage() {
+  local name="$1"
+  shift
+  echo
+  echo "=== ${name} ==="
+  if "$@"; then
+    STAGE_RESULTS+=("PASS")
+  else
+    STAGE_RESULTS+=("FAIL")
+    FAILED=1
+  fi
+  STAGE_NAMES+=("$name")
+}
+
+run_stage "configure"        cmake -B build -S .
+run_stage "build"            cmake --build build -j
+run_stage "tests (full)"     bash -c 'cd build && ctest --output-on-failure -j'
+run_stage "tests (chaos)"    bash -c 'cd build && ctest --output-on-failure -L chaos'
+run_stage "tests (nofastpath)" bash -c 'cd build && ctest --output-on-failure -L nofastpath'
+
+if [[ "$PERF" == 1 ]]; then
+  run_stage "bench (perf smoke)" bash -c 'cd build && ctest --output-on-failure -L perf'
 fi
+
+if [[ "$FAST" == 0 ]]; then
+  # Sanitizer rebuilds in their own trees; the chaos corpus is trimmed so
+  # the instrumented runs stay in the seconds range.
+  run_stage "asan configure" cmake -B build-asan -S . -DSOFTCELL_SANITIZE=address
+  run_stage "asan build"     cmake --build build-asan -j
+  run_stage "asan tests (concurrency|chaos)" \
+    bash -c 'cd build-asan && SOFTCELL_CHAOS_SEEDS=40 ctest --output-on-failure -L "concurrency|chaos"'
+  run_stage "tsan configure" cmake -B build-tsan -S . -DSOFTCELL_SANITIZE=thread
+  run_stage "tsan build"     cmake --build build-tsan -j
+  run_stage "tsan tests (concurrency|chaos)" \
+    bash -c 'cd build-tsan && SOFTCELL_CHAOS_SEEDS=25 ctest --output-on-failure -L "concurrency|chaos"'
+fi
+
+echo
+echo "=== tier-1 summary ==="
+for i in "${!STAGE_NAMES[@]}"; do
+  printf '%-38s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}"
+done
+
+exit "$FAILED"

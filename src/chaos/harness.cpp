@@ -1,0 +1,623 @@
+#include "chaos/harness.hpp"
+
+#include <charconv>
+#include <cstddef>
+#include <memory>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace softcell::chaos {
+namespace {
+
+// Destination ports covering every AppType bucket of Table 1.
+constexpr std::uint16_t kFlowPorts[] = {80, 443, 1935, 5060, 8883, 4000};
+// Endpoints outside the carrier prefix (10/8) and the permanent-IP space.
+constexpr Ipv4Addr kRemoteBase = 0x08080000u;   // 8.8.0.0
+constexpr Ipv4Addr kInboundBase = 0x2D2D0000u;  // 45.45.0.0
+constexpr std::size_t kMaxSubscribers = 24;
+
+ofp::FaultSpec fault_profile(std::uint32_t ordinal) {
+  ofp::FaultSpec f;
+  switch (ordinal % 6) {
+    case 0:  // clean wire (disarm)
+      break;
+    case 1:
+      f.drop = 0.30;
+      break;
+    case 2:
+      f.delay = 0.25;
+      f.reorder = 0.25;
+      break;
+    case 3:
+      f.duplicate = 0.35;
+      break;
+    case 4:
+      f.corrupt = 0.20;
+      break;
+    case 5:
+      f.drop = 0.15;
+      f.delay = 0.10;
+      f.reorder = 0.20;
+      f.duplicate = 0.15;
+      f.corrupt = 0.10;
+      break;
+  }
+  return f;
+}
+
+// Order-sensitive FNV-1a over the run's observable events.
+struct Digest {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFFu;
+      h *= 0x100000001b3ull;
+    }
+  }
+  void mix(const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+    mix(s.size());
+  }
+};
+
+struct ViolationError {
+  Violation v;
+};
+
+class Runner {
+ public:
+  Runner(const Scenario& scenario, const ChaosOptions& options)
+      : sc_(scenario), opt_(options) {
+    SoftCellConfig cfg;
+    cfg.topo = {.k = 4,
+                .seed = 1 + static_cast<std::uint32_t>(scenario.seed % 64)};
+    cfg.mobility.install_shortcuts = options.install_shortcuts;
+    cfg.attach_mirror = true;
+    cfg.runtime_workers = options.runtime_workers;
+    net_ = std::make_unique<SoftCellNetwork>(cfg, make_table1_policy());
+    if (options.twin_reference) {
+      SoftCellConfig tcfg = cfg;
+      tcfg.attach_mirror = false;
+      tcfg.runtime_workers = 0;
+      tcfg.controller.engine.fastpath = false;
+      twin_ = std::make_unique<SoftCellNetwork>(tcfg, make_table1_policy());
+    }
+  }
+
+  RunReport run() {
+    try {
+      for (cur_ = 0; cur_ < sc_.steps.size(); ++cur_) {
+        exec(sc_.steps[cur_]);
+        ++rep_.steps_executed;
+        check_locips();  // invariant 3 is cheap: run it after every step
+      }
+      cur_ = sc_.steps.size();
+      sweep();  // unconditional final quiesce: shrinking can drop kQuiesce
+    } catch (const ViolationError& v) {
+      rep_.ok = false;
+      rep_.violation = v.v;
+    } catch (const std::exception& e) {
+      rep_.ok = false;
+      rep_.violation = Violation{0, cur_, e.what()};
+    }
+    rep_.digest = dig_.h;
+    if (net_->mirror()) rep_.faults = net_->mirror()->fault_stats();
+    return rep_;
+  }
+
+ private:
+  using Delivery = SoftCellNetwork::Delivery;
+  using Handle = SoftCellNetwork::FlowHandle;
+  using Ticket = MobilityManager::HandoffTicket;
+
+  struct UeEntry {
+    UeId id{};
+    std::uint32_t bs = 0;
+    bool has_service = false;
+  };
+  struct LiveFlow {
+    Handle h, th;
+    std::size_t ue = 0;  // roster index
+    std::vector<NodeId> exp_up, exp_down;
+    bool pre_handoff = false;  // opened before the UE's pending handoff
+  };
+  struct Pending {
+    std::size_t ue = 0;
+    Ticket t, tt;
+  };
+  struct Service {
+    SoftCellNetwork::PublicService s, ts;
+    std::size_t ue = 0;
+  };
+
+  [[noreturn]] void violate(int invariant, std::string detail) {
+    throw ViolationError{Violation{invariant, cur_, std::move(detail)}};
+  }
+
+  [[nodiscard]] std::uint32_t num_bs() const {
+    return net_->topology().num_base_stations();
+  }
+  [[nodiscard]] bool ue_pending(std::size_t ue) const {
+    for (const auto& p : pending_)
+      if (p.ue == ue) return true;
+    return false;
+  }
+
+  void mix_delivery(const Delivery& d) {
+    dig_.mix(d.delivered);
+    dig_.mix(d.drop_reason);
+    dig_.mix(d.hops.size());
+    for (const NodeId n : d.middlebox_sequence) dig_.mix(n.value());
+    dig_.mix(d.tunneled);
+    dig_.mix(d.final_packet.key.src_ip);
+    dig_.mix(d.final_packet.key.src_port);
+    dig_.mix(d.final_packet.key.dst_ip);
+    dig_.mix(d.final_packet.key.dst_port);
+  }
+
+  // Invariant 5: every per-packet observable must match the reference twin.
+  void check_twin(const Delivery& a, const Delivery& b, const char* what) {
+    if (!twin_) return;
+    if (a.delivered != b.delivered || a.drop_reason != b.drop_reason ||
+        a.hops != b.hops || a.middlebox_sequence != b.middlebox_sequence ||
+        a.tunneled != b.tunneled ||
+        !(a.final_packet.key == b.final_packet.key)) {
+      std::ostringstream out;
+      out << what << ": fastpath delivered=" << a.delivered << " ("
+          << a.drop_reason << "), reference delivered=" << b.delivered << " ("
+          << b.drop_reason << ")";
+      violate(5, out.str());
+    }
+  }
+
+  // Invariant 3, cheap form: LocIP uniqueness + Fig.-4 field embedding.
+  void check_locips() {
+    std::unordered_set<Ipv4Addr> seen;
+    for (const auto& ue : roster_) {
+      const auto lip = net_->agent(ue.bs).locip_of(ue.id);
+      if (!lip) violate(3, "attached UE has no LocIP at its serving agent");
+      if (!seen.insert(*lip).second) violate(3, "duplicate LocIP across UEs");
+      const auto fields = net_->plan().decode(*lip);
+      if (!fields || fields->bs_index != ue.bs)
+        violate(3, "LocIP does not embed the serving base station");
+    }
+  }
+
+  void exec(const Step& s) {
+    dig_.mix(static_cast<std::uint64_t>(s.kind));
+    switch (s.kind) {
+      case Step::Kind::kAttach: return do_attach(s);
+      case Step::Kind::kOpenFlow: return do_open(s);
+      case Step::Kind::kSendUplink: return do_send(s, /*uplink=*/true);
+      case Step::Kind::kSendDownlink: return do_send(s, /*uplink=*/false);
+      case Step::Kind::kHandoff: return do_handoff(s);
+      case Step::Kind::kCompleteHandoff: return do_complete(s);
+      case Step::Kind::kExposeService: return do_expose(s);
+      case Step::Kind::kSendInbound: return do_inbound(s);
+      case Step::Kind::kFailover: return do_failover();
+      case Step::Kind::kAgentRestart: return do_restart(s);
+      case Step::Kind::kFaultWindow: return do_faults(s);
+      case Step::Kind::kQuiesce:
+        ++rep_.quiesces;
+        return sweep();
+      case Step::Kind::kMaxKind: return;
+    }
+  }
+
+  void do_attach(const Step& s) {
+    if (roster_.size() >= kMaxSubscribers) return;
+    SubscriberProfile p;
+    p.plan = static_cast<BillingPlan>(s.a % 3);
+    const std::uint32_t bs = s.b % num_bs();
+    const UeId id = net_->add_subscriber(p);
+    net_->attach(id, bs);
+    if (twin_) {
+      const UeId tid = twin_->add_subscriber(p);
+      twin_->attach(tid, bs);
+      if (tid != id) violate(5, "UE id divergence between twins");
+    }
+    roster_.push_back({id, bs, false});
+    dig_.mix(id.value());
+    dig_.mix(bs);
+  }
+
+  void do_open(const Step& s) {
+    if (roster_.empty()) return;
+    const std::size_t ui = s.a % roster_.size();
+    const UeEntry& ue = roster_[ui];
+    const std::uint16_t port = kFlowPorts[s.b % std::size(kFlowPorts)];
+    const Ipv4Addr remote = kRemoteBase + 1 + (s.b >> 3) % 250;
+    const Handle h = net_->open_flow(ue.id, remote, port);
+    const Delivery d = net_->send_uplink(h, TcpFlag::kSyn);
+    Handle th{};
+    if (twin_) {
+      th = twin_->open_flow(ue.id, remote, port);
+      check_twin(d, twin_->send_uplink(th, TcpFlag::kSyn), "open uplink SYN");
+    }
+    mix_delivery(d);
+    if (!d.delivered) return;  // deterministic policy denial; not tracked
+    ++rep_.flows_opened;
+
+    // Admission-time invariant 1: the SYN must have traversed exactly the
+    // middlebox sequence the controller selected for this clause.
+    const auto clause = net_->flow_clause(h.key);
+    if (!clause) violate(1, "admitted flow has no recorded clause");
+    auto expected = net_->expected_middleboxes(ue.bs, *clause);
+    if (d.middlebox_sequence != expected)
+      violate(1, "admission SYN bypassed the selected middlebox sequence");
+    // Invariant 3 at the packet level: the uplink source address must be a
+    // LocIP embedding the serving bs, the source port must carry a tag.
+    const auto fields = net_->plan().decode(d.final_packet.key.src_ip);
+    if (!fields || fields->bs_index != ue.bs)
+      violate(3, "uplink LocIP embeds the wrong base station");
+    if (net_->codec().tag_of(d.final_packet.key.src_port).value() == 0)
+      violate(3, "uplink source port carries no policy tag");
+
+    const Delivery dd = net_->send_downlink(h);
+    if (twin_) check_twin(dd, twin_->send_downlink(th), "open downlink");
+    mix_delivery(dd);
+    if (!dd.delivered) violate(1, "downlink blackholed at admission");
+    flows_.push_back(
+        {h, th, ui, std::move(expected), dd.middlebox_sequence, false});
+  }
+
+  void do_send(const Step& s, bool uplink) {
+    if (flows_.empty()) return;
+    const LiveFlow& f = flows_[s.a % flows_.size()];
+    const Delivery d = uplink ? net_->send_uplink(f.h, TcpFlag::kNone, 200)
+                              : net_->send_downlink(f.h, TcpFlag::kNone, 200);
+    if (twin_) {
+      const Delivery td = uplink
+                              ? twin_->send_uplink(f.th, TcpFlag::kNone, 200)
+                              : twin_->send_downlink(f.th, TcpFlag::kNone, 200);
+      check_twin(d, td, uplink ? "uplink" : "downlink");
+    }
+    mix_delivery(d);
+    if (!d.delivered)
+      violate(1, std::string(uplink ? "uplink" : "downlink") +
+                     " blackholed: " + d.drop_reason);
+    if (d.middlebox_sequence != (uplink ? f.exp_up : f.exp_down))
+      violate(4, "flow switched middlebox sequence mid-life");
+  }
+
+  void do_handoff(const Step& s) {
+    if (roster_.empty()) return;
+    const std::size_t ui = s.a % roster_.size();
+    UeEntry& ue = roster_[ui];
+    // The sim keeps the gateway's service classifier pinned to the LocIP it
+    // was exposed with, so service UEs stay put.
+    if (ue.has_service || ue_pending(ui)) return;
+    std::uint32_t nb = s.b % num_bs();
+    if (nb == ue.bs) nb = (nb + 1) % num_bs();
+    const Ticket t = net_->handoff(ue.id, nb);
+    Ticket tt{};
+    if (twin_) tt = twin_->handoff(ue.id, nb);
+    for (auto& f : flows_)
+      if (f.ue == ui) f.pre_handoff = true;
+    if (opt_.sabotage == ChaosOptions::Sabotage::kDropTunnel) {
+      AccessSwitch& acc = net_->access(t.old_bs);
+      acc.remove_tunnel(t.old_locip);
+      for (const Ipv4Addr ip : t.moved_locips) acc.remove_tunnel(ip);
+    }
+    ue.bs = nb;
+    pending_.push_back({ui, t, tt});
+    ++rep_.handoffs;
+    dig_.mix(t.old_locip);
+    dig_.mix(t.new_locip);
+    dig_.mix(t.moved_locips.size());
+    dig_.mix(t.shortcuts.size());
+  }
+
+  void do_complete(const Step& s) {
+    if (pending_.empty()) return;
+    const std::size_t pi = s.a % pending_.size();
+    const Pending p = pending_[pi];
+    // The real-world contract: complete fires after the anchored (pre-
+    // handoff) flows have ended.  kEarlyComplete sabotage skips the wait,
+    // so the teardown blackholes their downlink -- which the next sweep
+    // must catch.
+    if (opt_.sabotage != ChaosOptions::Sabotage::kEarlyComplete) {
+      std::erase_if(flows_, [&](const LiveFlow& f) {
+        return f.ue == p.ue && f.pre_handoff;
+      });
+    }
+    net_->complete_handoff(p.t);
+    if (twin_) twin_->complete_handoff(p.tt);
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pi));
+    dig_.mix(p.t.old_locip);
+  }
+
+  void do_expose(const Step& s) {
+    if (roster_.empty()) return;
+    const std::size_t ui = s.a % roster_.size();
+    UeEntry& ue = roster_[ui];
+    if (ue.has_service || ue_pending(ui)) return;
+    const std::uint16_t port = 7000 + (s.b % 4) * 101;
+    Service svc;
+    svc.ue = ui;
+    bool ok = true;
+    try {
+      svc.s = net_->expose_service(ue.id, port);
+    } catch (const std::exception&) {
+      ok = false;
+    }
+    if (twin_) {
+      bool tok = true;
+      try {
+        svc.ts = twin_->expose_service(ue.id, port);
+      } catch (const std::exception&) {
+        tok = false;
+      }
+      if (ok != tok) violate(5, "expose_service accept/deny divergence");
+    }
+    dig_.mix(ok);
+    if (!ok) return;  // policy denial, identical on both networks
+    ue.has_service = true;
+    services_.push_back(svc);
+    dig_.mix(svc.s.public_ip);
+    dig_.mix(svc.s.port);
+  }
+
+  void do_inbound(const Step& s) {
+    if (services_.empty()) return;
+    const Service& svc = services_[s.a % services_.size()];
+    const Ipv4Addr remote = kInboundBase + 1 + s.b % 997;
+    const std::uint16_t rport = static_cast<std::uint16_t>(20000 + s.b % 5000);
+    const Delivery d =
+        net_->send_inbound(svc.s, remote, rport, TcpFlag::kSyn);
+    if (twin_)
+      check_twin(d, twin_->send_inbound(svc.ts, remote, rport, TcpFlag::kSyn),
+                 "inbound");
+    mix_delivery(d);
+    if (!d.delivered)
+      violate(1, "inbound service traffic blackholed: " + d.drop_reason);
+    const Delivery dr = net_->send_service_reply(svc.s, remote, rport);
+    if (twin_)
+      check_twin(dr, twin_->send_service_reply(svc.ts, remote, rport),
+                 "service reply");
+    mix_delivery(dr);
+    if (!dr.delivered)
+      violate(4, "service reply blocked (conntrack pinhole lost): " +
+                     dr.drop_reason);
+  }
+
+  void do_failover() {
+    // ControlStore ships 3 replicas: the generator budgets 2 failovers, and
+    // the harness re-enforces it so shrunk scenarios stay valid.
+    if (failovers_ >= 2) return;
+    ++failovers_;
+    net_->fail_controller_primary_and_recover();
+    if (twin_) twin_->fail_controller_primary_and_recover();
+    dig_.mix(net_->controller().state_fingerprint());
+  }
+
+  void do_restart(const Step& s) {
+    if (roster_.empty()) return;
+    const std::uint32_t bs = s.a % num_bs();
+    // A restart while a handoff is half-done would race the rebuild against
+    // quarantined state; the scenario model serializes them.
+    for (const auto& p : pending_)
+      if (p.t.old_bs == bs || p.t.new_bs == bs) return;
+    net_->restart_agent(bs);
+    if (twin_) twin_->restart_agent(bs);
+    dig_.mix(bs);
+  }
+
+  void do_faults(const Step& s) {
+    const std::uint32_t profile = s.a % 6;
+    net_->mirror()->set_faults(fault_profile(profile),
+                               sc_.seed ^ 0xFA011u);
+    dig_.mix(profile);
+  }
+
+  // The full sweep: quiesce the control plane (mirror sync) and check every
+  // invariant globally.
+  void sweep() {
+    // (1) + (4) + (5): every live flow still delivers, both directions,
+    // through exactly its admission-time middlebox sequence.
+    for (const auto& f : flows_) {
+      const Delivery d = net_->send_uplink(f.h, TcpFlag::kNone, 100);
+      if (twin_)
+        check_twin(d, twin_->send_uplink(f.th, TcpFlag::kNone, 100),
+                   "sweep uplink");
+      mix_delivery(d);
+      if (!d.delivered) violate(1, "uplink blackholed: " + d.drop_reason);
+      if (d.middlebox_sequence != f.exp_up)
+        violate(4, "uplink middlebox sequence changed after churn");
+      const Delivery dd = net_->send_downlink(f.h, TcpFlag::kNone, 100);
+      if (twin_)
+        check_twin(dd, twin_->send_downlink(f.th, TcpFlag::kNone, 100),
+                   "sweep downlink");
+      mix_delivery(dd);
+      if (!dd.delivered) violate(1, "downlink blackholed: " + dd.drop_reason);
+      if (dd.middlebox_sequence != f.exp_down)
+        violate(4, "downlink middlebox sequence changed after churn");
+    }
+
+    // (2) mirror convergence: flush the (possibly faulty) wire, then demand
+    // behavioural equality between every replica table and the engine's.
+    ofp::Mirror& mirror = *net_->mirror();
+    try {
+      mirror.sync();
+    } catch (const std::exception& e) {
+      violate(2, std::string("mirror failed to converge: ") + e.what());
+    }
+    const AggregationEngine& engine = net_->controller().engine();
+    for (const NodeId sw : mirror.switch_ids()) {
+      const SwitchTable& truth = engine.table(sw);
+      const SwitchTable& replica = mirror.agent(sw)->table();
+      if (replica.rule_count() != truth.rule_count() ||
+          replica.type1_count() != truth.type1_count() ||
+          replica.type2_count() != truth.type2_count() ||
+          replica.type3_count() != truth.type3_count())
+        violate(2, "replica rule counts diverged on switch " +
+                       std::to_string(sw.value()));
+      Rng probe = Rng::stream(sc_.seed ^ 0xBEEFull, sw.value());
+      for (int i = 0; i < 64; ++i) {
+        const auto bs = static_cast<std::uint32_t>(probe.next_below(num_bs()));
+        const PolicyTag tag(static_cast<std::uint16_t>(probe.next_below(16)));
+        const Ipv4Addr addr = net_->topology().bs_prefix(bs).addr();
+        for (const Direction dir : {Direction::kUplink, Direction::kDownlink}) {
+          const auto a =
+              truth.lookup(dir, net_->topology().gateway(), tag, addr);
+          const auto b =
+              replica.lookup(dir, net_->topology().gateway(), tag, addr);
+          if (a.has_value() != b.has_value() ||
+              (a && (a->action != b->action || a->shape != b->shape)))
+            violate(2, "replica lookup diverged on switch " +
+                           std::to_string(sw.value()));
+        }
+      }
+    }
+
+    // (3) in its full form.
+    check_locips();
+
+    // (5) aggregates: the fast path must allocate exactly the same tags and
+    // rules as the reference scan.
+    if (twin_) {
+      const AggregationEngine& ref = twin_->controller().engine();
+      if (engine.total_rules() != ref.total_rules())
+        violate(5, "fastpath/reference total_rules diverged");
+      if (engine.tags_allocated() != ref.tags_allocated())
+        violate(5, "fastpath/reference tags_allocated diverged");
+    }
+
+    dig_.mix(net_->controller().state_fingerprint());
+    dig_.mix(engine.total_rules());
+    dig_.mix(engine.tags_allocated());
+    const ofp::FaultStats fs = mirror.fault_stats();
+    dig_.mix(fs.injected());
+    dig_.mix(fs.retransmits);
+  }
+
+  const Scenario& sc_;
+  ChaosOptions opt_;
+  std::unique_ptr<SoftCellNetwork> net_, twin_;
+  std::vector<UeEntry> roster_;
+  std::vector<LiveFlow> flows_;
+  std::vector<Pending> pending_;
+  std::vector<Service> services_;
+  std::uint32_t failovers_ = 0;
+  std::size_t cur_ = 0;
+  Digest dig_;
+  RunReport rep_;
+};
+
+}  // namespace
+
+RunReport run_scenario(const Scenario& scenario, const ChaosOptions& options) {
+  Runner runner(scenario, options);
+  return runner.run();
+}
+
+Scenario shrink(const Scenario& failing, const ChaosOptions& options,
+                std::size_t* runs_out) {
+  Scenario cur = failing;
+  std::size_t runs = 0;
+  const auto still_fails = [&](const Scenario& cand) {
+    ++runs;
+    return !run_scenario(cand, options).ok;
+  };
+  // Greedy step-removal in halving chunks (single steps last), then operand
+  // canonicalization: because operands are interpreted modulo harness state,
+  // zeroing them re-aligns the surviving steps onto the same UE/flow, which
+  // un-sticks plateaus where no single removal reproduces but a smaller
+  // aligned scenario would.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t chunk = std::max<std::size_t>(cur.steps.size() / 2, 1);;
+         chunk /= 2) {
+      for (std::size_t start = 0; start + chunk <= cur.steps.size();) {
+        Scenario cand = cur;
+        const auto it = cand.steps.begin() + static_cast<std::ptrdiff_t>(start);
+        cand.steps.erase(it, it + static_cast<std::ptrdiff_t>(chunk));
+        if (still_fails(cand)) {
+          cur = std::move(cand);
+          improved = true;
+        } else {
+          ++start;
+        }
+      }
+      if (chunk <= 1) break;
+    }
+    for (std::size_t i = 0; i < cur.steps.size(); ++i) {
+      if (cur.steps[i].a == 0 && cur.steps[i].b == 0) continue;
+      Scenario cand = cur;
+      cand.steps[i].a = 0;
+      cand.steps[i].b = 0;
+      if (still_fails(cand)) {
+        cur = std::move(cand);
+        improved = true;
+      }
+    }
+  }
+  if (runs_out) *runs_out = runs;
+  return cur;
+}
+
+std::string encode_options(const ChaosOptions& options) {
+  std::string out;
+  out += 't';
+  out += options.twin_reference ? '1' : '0';
+  out += 'w';
+  out += std::to_string(options.runtime_workers);
+  out += 's';
+  out += options.install_shortcuts ? '1' : '0';
+  out += 'b';
+  out += std::to_string(static_cast<unsigned>(options.sabotage));
+  return out;
+}
+
+std::optional<ChaosOptions> decode_options(std::string_view text) {
+  ChaosOptions opt;
+  std::size_t pos = 0;
+  const auto flag = [&](char key, bool& out) {
+    if (pos + 1 >= text.size() || text[pos] != key) return false;
+    const char c = text[pos + 1];
+    if (c != '0' && c != '1') return false;
+    out = c == '1';
+    pos += 2;
+    return true;
+  };
+  const auto number = [&](char key, unsigned& out) {
+    if (pos >= text.size() || text[pos] != key) return false;
+    ++pos;
+    const auto end = text.find_first_not_of("0123456789", pos);
+    const auto digits = text.substr(pos, end == std::string_view::npos
+                                             ? std::string_view::npos
+                                             : end - pos);
+    unsigned value = 0;
+    const auto [p, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), value);
+    if (ec != std::errc() || p == digits.data()) return false;
+    pos += static_cast<std::size_t>(p - digits.data());
+    out = value;
+    return true;
+  };
+  unsigned sabotage = 0;
+  if (!flag('t', opt.twin_reference) || !number('w', opt.runtime_workers) ||
+      !flag('s', opt.install_shortcuts) || !number('b', sabotage) ||
+      pos != text.size() ||
+      sabotage > static_cast<unsigned>(ChaosOptions::Sabotage::kDropTunnel))
+    return std::nullopt;
+  opt.sabotage = static_cast<ChaosOptions::Sabotage>(sabotage);
+  return opt;
+}
+
+std::string replay_command(const Scenario& scenario,
+                           const ChaosOptions& options) {
+  return "SOFTCELL_CHAOS_REPLAY='" + scenario.encode() +
+         "' SOFTCELL_CHAOS_OPTS='" + encode_options(options) +
+         "' ./tests/test_chaos --gtest_filter='Replay.*'";
+}
+
+}  // namespace softcell::chaos

@@ -1,0 +1,97 @@
+// ChaosHarness: drives a SoftCellNetwork (plus an optional fastpath=false
+// twin) through a Scenario and checks five global invariants after every
+// step (cheap ones inline, the full sweep at each quiesce point):
+//
+//   1. No permanently blackholed flow -- every admitted flow delivers, both
+//      directions, through exactly the middlebox sequence the controller
+//      selected for its clause at admission (expected_middleboxes()).
+//   2. Mirror replica tables stay behaviourally identical to the engine's
+//      switch tables after sync(), even with wire faults armed.
+//   3. LocIP uniqueness and correct Fig.-4 embedding for every attached UE.
+//   4. Stateful-firewall / conntrack consistency across handoffs: old flows
+//      keep the middlebox sequence they were admitted with (the sequence
+//      recorded at admission is never updated, so the sweep re-checks it).
+//   5. Fastpath-vs-reference divergence is zero: every per-packet
+//      observable and the engine aggregates (total rules, tags) match the
+//      reference-scan twin exactly.
+//
+// Every run produces an order-sensitive FNV-1a digest over the per-step
+// observables, so `run(s).digest == run(s).digest` is the determinism
+// oracle the corpus test uses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "chaos/scenario.hpp"
+#include "ofp/switch_agent.hpp"
+
+namespace softcell::chaos {
+
+struct ChaosOptions {
+  // Drive a second network with EngineOptions::fastpath=false through the
+  // identical steps and diff every observable (invariant 5).
+  bool twin_reference = true;
+  // Route the main network's control plane through the concurrent runtime.
+  unsigned runtime_workers = 0;
+  // Mobility shortcuts on/off (off forces downlink through the BS-BS
+  // tunnel, the path the kDropTunnel sabotage severs).
+  bool install_shortcuts = true;
+
+  // Deliberate bug injection, used to prove the harness catches and
+  // shrinks real violations (see tests/test_chaos.cpp).
+  enum class Sabotage : std::uint8_t {
+    kNone = 0,
+    // Complete handoffs without waiting for pre-handoff flows to end:
+    // their downlink blackholes once the tunnel is torn down.
+    kEarlyComplete,
+    // "Forget" the tunnel install: remove the BS-BS tunnels right after
+    // the handoff, as if the flow-mod had been skipped.
+    kDropTunnel,
+  };
+  Sabotage sabotage = Sabotage::kNone;
+};
+
+struct Violation {
+  int invariant = 0;  // 1..5 as above; 0 = unexpected exception
+  std::size_t step = 0;       // index into Scenario::steps
+  std::string detail;
+};
+
+struct RunReport {
+  bool ok = true;
+  std::optional<Violation> violation;
+  std::uint64_t digest = 0;  // order-sensitive event digest (FNV-1a)
+
+  std::size_t steps_executed = 0;
+  std::size_t flows_opened = 0;
+  std::size_t handoffs = 0;
+  std::size_t quiesces = 0;
+  ofp::FaultStats faults;  // cumulative fault-layer activity (main net)
+};
+
+// Runs one scenario to completion (or to the first violation).
+RunReport run_scenario(const Scenario& scenario, const ChaosOptions& options = {});
+
+// Greedy step-removal shrinking: repeatedly re-runs the scenario with one
+// step deleted, keeping any candidate that still violates an invariant,
+// until no single removal reproduces.  `runs_out`, when non-null, receives
+// the number of candidate executions.
+Scenario shrink(const Scenario& failing, const ChaosOptions& options,
+                std::size_t* runs_out = nullptr);
+
+// Compact text form of ChaosOptions ("t<0|1>w<n>s<0|1>b<sabotage>"), carried
+// through SOFTCELL_CHAOS_OPTS so a replayed repro runs under the exact
+// configuration that produced the failure.
+std::string encode_options(const ChaosOptions& options);
+std::optional<ChaosOptions> decode_options(std::string_view text);
+
+// One-line reproduction instructions for a failing scenario, built around
+// the SOFTCELL_CHAOS_REPLAY / SOFTCELL_CHAOS_OPTS env hook in
+// tests/test_chaos.cpp.
+std::string replay_command(const Scenario& scenario,
+                           const ChaosOptions& options = {});
+
+}  // namespace softcell::chaos

@@ -1,0 +1,135 @@
+#include "chaos/scenario.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace softcell::chaos {
+
+const char* kind_name(Step::Kind kind) {
+  switch (kind) {
+    case Step::Kind::kAttach: return "attach";
+    case Step::Kind::kOpenFlow: return "open";
+    case Step::Kind::kSendUplink: return "up";
+    case Step::Kind::kSendDownlink: return "down";
+    case Step::Kind::kHandoff: return "handoff";
+    case Step::Kind::kCompleteHandoff: return "complete";
+    case Step::Kind::kExposeService: return "expose";
+    case Step::Kind::kSendInbound: return "inbound";
+    case Step::Kind::kFailover: return "failover";
+    case Step::Kind::kAgentRestart: return "restart";
+    case Step::Kind::kFaultWindow: return "faults";
+    case Step::Kind::kQuiesce: return "quiesce";
+    case Step::Kind::kMaxKind: break;
+  }
+  return "?";
+}
+
+Scenario Scenario::generate(std::uint64_t seed, std::size_t length) {
+  Scenario s;
+  s.seed = seed;
+  s.steps.reserve(length + length / 8 + 2);
+  Rng rng = Rng::stream(seed, 0xC4A05u);
+
+  // Weighted kinds for the random walk (warm-up attaches come first).
+  struct Weighted {
+    Step::Kind kind;
+    std::uint32_t weight;
+  };
+  static constexpr Weighted kTable[] = {
+      {Step::Kind::kAttach, 10},       {Step::Kind::kOpenFlow, 20},
+      {Step::Kind::kSendUplink, 12},   {Step::Kind::kSendDownlink, 12},
+      {Step::Kind::kHandoff, 10},      {Step::Kind::kCompleteHandoff, 8},
+      {Step::Kind::kExposeService, 4}, {Step::Kind::kSendInbound, 6},
+      {Step::Kind::kFailover, 2},      {Step::Kind::kAgentRestart, 3},
+      {Step::Kind::kFaultWindow, 6},
+  };
+  std::uint32_t total = 0;
+  for (const auto& w : kTable) total += w.weight;
+
+  // Warm-up: a few subscribers so early traffic steps have someone to act on.
+  const std::size_t warmup = 3 + rng.next_below(3);
+  for (std::size_t i = 0; i < warmup && i < length; ++i)
+    s.steps.push_back({Step::Kind::kAttach,
+                       static_cast<std::uint32_t>(rng.next_u64() & 0xFFFF),
+                       static_cast<std::uint32_t>(rng.next_u64() & 0xFFFF)});
+
+  std::size_t until_quiesce = 8 + rng.next_below(5);
+  std::uint32_t failovers = 0;
+  while (s.steps.size() < length) {
+    if (until_quiesce == 0) {
+      s.steps.push_back({Step::Kind::kQuiesce, 0, 0});
+      until_quiesce = 8 + rng.next_below(5);
+      continue;
+    }
+    std::uint64_t roll = rng.next_below(total);
+    Step::Kind kind = kTable[0].kind;
+    for (const auto& w : kTable) {
+      if (roll < w.weight) {
+        kind = w.kind;
+        break;
+      }
+      roll -= w.weight;
+    }
+    if (kind == Step::Kind::kFailover) {
+      // ControlStore ships 3 replicas; the third failover would throw.
+      if (failovers >= 2) continue;
+      ++failovers;
+    }
+    s.steps.push_back({kind,
+                       static_cast<std::uint32_t>(rng.next_u64() & 0xFFFF),
+                       static_cast<std::uint32_t>(rng.next_u64() & 0xFFFF)});
+    --until_quiesce;
+  }
+  s.steps.push_back({Step::Kind::kQuiesce, 0, 0});
+  return s;
+}
+
+std::string Scenario::encode() const {
+  std::ostringstream out;
+  out << std::hex << seed << std::dec << ':';
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (i) out << ',';
+    out << static_cast<unsigned>(steps[i].kind) << '.' << steps[i].a << '.'
+        << steps[i].b;
+  }
+  return out.str();
+}
+
+namespace {
+bool parse_u64(std::string_view text, std::uint64_t& out, int base = 10) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out, base);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+}  // namespace
+
+std::optional<Scenario> Scenario::decode(const std::string& text) {
+  const auto colon = text.find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  Scenario s;
+  if (!parse_u64(std::string_view(text).substr(0, colon), s.seed, 16))
+    return std::nullopt;
+  std::string_view rest = std::string_view(text).substr(colon + 1);
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const auto tok = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const auto d1 = tok.find('.');
+    const auto d2 = tok.find('.', d1 + 1);
+    if (d1 == std::string_view::npos || d2 == std::string_view::npos)
+      return std::nullopt;
+    std::uint64_t kind = 0, a = 0, b = 0;
+    if (!parse_u64(tok.substr(0, d1), kind) ||
+        !parse_u64(tok.substr(d1 + 1, d2 - d1 - 1), a) ||
+        !parse_u64(tok.substr(d2 + 1), b) ||
+        kind >= static_cast<std::uint64_t>(Step::Kind::kMaxKind))
+      return std::nullopt;
+    s.steps.push_back({static_cast<Step::Kind>(kind),
+                       static_cast<std::uint32_t>(a),
+                       static_cast<std::uint32_t>(b)});
+  }
+  return s;
+}
+
+}  // namespace softcell::chaos

@@ -1,0 +1,68 @@
+// Chaos scenarios: seed-derived step sequences for the fault-injection
+// fuzzer (see harness.hpp).
+//
+// A Scenario is nothing but a seed and a flat list of (kind, a, b) steps.
+// Operands are *indices into harness state interpreted modulo its current
+// size* (UE ordinal % attached count, flow ordinal % live flows, ...), so
+// any subsequence of a valid scenario is itself valid -- the property the
+// greedy shrinker relies on: removing a step can never make a later step
+// malformed, only turn it into a no-op.
+//
+// generate() derives everything from one Rng seed; encode()/decode() give a
+// compact text form so a shrunk repro can be pasted into a replay command
+// without regenerating it from the seed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace softcell::chaos {
+
+struct Step {
+  enum class Kind : std::uint8_t {
+    kAttach = 0,       // a: profile flavour, b: base station
+    kOpenFlow,         // a: UE ordinal, b: (dst-port flavour | remote salt)
+    kSendUplink,       // a: flow ordinal
+    kSendDownlink,     // a: flow ordinal
+    kHandoff,          // a: UE ordinal, b: target base station
+    kCompleteHandoff,  // a: pending-ticket ordinal
+    kExposeService,    // a: UE ordinal, b: service-port flavour
+    kSendInbound,      // a: service ordinal, b: remote endpoint salt
+    kFailover,         // no operands (budgeted: at most replicas-1 per run)
+    kAgentRestart,     // a: base station
+    kFaultWindow,      // a: fault-profile ordinal (0 disarms)
+    kQuiesce,          // flush the mirror + full invariant sweep
+    kMaxKind,          // sentinel, keep last
+  };
+
+  Kind kind = Kind::kQuiesce;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+
+  friend bool operator==(const Step&, const Step&) = default;
+};
+
+[[nodiscard]] const char* kind_name(Step::Kind kind);
+
+struct Scenario {
+  std::uint64_t seed = 0;
+  std::vector<Step> steps;
+
+  // Derives a scenario deterministically from `seed`: a warm-up of attaches
+  // followed by a weighted random walk over the step kinds, with a quiesce
+  // sprinkled in every ~8-12 steps and one final quiesce.
+  static Scenario generate(std::uint64_t seed, std::size_t length = 36);
+
+  // Compact single-line text form: "<seed-hex>:<kind>.<a>.<b>,..." -- the
+  // round-trip `decode(s.encode()) == s` is exact.
+  [[nodiscard]] std::string encode() const;
+  static std::optional<Scenario> decode(const std::string& text);
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
+};
+
+}  // namespace softcell::chaos

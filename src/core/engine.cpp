@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -24,6 +25,12 @@ std::uint64_t plan_key(NodeId sw, NodeId cls_in, std::uint32_t seg) {
 
 AggregationEngine::AggregationEngine(const Graph& graph, EngineOptions options)
     : graph_(&graph), options_(options), tables_(graph.node_count()) {
+  // Process-wide escape hatch: SOFTCELL_FASTPATH=0 forces every engine onto
+  // the reference scan, so the whole suite can be rerun against the legacy
+  // path (ctest -L nofastpath) without a rebuild.
+  if (const char* env = std::getenv("SOFTCELL_FASTPATH");
+      env && env[0] == '0' && env[1] == '\0')
+    options_.fastpath = false;
   // Tag 0 is reserved for the shared delivery tier and never recycled.
   next_tag_ = kDeliveryTag.value() + 1;
   tag_refs_[kDeliveryTag] = 1;

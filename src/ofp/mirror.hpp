@@ -8,10 +8,17 @@
 // deployment shape the paper assumes (controller -> OpenFlow -> switches),
 // and the two-phase barrier discipline is what the consistent-update tests
 // drive.
+//
+// set_faults() arms every channel's lossy-wire model (see ControlChannel);
+// sync() still converges because the per-channel reliable transport
+// retransmits until delivery, and the only tolerated rejections are the
+// counted corrupt-copy discards.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "ofp/switch_agent.hpp"
@@ -26,28 +33,66 @@ class Mirror {
   }
 
   // Flushes every channel behind a barrier; returns the number of flow-mods
-  // applied across all switches.  Throws if any agent rejected a frame.
+  // applied across all switches.  Throws if any agent rejected a frame for
+  // any reason other than an injected corrupt copy.
   std::uint64_t sync();
+
+  // Arms (or, with a default-constructed spec, disarms) wire faults on every
+  // existing channel and every channel created later.
+  void set_faults(const FaultSpec& spec, std::uint64_t seed) {
+    faults_ = spec;
+    fault_seed_ = seed;
+    for (auto& [sw, chan] : channels_) chan.set_faults(spec, seed);
+  }
 
   [[nodiscard]] const SwitchAgent* agent(NodeId sw) const {
     const auto it = channels_.find(sw);
     return it == channels_.end() ? nullptr : &it->second.agent();
   }
+  [[nodiscard]] const ControlChannel* channel(NodeId sw) const {
+    const auto it = channels_.find(sw);
+    return it == channels_.end() ? nullptr : &it->second;
+  }
   [[nodiscard]] std::size_t switches() const { return channels_.size(); }
+  [[nodiscard]] std::vector<NodeId> switch_ids() const {
+    std::vector<NodeId> ids;
+    ids.reserve(channels_.size());
+    for (const auto& [sw, chan] : channels_) ids.push_back(sw);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
   [[nodiscard]] std::size_t pending() const {
     std::size_t n = 0;
     for (const auto& [sw, chan] : channels_) n += chan.pending();
     return n;
   }
+  // Cumulative fault-layer activity across every channel.
+  [[nodiscard]] FaultStats fault_stats() const {
+    FaultStats total;
+    for (const auto& [sw, chan] : channels_) {
+      const auto& s = chan.fault_stats();
+      total.drops += s.drops;
+      total.delays += s.delays;
+      total.reorders += s.reorders;
+      total.duplicates += s.duplicates;
+      total.corrupts += s.corrupts;
+      total.retransmits += s.retransmits;
+      total.rounds += s.rounds;
+    }
+    return total;
+  }
 
  private:
   void enqueue(const RuleOp& op) {
     auto [it, fresh] = channels_.try_emplace(op.sw, op.sw);
+    if (fresh && faults_.any()) it->second.set_faults(faults_, fault_seed_);
     it->second.send(encode_flow_mod(FlowMod{next_xid_++, op}));
   }
 
   std::unordered_map<NodeId, ControlChannel> channels_;
   std::uint32_t next_xid_ = 1;
+  FaultSpec faults_;
+  std::uint64_t fault_seed_ = 0;
 };
 
 }  // namespace softcell::ofp

@@ -1,5 +1,7 @@
 #include "ofp/switch_agent.hpp"
 
+#include <utility>
+
 namespace softcell::ofp {
 
 bool SwitchAgent::apply(const RuleOp& op) {
@@ -81,16 +83,104 @@ std::vector<std::vector<std::uint8_t>> SwitchAgent::handle(
   return replies;
 }
 
+void ControlChannel::set_faults(const FaultSpec& spec, std::uint64_t seed) {
+  faults_ = spec;
+  rng_ = Rng::stream(seed, agent_.node().value());
+}
+
+void ControlChannel::deliver(std::span<const std::uint8_t> frame,
+                             std::vector<std::uint32_t>& barriers) {
+  for (const auto& reply : agent_.handle(frame)) {
+    const auto h = peek_header(reply);
+    if (h && h->type == static_cast<std::uint8_t>(MsgType::kBarrierReply))
+      barriers.push_back(h->xid);
+  }
+}
+
 std::vector<std::uint32_t> ControlChannel::flush() {
   std::vector<std::uint32_t> barriers;
+  std::vector<Inflight> inflight;
+  inflight.reserve(queue_.size());
   while (!queue_.empty()) {
-    const auto frame = std::move(queue_.front());
+    inflight.push_back({next_seq_++, std::move(queue_.front())});
     queue_.pop_front();
-    for (const auto& reply : agent_.handle(frame)) {
-      const auto h = peek_header(reply);
-      if (h && h->type == static_cast<std::uint8_t>(MsgType::kBarrierReply))
-        barriers.push_back(h->xid);
+  }
+
+  // A "wire" frame headed for the receiver this round.  `junk` marks a
+  // corrupted copy: the receiver hands it to the agent (which rejects and
+  // counts it) without consuming the sequence number.
+  struct WireFrame {
+    std::uint64_t seq;
+    std::vector<std::uint8_t> bytes;
+    bool junk;
+  };
+
+  int round = 0;
+  while (!inflight.empty()) {
+    const bool faulty = faults_.any() && round < kMaxFaultRounds;
+    if (faulty) ++fault_stats_.rounds;
+
+    std::vector<WireFrame> wire;
+    std::vector<Inflight> held;  // not received this round; resend next round
+    for (auto& f : inflight) {
+      if (faulty && rng_.next_bernoulli(faults_.drop)) {
+        ++fault_stats_.drops;
+        held.push_back(std::move(f));
+        continue;
+      }
+      if (faulty && rng_.next_bernoulli(faults_.delay)) {
+        ++fault_stats_.delays;
+        held.push_back(std::move(f));
+        continue;
+      }
+      if (faulty && rng_.next_bernoulli(faults_.corrupt)) {
+        ++fault_stats_.corrupts;
+        auto junk = f.bytes;
+        junk[0] ^= 0xFFu;  // mangle the version byte: guaranteed discard
+        wire.push_back({f.seq, std::move(junk), true});
+        held.push_back(std::move(f));
+        continue;
+      }
+      const bool dup = faulty && rng_.next_bernoulli(faults_.duplicate);
+      if (dup) {
+        ++fault_stats_.duplicates;
+        wire.push_back({f.seq, f.bytes, false});
+      }
+      wire.push_back({f.seq, std::move(f.bytes), false});
     }
+
+    if (faulty && faults_.reorder > 0) {
+      for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+        if (rng_.next_bernoulli(faults_.reorder)) {
+          std::swap(wire[i], wire[i + 1]);
+          ++fault_stats_.reorders;
+        }
+      }
+    }
+
+    for (auto& w : wire) {
+      if (w.junk) {
+        deliver(w.bytes, barriers);
+        continue;
+      }
+      if (w.seq < recv_next_ || reseq_.count(w.seq)) continue;  // duplicate
+      if (w.seq > recv_next_) {
+        reseq_.emplace(w.seq, std::move(w.bytes));  // early: hold for order
+        continue;
+      }
+      deliver(w.bytes, barriers);
+      ++recv_next_;
+      for (auto it = reseq_.begin();
+           it != reseq_.end() && it->first == recv_next_;
+           it = reseq_.erase(it)) {
+        deliver(it->second, barriers);
+        ++recv_next_;
+      }
+    }
+
+    fault_stats_.retransmits += held.size();
+    inflight = std::move(held);
+    ++round;
   }
   return barriers;
 }

@@ -10,12 +10,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "dataplane/switch_table.hpp"
 #include "ofp/flowmod.hpp"
+#include "util/rng.hpp"
 
 namespace softcell::ofp {
 
@@ -46,9 +48,53 @@ class SwitchAgent {
   std::string last_error_;
 };
 
+// Per-frame fault probabilities for the control channel's wire.  Each queued
+// frame rolls independently per delivery round; a frame can therefore be
+// dropped several times before it finally gets through.
+struct FaultSpec {
+  double drop = 0.0;       // frame lost on the wire, retransmitted next round
+  double delay = 0.0;      // frame held back one round (later frames overtake)
+  double reorder = 0.0;    // adjacent wire frames swapped within a round
+  double duplicate = 0.0;  // frame delivered twice in the same round
+  double corrupt = 0.0;    // mangled copy delivered (receiver rejects + counts),
+                           // original retransmitted next round
+
+  [[nodiscard]] bool any() const {
+    return drop > 0 || delay > 0 || reorder > 0 || duplicate > 0 ||
+           corrupt > 0;
+  }
+};
+
+// What the fault layer actually did, cumulatively, on one channel.
+struct FaultStats {
+  std::uint64_t drops = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t corrupts = 0;     // junk copies handed to the agent
+  std::uint64_t retransmits = 0;  // frames re-sent in a later round
+  std::uint64_t rounds = 0;       // delivery rounds that rolled faults
+
+  [[nodiscard]] std::uint64_t injected() const {
+    return drops + delays + reorders + duplicates + corrupts;
+  }
+};
+
 // In-process control channel: one queue of frames per switch, delivered in
 // order with barrier fences -- the transport the simulator uses between the
 // controller and its switches.
+//
+// With a FaultSpec installed the channel models a reliable transport over a
+// lossy wire: every frame carries a sequence number, the receiver applies
+// frames strictly in sequence (resequencing buffer + duplicate suppression),
+// and the sender retransmits anything not yet received.  flush() therefore
+// still delivers every frame exactly once and in order -- faults perturb
+// *when* and *how often* bytes cross the wire, never the final switch state.
+// Corrupted copies are the one observable exception: the agent rejects and
+// counts them (see FaultStats::corrupts), mimicking a checksum discard.
+// After kMaxFaultRounds rounds the wire goes clean so flush() always
+// terminates.  All randomness comes from the Rng handed to set_faults(), so
+// a fixed seed replays the exact same wire schedule.
 class ControlChannel {
  public:
   explicit ControlChannel(NodeId node) : agent_(node) {}
@@ -61,13 +107,38 @@ class ControlChannel {
   // were acknowledged (in order).
   std::vector<std::uint32_t> flush();
 
+  // Installs (or clears, with a default-constructed spec) the wire faults.
+  // `seed` feeds a per-channel Rng stream keyed by the switch id, so fleets
+  // of channels sharing one seed still fault independently.
+  void set_faults(const FaultSpec& spec, std::uint64_t seed);
+
+  [[nodiscard]] const FaultSpec& faults() const { return faults_; }
+  [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
+
   [[nodiscard]] SwitchAgent& agent() { return agent_; }
   [[nodiscard]] const SwitchAgent& agent() const { return agent_; }
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
+  static constexpr int kMaxFaultRounds = 32;
+
  private:
+  struct Inflight {
+    std::uint64_t seq;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  void deliver(std::span<const std::uint8_t> frame,
+               std::vector<std::uint32_t>& barriers);
+
   SwitchAgent agent_;
   std::deque<std::vector<std::uint8_t>> queue_;
+
+  FaultSpec faults_;
+  FaultStats fault_stats_;
+  Rng rng_{0};
+  std::uint64_t next_seq_ = 0;  // sender-side sequence numbers
+  std::uint64_t recv_next_ = 0;  // next sequence the receiver will apply
+  std::map<std::uint64_t, std::vector<std::uint8_t>> reseq_;
 };
 
 }  // namespace softcell::ofp

@@ -15,6 +15,8 @@ ControlPlaneRuntime::ControlPlaneRuntime(ShardedController& controller,
   pool_options.workers = options_.workers;
   pool_options.ring_capacity = options_.queue_capacity;
   pool_options.shared_capacity = options_.queue_capacity;
+  if (options_.overflow_capacity != 0)
+    pool_options.overflow_capacity = options_.overflow_capacity;
   pool_options.start_suspended = options_.start_suspended;
   pool_ = std::make_unique<ThreadPool<Job>>(
       pool_options,

@@ -73,6 +73,11 @@ struct Request {
 struct RuntimeOptions {
   unsigned workers = 2;
   std::size_t queue_capacity = 4096;
+  // Capacity of each worker's bounded MPMC overflow queue (taken when a
+  // cross-thread submit finds the SPSC ring owned by another producer).
+  // 0: keep the thread pool's default.  Small values let tests force the
+  // overflow path deterministically.
+  std::size_t overflow_capacity = 0;
   bool coalesce_path_misses = true;
   // Test hook, forwarded to the thread pool.
   bool start_suspended = false;

@@ -51,6 +51,8 @@ SoftCellNetwork::SoftCellNetwork(SoftCellConfig config, ServicePolicy policy)
   if (config.runtime_workers > 0)
     runtime_ = std::make_unique<ControlPlaneRuntime>(
         sharded_, RuntimeOptions{.workers = config.runtime_workers});
+  if (config.attach_mirror)
+    mirror_ = std::make_unique<ofp::Mirror>(controller_.engine());
   const auto n = topo_.num_base_stations();
   access_.reserve(n);
   agents_.reserve(n);
@@ -180,6 +182,7 @@ SoftCellNetwork::Delivery SoftCellNetwork::send_uplink(const FlowHandle& flow,
     act = sw.flows().lookup(pkt.key);
     flows_.at(flow.key).qos =
         controller_.policy().clause(r.clause).action.qos;
+    flows_.at(flow.key).clause = r.clause;
   }
   const QosClass qos = flows_.at(flow.key).qos;
   d.hops.push_back(sw.node());

@@ -21,6 +21,7 @@
 #include "ctrl/controller.hpp"
 #include "mbox/middlebox.hpp"
 #include "mobility/handoff.hpp"
+#include "ofp/mirror.hpp"
 #include "packet/nat.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/sharded_controller.hpp"
@@ -41,6 +42,11 @@ struct SoftCellConfig {
   // the scaling bench measures (coalescing, metrics, shard affinity).
   // 0 (default): inline calls, byte-for-byte the pre-runtime behaviour.
   unsigned runtime_workers = 0;
+  // Subscribe an ofp::Mirror to the controller's engine: every rule
+  // mutation is serialized as a flow-mod and replayed into per-switch
+  // agents on mirror()->sync().  The chaos harness uses this (with wire
+  // faults armed) to check switch-table equivalence under churn.
+  bool attach_mirror = false;
 };
 
 class SoftCellNetwork {
@@ -129,6 +135,8 @@ class SoftCellNetwork {
   [[nodiscard]] const Controller& controller() const { return controller_; }
   // The runtime pipeline, or nullptr when runtime_workers == 0.
   [[nodiscard]] ControlPlaneRuntime* runtime() { return runtime_.get(); }
+  // The flow-mod mirror, or nullptr when attach_mirror == false.
+  [[nodiscard]] ofp::Mirror* mirror() { return mirror_.get(); }
   [[nodiscard]] LocalAgent& agent(std::uint32_t bs) { return *agents_.at(bs); }
   [[nodiscard]] AccessSwitch& access(std::uint32_t bs) {
     return *access_.at(bs);
@@ -143,6 +151,12 @@ class SoftCellNetwork {
       std::uint32_t bs, ClauseId clause) const {
     return controller_.select_instances(bs, clause);
   }
+  // The policy clause a flow was admitted under (set on its first delivered
+  // uplink packet); nullopt before admission or for unknown flows.
+  [[nodiscard]] std::optional<ClauseId> flow_clause(const FlowKey& key) const {
+    const auto it = flows_.find(key);
+    return it == flows_.end() ? std::nullopt : it->second.clause;
+  }
   [[nodiscard]] std::size_t gateway_flow_state() const {
     return nat_ ? nat_->active_flows() : 0;
   }
@@ -152,6 +166,7 @@ class SoftCellNetwork {
     UeId ue{};
     QosClass qos = QosClass::kBestEffort;
     std::optional<FlowKey> server_view;  // reversed header the server replies with
+    std::optional<ClauseId> clause;      // set when the microflow is installed
   };
 
   Delivery forward(Packet pkt, NodeId cur, NodeId in, Direction dir,
@@ -174,6 +189,7 @@ class SoftCellNetwork {
   ShardedController sharded_;
   Controller& controller_;
   std::unique_ptr<ControlPlaneRuntime> runtime_;
+  std::unique_ptr<ofp::Mirror> mirror_;
   MobilityManager mobility_;
   std::vector<std::unique_ptr<AccessSwitch>> access_;   // by bs index
   std::vector<std::unique_ptr<LocalAgent>> agents_;     // by bs index

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/path.hpp"
+#include "ofp/mirror.hpp"
 #include "topo/cellular.hpp"
 #include "topo/routing.hpp"
 #include "util/rng.hpp"
@@ -213,6 +214,248 @@ TEST(Equivalence, ReplayedFlowModsReconstructIdenticalTables) {
     ++compared;
   }
   EXPECT_GT(compared, 10u);
+}
+
+RuleOp default_op(NodeId sw, std::uint16_t tag,
+                  Direction dir = Direction::kUplink) {
+  RuleOp op;
+  op.kind = RuleOp::Kind::kAddDefault;
+  op.sw = sw;
+  op.dir = dir;
+  op.in = InPortSpec::any();
+  op.tag = PolicyTag(tag);
+  op.action = RuleAction{NodeId(3), std::nullopt, false};
+  return op;
+}
+
+// --- Agent robustness: malformed frames must be dropped and counted, never
+// crash, and every frame must be accounted for exactly once. ---
+
+TEST(Robustness, TruncatedFlowModsAreDroppedAndCounted) {
+  SwitchAgent agent(NodeId(5));
+  const auto frame = encode_flow_mod(FlowMod{1, default_op(NodeId(5), 7)});
+  std::uint64_t expect_rejected = 0;
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const auto replies = agent.handle(std::span(frame.data(), len));
+    EXPECT_TRUE(replies.empty()) << len;
+    EXPECT_EQ(agent.applied(), 0u) << len;
+    EXPECT_EQ(agent.rejected(), ++expect_rejected) << len;
+  }
+  // The intact frame still applies: the rejections left no residue.
+  (void)agent.handle(frame);
+  EXPECT_EQ(agent.applied(), 1u);
+  EXPECT_EQ(agent.table().rule_count(), 1u);
+}
+
+TEST(Robustness, PayloadBitFlipsAreAccountedExactlyOnce) {
+  // Flips confined to the flow-mod payload (header intact) must resolve to
+  // exactly one of applied/rejected per frame: either the op still decodes
+  // and applies (possibly with altered fields), or it is dropped and counted.
+  SwitchAgent agent(NodeId(5));
+  const auto base = encode_flow_mod(FlowMod{1, default_op(NodeId(5), 9)});
+  Rng rng(41);
+  std::uint64_t decodes_broken = 0;
+  for (int i = 0; i < 4000; ++i) {
+    auto frame = base;
+    const auto flips = 1 + rng.next_below(4);
+    for (std::uint64_t k = 0; k < flips; ++k) {
+      const auto off = 8 + rng.next_below(frame.size() - 8);
+      frame[off] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    }
+    const auto before = agent.applied() + agent.rejected();
+    const auto replies = agent.handle(frame);
+    EXPECT_TRUE(replies.empty()) << i;
+    ASSERT_EQ(agent.applied() + agent.rejected(), before + 1) << i;
+    if (!decode_flow_mod(frame)) ++decodes_broken;
+  }
+  // The fuzz actually produced malformed frames, not just field mutations.
+  EXPECT_GT(decodes_broken, 100u);
+  EXPECT_GT(agent.rejected(), 0u);
+}
+
+TEST(Robustness, ArbitraryBitFlipsNeverCrashAndAlwaysAccount) {
+  // Flips anywhere, header included: a frame either advances a counter or
+  // elicits at least one reply (flipping the type byte can legitimately turn
+  // a flow-mod into e.g. an echo request).
+  SwitchAgent agent(NodeId(5));
+  const auto base = encode_flow_mod(FlowMod{1, default_op(NodeId(5), 3)});
+  Rng rng(42);
+  for (int i = 0; i < 4000; ++i) {
+    auto frame = base;
+    const auto flips = 1 + rng.next_below(6);
+    for (std::uint64_t k = 0; k < flips; ++k)
+      frame[rng.next_below(frame.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.next_below(8));
+    const auto before = agent.applied() + agent.rejected();
+    const auto replies = agent.handle(frame);
+    EXPECT_TRUE(agent.applied() + agent.rejected() == before + 1 ||
+                !replies.empty())
+        << i;
+  }
+  EXPECT_GT(agent.rejected(), 0u);
+}
+
+TEST(Robustness, RandomGarbageFramesNeverCrash) {
+  SwitchAgent agent(NodeId(5));
+  Rng rng(43);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::uint8_t> frame(rng.next_below(64));
+    for (auto& b : frame)
+      b = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto before = agent.applied() + agent.rejected();
+    const auto replies = agent.handle(frame);
+    EXPECT_TRUE(agent.applied() + agent.rejected() == before + 1 ||
+                !replies.empty())
+        << i;
+  }
+  EXPECT_EQ(agent.applied(), 0u);  // garbage never installs rules
+  EXPECT_GT(agent.rejected(), 1900u);
+}
+
+// --- Fault layer: the reliable transport must converge to the exact same
+// agent state over a lossy wire as over a clean one. ---
+
+struct FaultProfile {
+  const char* name;
+  FaultSpec spec;
+};
+
+const FaultProfile kFaultProfiles[] = {
+    {"drop", {.drop = 0.30}},
+    {"delay+reorder", {.delay = 0.25, .reorder = 0.25}},
+    {"duplicate", {.duplicate = 0.35}},
+    {"corrupt", {.corrupt = 0.20}},
+    {"mixed",
+     {.drop = 0.15,
+      .delay = 0.10,
+      .reorder = 0.20,
+      .duplicate = 0.15,
+      .corrupt = 0.10}},
+};
+
+TEST(FaultLayer, LossyWireConvergesToCleanChannelState) {
+  for (const auto& profile : kFaultProfiles) {
+    SCOPED_TRACE(profile.name);
+    ControlChannel faulty(NodeId(6));
+    ControlChannel clean(NodeId(6));
+    faulty.set_faults(profile.spec, 0xFEEDu);
+
+    std::uint32_t xid = 1;
+    for (std::uint16_t tag = 1; tag <= 60; ++tag) {
+      const auto dir =
+          tag % 2 ? Direction::kUplink : Direction::kDownlink;
+      const auto frame =
+          encode_flow_mod(FlowMod{xid++, default_op(NodeId(6), tag, dir)});
+      faulty.send(frame);
+      clean.send(frame);
+    }
+    faulty.send(encode_control(MsgType::kBarrierRequest, 0x7777));
+    clean.send(encode_control(MsgType::kBarrierRequest, 0x7777));
+
+    const auto fb = faulty.flush();
+    const auto cb = clean.flush();
+    EXPECT_EQ(fb, cb);  // barrier comes back exactly once, after the mods
+    EXPECT_EQ(faulty.pending(), 0u);
+
+    // Exactly-once application: duplicates suppressed (a re-applied
+    // add_default would throw and skew these counters), drops retransmitted.
+    EXPECT_EQ(faulty.agent().applied(), clean.agent().applied());
+    EXPECT_EQ(faulty.agent().applied(), 60u);
+    EXPECT_EQ(faulty.agent().rejected(), faulty.fault_stats().corrupts);
+    EXPECT_EQ(faulty.agent().table().rule_count(),
+              clean.agent().table().rule_count());
+
+    // The profile's faults actually fired.
+    const auto& s = faulty.fault_stats();
+    EXPECT_GT(s.injected(), 0u);
+    if (profile.spec.drop > 0) {
+      EXPECT_GT(s.drops, 0u);
+    }
+    if (profile.spec.delay > 0) {
+      EXPECT_GT(s.delays, 0u);
+    }
+    if (profile.spec.reorder > 0) {
+      EXPECT_GT(s.reorders, 0u);
+    }
+    if (profile.spec.duplicate > 0) {
+      EXPECT_GT(s.duplicates, 0u);
+    }
+    if (profile.spec.corrupt > 0) {
+      EXPECT_GT(s.corrupts, 0u);
+    }
+  }
+}
+
+TEST(FaultLayer, CleanChannelHasZeroFaultFootprint) {
+  ControlChannel chan(NodeId(6));
+  for (std::uint16_t tag = 1; tag <= 10; ++tag)
+    chan.send(encode_flow_mod(FlowMod{tag, default_op(NodeId(6), tag)}));
+  chan.flush();
+  EXPECT_EQ(chan.agent().applied(), 10u);
+  EXPECT_EQ(chan.fault_stats().injected(), 0u);
+  EXPECT_EQ(chan.fault_stats().retransmits, 0u);
+  EXPECT_EQ(chan.fault_stats().rounds, 0u);
+}
+
+TEST(FaultLayer, PathologicalDropRateStillTerminates) {
+  // At 95% drop the retransmit loop would take ages to converge by luck;
+  // the kMaxFaultRounds cap forces a clean final round so flush() always
+  // terminates with everything delivered.
+  ControlChannel chan(NodeId(6));
+  chan.set_faults({.drop = 0.95}, 0xD00Du);
+  for (std::uint16_t tag = 1; tag <= 20; ++tag)
+    chan.send(encode_flow_mod(FlowMod{tag, default_op(NodeId(6), tag)}));
+  chan.send(encode_control(MsgType::kBarrierRequest, 1));
+  const auto barriers = chan.flush();
+  EXPECT_EQ(barriers, (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(chan.agent().applied(), 20u);
+  EXPECT_EQ(chan.pending(), 0u);
+  const auto& s = chan.fault_stats();
+  EXPECT_GT(s.retransmits, 0u);
+  EXPECT_LE(s.rounds, static_cast<std::uint64_t>(ControlChannel::kMaxFaultRounds));
+}
+
+TEST(FaultLayer, MirrorSyncConvergesOverLossyWire) {
+  // The Equivalence workload again, but subscribed through a Mirror with a
+  // hostile wire: sync() must still reconstruct tables identical to the
+  // engine's, tolerating only the counted corrupt-copy rejections.
+  CellularTopology topo({.k = 4, .seed = 13});
+  RoutingOracle routes(topo.graph());
+  AggregationEngine eng(topo.graph(), {});
+  Mirror mirror(eng);
+  mirror.set_faults({.drop = 0.20,
+                     .delay = 0.10,
+                     .reorder = 0.20,
+                     .duplicate = 0.15,
+                     .corrupt = 0.10},
+                    0xACEu);
+
+  std::vector<PathId> handles;
+  std::vector<std::optional<PolicyTag>> hints(6);
+  for (std::uint32_t c = 0; c < 6; ++c) {
+    const auto& inst = topo.core_instance(c % 4, c / 4);
+    for (std::uint32_t bs = 0; bs < topo.num_base_stations(); bs += 3) {
+      const auto path = expand_policy_path(
+          topo.graph(), routes, Direction::kDownlink, topo.access_switch(bs),
+          std::vector<NodeId>{inst.node}, topo.gateway(), topo.internet());
+      const auto r = eng.install(path, bs, topo.bs_prefix(bs), hints[c]);
+      hints[c] = r.tag;
+      handles.push_back(r.path);
+    }
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 2) eng.remove(handles[i]);
+
+  EXPECT_NO_THROW(mirror.sync());
+  EXPECT_EQ(mirror.pending(), 0u);
+  EXPECT_GT(mirror.fault_stats().injected(), 0u);
+  for (const auto sw : mirror.switch_ids()) {
+    const SwitchTable& truth = eng.table(sw);
+    const SwitchTable& replica = mirror.agent(sw)->table();
+    ASSERT_EQ(replica.rule_count(), truth.rule_count()) << sw.value();
+    EXPECT_EQ(replica.type1_count(), truth.type1_count());
+    EXPECT_EQ(replica.type2_count(), truth.type2_count());
+    EXPECT_EQ(replica.type3_count(), truth.type3_count());
+  }
 }
 
 }  // namespace

@@ -123,6 +123,33 @@ TEST(ThreadPool, SuspendedPoolRunsAcceptedTasksOnStop) {
   EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
 }
 
+TEST(ThreadPool, OverflowQueuePreservesEveryTaskBehindTheRing) {
+  // A suspended single-worker pool with an exactly-sized ring: the main
+  // thread claims the SPSC ring (first submit_to wins the owner CAS) and
+  // fills all 7 usable slots; a second thread then takes the
+  // foreign-producer path and its 8 submissions land in the bounded MPMC
+  // overflow queue (capacity 8 -- a 9th would block).  On start the worker
+  // drains the ring fully first (that is the per-shard FIFO guarantee),
+  // then the overflow, losing nothing.
+  std::vector<int> seen;
+  ThreadPool<int> pool({.workers = 1,
+                        .ring_capacity = 7,  // usable capacity exactly 7
+                        .overflow_capacity = 8,
+                        .start_suspended = true},
+                       [&](unsigned, int& v) { seen.push_back(v); });
+  for (int i = 0; i < 7; ++i) EXPECT_TRUE(pool.submit_to(0, i));
+  std::thread other([&] {
+    for (int i = 100; i < 108; ++i) EXPECT_TRUE(pool.submit_to(0, i));
+  });
+  other.join();  // all 8 overflow pushes completed with no consumer running
+  pool.start();
+  pool.drain();
+  ASSERT_EQ(seen.size(), 15u);
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(seen[i], i);  // ring first, FIFO
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(seen[7 + i], 100 + i);  // then overflow
+  EXPECT_EQ(pool.processed(), 15u);
+}
+
 // --- versioned snapshot ------------------------------------------------------
 
 TEST(VersionedSnapshot, ReadersNeverSeeTornState) {
@@ -313,6 +340,74 @@ TEST(Runtime, DuplicateMissesCoalesceToOneInstall) {
   EXPECT_EQ(m.path_requests, 1u);  // one install executed...
   EXPECT_EQ(m.coalesced_misses, static_cast<std::uint64_t>(kBurst - 1));
   EXPECT_EQ(m.latency_count(), static_cast<std::uint64_t>(kBurst));
+}
+
+TEST(Runtime, OverflowSubmissionsLoseNothingAndStillCoalesce) {
+  // Saturate worker 0's SPSC ring from the pinned producer, then submit the
+  // rest from a second thread so every one of those takes the bounded MPMC
+  // overflow path (RuntimeOptions::overflow_capacity makes it exactly fit).
+  // Every completion must still fire and duplicate path misses posted from
+  // the foreign thread must coalesce without touching a queue at all.
+  CellularTopology topo({.k = 4, .seed = 1});
+  std::vector<ClauseId> clauses;
+  ShardedControllerOptions opts;
+  opts.shards = 1;  // one shard: every request targets worker 0's queues
+  ShardedController ctrl(topo, provider_policy(topo, 2, &clauses), opts);
+  populate(ctrl, 8, 2, topo.num_base_stations());
+
+  ControlPlaneRuntime runtime(ctrl, {.workers = 1,
+                                     .queue_capacity = 7,  // usable ring = 7
+                                     .overflow_capacity = 8,
+                                     .start_suspended = true});
+  std::mutex mu;
+  std::vector<PolicyTag> tags;
+  std::atomic<int> classifier_done{0};
+  const auto post_classifiers = [&](std::uint32_t i) {
+    Request r;
+    r.kind = RequestKind::kFetchClassifiers;
+    r.ue = UeId(1 + i % 8);
+    r.bs = i % topo.num_base_stations();
+    r.done = [&](Response&& resp) {
+      ASSERT_TRUE(resp.ok) << resp.error;
+      classifier_done.fetch_add(1);
+    };
+    ASSERT_TRUE(runtime.post(std::move(r)));
+  };
+  const auto post_path = [&] {
+    Request r;
+    r.kind = RequestKind::kPolicyPath;
+    r.ue = UeId(7);
+    r.bs = 3;
+    r.clause = clauses[0];
+    r.done = [&](Response&& resp) {
+      ASSERT_TRUE(resp.ok) << resp.error;
+      std::lock_guard lock(mu);
+      tags.push_back(resp.tag);
+    };
+    ASSERT_TRUE(runtime.post(std::move(r)));
+  };
+
+  // Pinned producer: one path miss + six classifier fetches fill the ring.
+  post_path();
+  for (std::uint32_t i = 0; i < 6; ++i) post_classifiers(i);
+  // Foreign thread: four duplicate misses coalesce onto the in-flight
+  // install (no enqueue), five classifier fetches land in the overflow.
+  std::thread other([&] {
+    for (int d = 0; d < 4; ++d) post_path();
+    for (std::uint32_t i = 6; i < 11; ++i) post_classifiers(i);
+  });
+  other.join();  // everything admitted while the pool is still suspended
+
+  runtime.start();
+  runtime.drain();
+
+  EXPECT_EQ(classifier_done.load(), 11);
+  ASSERT_EQ(tags.size(), 5u);  // primary + 4 coalesced, none lost
+  for (const auto t : tags) EXPECT_EQ(t, tags.front());
+  const auto m = runtime.metrics();
+  EXPECT_EQ(m.path_requests, 1u);
+  EXPECT_EQ(m.coalesced_misses, 4u);
+  EXPECT_EQ(m.latency_count(), 16u);  // 11 fetches + 5 path completions
 }
 
 TEST(Runtime, ErrorsPropagateAndAreCounted) {
