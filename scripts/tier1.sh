@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
 # Tier-1 verify (ROADMAP.md), multi-stage:
 #   1. configure + build + full test suite (the tier-1 gate proper)
-#   2. ctest -L chaos      -- the 200-seed fault-injection corpus
-#   3. ctest -L nofastpath -- engine + e2e with SOFTCELL_FASTPATH=0
-#   4. ASan + TSan rebuilds running the concurrency|chaos labels with a
-#      trimmed corpus (SOFTCELL_CHAOS_SEEDS)
+#   2. static   -- softcell-lint over src/, the linter's own fixture tests,
+#                  and (when clang/clang-tidy exist) the -Wthread-safety
+#                  build + curated clang-tidy pass; unavailable tools
+#                  report SKIP, never silent PASS
+#   3. ctest -L chaos      -- the 200-seed fault-injection corpus
+#   4. ctest -L nofastpath -- engine + e2e with SOFTCELL_FASTPATH=0
+#   5. ASan + TSan + UBSan rebuilds running the concurrency|chaos labels
+#      with a trimmed corpus (SOFTCELL_CHAOS_SEEDS)
 #
-# Every stage runs even if an earlier one fails; a per-stage PASS/FAIL
-# summary is printed at the end and the script exits non-zero if ANY stage
-# failed (no silently swallowed exit codes).
+# Every stage runs even if an earlier one fails; a per-stage
+# PASS/FAIL/SKIP summary is printed at the end and the script exits
+# non-zero if ANY stage failed (no silently swallowed exit codes).
 #
-#   --fast   skip the sanitizer rebuilds (stage 4)
+#   --fast   skip the sanitizer rebuilds and clang-tidy; the lint +
+#            thread-safety half of the static stage always runs
 #   --perf   also run the perf-labelled smoke benchmarks (SOFTCELL_SMOKE=1)
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -48,9 +53,47 @@ run_stage() {
   STAGE_NAMES+=("$name")
 }
 
+# skip_stage <name> <reason>: records an explicit SKIP (shown in the
+# summary, does not fail the run) for tools the environment lacks.
+skip_stage() {
+  echo
+  echo "=== ${1} === SKIP (${2})"
+  STAGE_NAMES+=("$1")
+  STAGE_RESULTS+=("SKIP")
+}
+
 run_stage "configure"        cmake -B build -S .
 run_stage "build"            cmake --build build -j
 run_stage "tests (full)"     bash -c 'cd build && ctest --output-on-failure -j'
+
+# --- static stage (softcell-verify) -----------------------------------------
+# Part B first: the pure-Python linter and its fixture corpus run anywhere.
+run_stage "static (lint src/)" python3 tools/softcell_lint.py \
+  --report build/lint-report.json
+run_stage "static (lint fixtures)" python3 tests/test_lint.py
+
+# Part A: the capability annotations only analyze under Clang.  GCC builds
+# them as no-ops, so without a clang++ the stage is SKIP -- visible in the
+# summary, never a silent pass.  Never skipped by --fast.
+if command -v clang++ >/dev/null 2>&1; then
+  run_stage "static (thread-safety build)" bash -c \
+    'cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ &&
+     cmake --build build-tsa -j'
+else
+  skip_stage "static (thread-safety build)" "no clang++ in PATH"
+fi
+
+# clang-tidy is the slowest static tool; --fast skips it (and only it).
+if [[ "$FAST" == 1 ]]; then
+  skip_stage "static (clang-tidy)" "--fast"
+elif command -v clang-tidy >/dev/null 2>&1; then
+  run_stage "static (clang-tidy)" bash -c \
+    'find src -name "*.cpp" -print0 |
+     xargs -0 clang-tidy -p build --warnings-as-errors="*" --quiet'
+else
+  skip_stage "static (clang-tidy)" "no clang-tidy in PATH"
+fi
+
 run_stage "tests (chaos)"    bash -c 'cd build && ctest --output-on-failure -L chaos'
 run_stage "tests (nofastpath)" bash -c 'cd build && ctest --output-on-failure -L nofastpath'
 
@@ -69,6 +112,10 @@ if [[ "$FAST" == 0 ]]; then
   run_stage "tsan build"     cmake --build build-tsan -j
   run_stage "tsan tests (concurrency|chaos)" \
     bash -c 'cd build-tsan && SOFTCELL_CHAOS_SEEDS=25 ctest --output-on-failure -L "concurrency|chaos"'
+  run_stage "ubsan configure" cmake -B build-ubsan -S . -DSOFTCELL_SANITIZE=undefined
+  run_stage "ubsan build"     cmake --build build-ubsan -j
+  run_stage "ubsan tests (concurrency|chaos)" \
+    bash -c 'cd build-ubsan && SOFTCELL_CHAOS_SEEDS=40 ctest --output-on-failure -L "concurrency|chaos"'
 fi
 
 echo

@@ -18,6 +18,13 @@
 // Every run produces an order-sensitive FNV-1a digest over the per-step
 // observables, so `run(s).digest == run(s).digest` is the determinism
 // oracle the corpus test uses.
+//
+// Thread safety: the harness itself is a single-threaded driver -- one
+// thread calls run_scenario()/shrink() and owns all harness state.  With
+// runtime_workers > 0 the network's control plane runs on worker threads,
+// but every cross-thread structure it touches is internally synchronized
+// (ControlPlaneRuntime, Mirror::mu_); the harness only inspects them at
+// quiesce points, after drain().
 #pragma once
 
 #include <cstdint>

@@ -275,6 +275,9 @@ std::int32_t AggregationEngine::commit_rule(NodeId sw, InPortSpec in,
 }
 
 // --- memoized resolve summaries ---------------------------------------------
+// sc-lint: hotpath(memo-score) -- the per-hop scoring tier of Algorithm 1's
+// Step 1; runs once per (candidate, hop) per install.  No locks, no sleeps,
+// no node-based containers inside (the memo is a flat open-addressed array).
 
 AggregationEngine::MemoValue& AggregationEngine::memo_fetch(
     NodeId sw, Direction dir, InPortSpec in, PolicyTag tag, Prefix origin,
@@ -352,6 +355,7 @@ std::uint32_t AggregationEngine::fast_hop_cost(const SwitchTable& tbl,
   if (!m.has_res) return 1;
   return memo_agg_cost(m, sw, dir, in, tag, origin, desired);
 }
+// sc-lint: endhotpath(memo-score)
 
 // --- install ---------------------------------------------------------------------
 
@@ -604,6 +608,9 @@ AggregationEngine::InstallResult AggregationEngine::install(
     // Full scoring warms the memo for this install's Step-2 commit.
     best_cost = cost_of(*hint, std::numeric_limits<std::uint32_t>::max());
   } else if (options_.reuse_tags && options_.fastpath) {
+    // sc-lint: hotpath(candidate-scan) -- Step 1's lazy candidate
+    // enumeration; bounded by the scan budget, must stay allocation-light
+    // and lock-free (the shard controller's writer lock is already held).
     // Lazy candTag search: candidates are produced in the reference order
     // (clause hint, then recently used tags, then tags present on the
     // path's switches) but scored as they appear, and enumeration stops at
@@ -671,6 +678,7 @@ AggregationEngine::InstallResult AggregationEngine::install(
         if (!more) break;
       }
     }
+    // sc-lint: endhotpath(candidate-scan)
   } else if (options_.reuse_tags) {
     // Reference mode: eager candidate gathering (the pre-fast-path code),
     // then the selection loop over the gathered list.

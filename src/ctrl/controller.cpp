@@ -28,46 +28,46 @@ Controller::Controller(const CellularTopology& topo,
 void Controller::set_policy(std::shared_ptr<const ServicePolicy> policy) {
   if (policy == nullptr)
     throw std::invalid_argument("set_policy: null policy snapshot");
-  std::unique_lock lock(mu_);
+  sc::WriteLock lock(mu_);
   policy_ = std::move(policy);
 }
 
 std::shared_ptr<const ServicePolicy> Controller::policy_snapshot() const {
-  std::shared_lock lock(mu_);
+  sc::ReadLock lock(mu_);
   return policy_;
 }
 
 void Controller::provision_subscriber(UeId ue,
                                       const SubscriberProfile& profile) {
-  std::unique_lock lock(mu_);
+  sc::WriteLock lock(mu_);
   store_.put_profile(ue, profile);
 }
 
 void Controller::attach_ue(UeId ue, std::uint32_t bs, LocalUeId local) {
-  std::unique_lock lock(mu_);
+  sc::WriteLock lock(mu_);
   if (store_.profile(ue) == nullptr)
     throw std::invalid_argument("attach_ue: unknown subscriber");
   store_.set_location(ue, UeLocation{bs, local});
 }
 
 void Controller::detach_ue(UeId ue) {
-  std::unique_lock lock(mu_);
+  sc::WriteLock lock(mu_);
   store_.clear_location(ue);
 }
 
 void Controller::update_location(UeId ue, std::uint32_t bs, LocalUeId local) {
-  std::unique_lock lock(mu_);
+  sc::WriteLock lock(mu_);
   store_.set_location(ue, UeLocation{bs, local});
 }
 
 std::optional<UeLocation> Controller::ue_location(UeId ue) const {
-  std::shared_lock lock(mu_);
+  sc::ReadLock lock(mu_);
   return store_.location(ue);
 }
 
 std::vector<PacketClassifier> Controller::fetch_classifiers(
     UeId ue, std::uint32_t bs) const {
-  std::shared_lock lock(mu_);
+  sc::ReadLock lock(mu_);
   const SubscriberProfile* profile = store_.profile(ue);
   if (profile == nullptr)
     throw std::invalid_argument("fetch_classifiers: unknown subscriber");
@@ -94,7 +94,7 @@ std::vector<PacketClassifier> Controller::fetch_classifiers(
 
 std::vector<NodeId> Controller::select_instances(std::uint32_t bs,
                                                  ClauseId clause) const {
-  std::shared_lock lock(mu_);
+  sc::ReadLock lock(mu_);
   return select_instances_locked(bs, clause);
 }
 
@@ -206,7 +206,7 @@ PolicyTag Controller::request_policy_path_locked(std::uint32_t bs,
 }
 
 PolicyTag Controller::request_policy_path(std::uint32_t bs, ClauseId clause) {
-  std::unique_lock lock(mu_);
+  sc::WriteLock lock(mu_);
   return request_policy_path_locked(bs, clause);
 }
 
@@ -225,7 +225,7 @@ std::vector<PolicyTag> Controller::request_policy_paths(
     return a < b;
   });
   std::vector<PolicyTag> tags(requests.size());
-  std::unique_lock lock(mu_);
+  sc::WriteLock lock(mu_);
   for (const std::uint32_t i : order)
     tags[i] = request_policy_path_locked(requests[i].bs, requests[i].clause);
   return tags;
@@ -234,7 +234,7 @@ std::vector<PolicyTag> Controller::request_policy_paths(
 PolicyTag Controller::request_m2m_path(std::uint32_t src_bs,
                                        std::uint32_t dst_bs,
                                        ClauseId clause) {
-  std::unique_lock lock(mu_);
+  sc::WriteLock lock(mu_);
   const M2mKey key{clause, src_bs, dst_bs};
   if (const auto it = m2m_installed_.find(key); it != m2m_installed_.end())
     return it->second;
@@ -259,7 +259,7 @@ PolicyTag Controller::request_m2m_path(std::uint32_t src_bs,
 
 Controller::Migration Controller::migrate_path(std::uint32_t bs,
                                                ClauseId clause) {
-  std::unique_lock lock(mu_);
+  sc::WriteLock lock(mu_);
   const SlowState::PathKey key{clause, bs};
   const auto it = installed_.find(key);
   if (it == installed_.end())
@@ -285,7 +285,7 @@ Controller::Migration Controller::migrate_path(std::uint32_t bs,
 
 void Controller::drain_old_path(std::uint32_t bs, ClauseId clause,
                                 PolicyTag old_tag) {
-  std::unique_lock lock(mu_);
+  sc::WriteLock lock(mu_);
   const auto it = draining_.find(DrainKey{{clause, bs}, old_tag});
   if (it == draining_.end())
     throw std::invalid_argument("drain_old_path: nothing draining");
@@ -295,7 +295,7 @@ void Controller::drain_old_path(std::uint32_t bs, ClauseId clause,
 }
 
 Controller::RecompactResult Controller::recompact() {
-  std::unique_lock lock(mu_);
+  sc::WriteLock lock(mu_);
   if (!draining_.empty())
     throw std::logic_error("recompact: drain pending migrations first");
 
@@ -368,7 +368,7 @@ struct Fnv {
 }  // namespace
 
 std::uint64_t Controller::state_fingerprint() const {
-  std::shared_lock lock(mu_);
+  sc::ReadLock lock(mu_);
   Fnv f;
 
   // Installed gateway paths, canonical order.
@@ -431,14 +431,14 @@ std::uint64_t Controller::state_fingerprint() const {
 }
 
 void Controller::fail_primary_replica() {
-  std::unique_lock lock(mu_);
+  sc::WriteLock lock(mu_);
   store_.fail_primary();
 }
 
 void Controller::rebuild_locations(
     const std::function<void(const std::function<void(UeId, UeLocation)>&)>&
         query) {
-  std::unique_lock lock(mu_);
+  sc::WriteLock lock(mu_);
   store_.rebuild_locations(query);
 }
 

@@ -11,8 +11,11 @@
 //
 // Thread safety: ControlStore is NOT internally synchronized.  It is owned
 // by exactly one Controller (one shard of the runtime) and every access
-// happens under that controller's mutex.  Audit notes for the re-entrant
-// controller API:
+// happens under that controller's mutex -- the capability is expressed at
+// the owner: Controller declares `ControlStore store_ SC_GUARDED_BY(mu_)`
+// (softcell-verify Part A), so the thread-safety analysis flags any access
+// that escapes the controller's lock sections.  Audit notes for the
+// re-entrant controller API:
 //   * profile() returns a pointer into an unordered_map node; it is
 //     invalidated by the next put_profile() (rehash may move the node).
 //     Callers must consume it under the same controller lock section that

@@ -5,6 +5,7 @@
 namespace softcell::ofp {
 
 std::uint64_t Mirror::sync() {
+  sc::LockGuard lock(mu_);
   std::uint64_t applied = 0;
   for (auto& [sw, chan] : channels_) {
     const auto before = chan.agent().applied();

@@ -13,6 +13,17 @@
 // sync() still converges because the per-channel reliable transport
 // retransmits until delivery, and the only tolerated rejections are the
 // counted corrupt-copy discards.
+//
+// Thread safety (softcell-verify finding, PR 4): the op sink fires from
+// whichever thread mutates the engine -- under the sharded runtime that is
+// a worker thread -- while sync()/pending()/fault_stats() run on the
+// harness thread.  Mirror used to be completely unsynchronized, so a
+// worker installing a path concurrently with a harness sync() raced on
+// channels_ (unordered_map insertion vs. iteration: iterator invalidation,
+// torn xid).  All state is now guarded by mu_.  Lock ordering: a worker
+// holds its shard controller's mu_ when the engine fires the sink, so the
+// order is controller.mu_ -> Mirror::mu_; Mirror never calls back into a
+// controller, so the order cannot invert (DESIGN.md section 12).
 #pragma once
 
 #include <algorithm>
@@ -22,6 +33,7 @@
 
 #include "core/engine.hpp"
 #include "ofp/switch_agent.hpp"
+#include "util/annotations.hpp"
 
 namespace softcell::ofp {
 
@@ -35,39 +47,55 @@ class Mirror {
   // Flushes every channel behind a barrier; returns the number of flow-mods
   // applied across all switches.  Throws if any agent rejected a frame for
   // any reason other than an injected corrupt copy.
-  std::uint64_t sync();
+  std::uint64_t sync() SC_EXCLUDES(mu_);
 
   // Arms (or, with a default-constructed spec, disarms) wire faults on every
   // existing channel and every channel created later.
-  void set_faults(const FaultSpec& spec, std::uint64_t seed) {
+  void set_faults(const FaultSpec& spec, std::uint64_t seed)
+      SC_EXCLUDES(mu_) {
+    sc::LockGuard lock(mu_);
     faults_ = spec;
     fault_seed_ = seed;
     for (auto& [sw, chan] : channels_) chan.set_faults(spec, seed);
   }
 
-  [[nodiscard]] const SwitchAgent* agent(NodeId sw) const {
+  // The returned pointers alias mu_-guarded map nodes.  ControlChannel
+  // never erases entries, so the pointers stay valid, but reading through
+  // them is only safe while no other thread is mutating the mirror --
+  // introspection for quiescent (post-drain) checks, like
+  // Controller::engine().
+  [[nodiscard]] const SwitchAgent* agent(NodeId sw) const SC_EXCLUDES(mu_) {
+    sc::LockGuard lock(mu_);
     const auto it = channels_.find(sw);
     return it == channels_.end() ? nullptr : &it->second.agent();
   }
-  [[nodiscard]] const ControlChannel* channel(NodeId sw) const {
+  [[nodiscard]] const ControlChannel* channel(NodeId sw) const
+      SC_EXCLUDES(mu_) {
+    sc::LockGuard lock(mu_);
     const auto it = channels_.find(sw);
     return it == channels_.end() ? nullptr : &it->second;
   }
-  [[nodiscard]] std::size_t switches() const { return channels_.size(); }
-  [[nodiscard]] std::vector<NodeId> switch_ids() const {
+  [[nodiscard]] std::size_t switches() const SC_EXCLUDES(mu_) {
+    sc::LockGuard lock(mu_);
+    return channels_.size();
+  }
+  [[nodiscard]] std::vector<NodeId> switch_ids() const SC_EXCLUDES(mu_) {
+    sc::LockGuard lock(mu_);
     std::vector<NodeId> ids;
     ids.reserve(channels_.size());
     for (const auto& [sw, chan] : channels_) ids.push_back(sw);
     std::sort(ids.begin(), ids.end());
     return ids;
   }
-  [[nodiscard]] std::size_t pending() const {
+  [[nodiscard]] std::size_t pending() const SC_EXCLUDES(mu_) {
+    sc::LockGuard lock(mu_);
     std::size_t n = 0;
     for (const auto& [sw, chan] : channels_) n += chan.pending();
     return n;
   }
   // Cumulative fault-layer activity across every channel.
-  [[nodiscard]] FaultStats fault_stats() const {
+  [[nodiscard]] FaultStats fault_stats() const SC_EXCLUDES(mu_) {
+    sc::LockGuard lock(mu_);
     FaultStats total;
     for (const auto& [sw, chan] : channels_) {
       const auto& s = chan.fault_stats();
@@ -83,16 +111,18 @@ class Mirror {
   }
 
  private:
-  void enqueue(const RuleOp& op) {
+  void enqueue(const RuleOp& op) SC_EXCLUDES(mu_) {
+    sc::LockGuard lock(mu_);
     auto [it, fresh] = channels_.try_emplace(op.sw, op.sw);
     if (fresh && faults_.any()) it->second.set_faults(faults_, fault_seed_);
     it->second.send(encode_flow_mod(FlowMod{next_xid_++, op}));
   }
 
-  std::unordered_map<NodeId, ControlChannel> channels_;
-  std::uint32_t next_xid_ = 1;
-  FaultSpec faults_;
-  std::uint64_t fault_seed_ = 0;
+  mutable sc::Mutex mu_;
+  std::unordered_map<NodeId, ControlChannel> channels_ SC_GUARDED_BY(mu_);
+  std::uint32_t next_xid_ SC_GUARDED_BY(mu_) = 1;
+  FaultSpec faults_ SC_GUARDED_BY(mu_);
+  std::uint64_t fault_seed_ SC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace softcell::ofp

@@ -6,6 +6,12 @@
 // OpenFlow: the controller's intent, serialized, transported, and
 // reconstructed into identical forwarding state on the switch (verified by
 // the equivalence tests in tests/test_ofp.cpp).
+//
+// Thread safety: SwitchAgent and ControlChannel are NOT internally
+// synchronized.  Each instance is owned by exactly one Mirror channel map
+// entry and every access happens under Mirror::mu_ (the owner declares
+// `channels_ SC_GUARDED_BY(mu_)`); standalone instances in tests are
+// single-threaded.
 #pragma once
 
 #include <cstdint>

@@ -16,7 +16,16 @@
 #include <bit>
 #include <cstdint>
 
+#include "util/annotations.hpp"
+
 namespace softcell {
+
+// Capability note (softcell-verify Part A): metrics are deliberately
+// lock-free -- every field below is a relaxed atomic, so nothing here is
+// SC_GUARDED_BY any capability, and draining (merge_into) may race updates
+// by design: counters are monotonic and independent, so an aggregate can
+// be slightly stale but never torn.  Anything added to this file that is
+// NOT a std::atomic must come with a capability annotation.
 
 class LatencyHistogram {
  public:

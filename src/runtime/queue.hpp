@@ -11,20 +11,21 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace softcell {
 
 // Bounded multi-producer/multi-consumer FIFO queue.  Blocking push/pop with
 // condvar wakeups; try_* variants never block.  close() releases all
 // waiters: pending pushes fail, pops drain the remaining items and then
-// fail.  All operations are thread-safe.
+// fail.  All operations are thread-safe; `mu_` is the queue's capability
+// and guards the item deque and the closed flag.
 template <typename T>
 class BoundedMpmcQueue {
  public:
@@ -35,9 +36,11 @@ class BoundedMpmcQueue {
 
   // Blocks while the queue is full (backpressure).  Returns false if the
   // queue was closed before the item could be enqueued.
-  bool push(T item) {
-    std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+  bool push(T item) SC_EXCLUDES(mu_) {
+    sc::UniqueLock lock(mu_);
+    not_full_.wait(lock, [&]() SC_REQUIRES(mu_) {
+      return closed_ || items_.size() < capacity_;
+    });
     if (closed_) return false;
     items_.push_back(std::move(item));
     lock.unlock();
@@ -46,9 +49,9 @@ class BoundedMpmcQueue {
   }
 
   // Never blocks.  Returns false when full or closed.
-  bool try_push(T item) {
+  bool try_push(T item) SC_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      sc::LockGuard lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -58,9 +61,11 @@ class BoundedMpmcQueue {
 
   // Blocks while the queue is empty.  Returns false once the queue is
   // closed *and* drained.
-  bool pop(T& out) {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  bool pop(T& out) SC_EXCLUDES(mu_) {
+    sc::UniqueLock lock(mu_);
+    not_empty_.wait(lock, [&]() SC_REQUIRES(mu_) {
+      return closed_ || !items_.empty();
+    });
     if (items_.empty()) return false;  // closed and drained
     out = std::move(items_.front());
     items_.pop_front();
@@ -70,9 +75,9 @@ class BoundedMpmcQueue {
   }
 
   // Never blocks.  Returns false when currently empty.
-  bool try_pop(T& out) {
+  bool try_pop(T& out) SC_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      sc::LockGuard lock(mu_);
       if (items_.empty()) return false;
       out = std::move(items_.front());
       items_.pop_front();
@@ -81,21 +86,21 @@ class BoundedMpmcQueue {
     return true;
   }
 
-  void close() {
+  void close() SC_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      sc::LockGuard lock(mu_);
       closed_ = true;
     }
     not_full_.notify_all();
     not_empty_.notify_all();
   }
 
-  [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] bool closed() const SC_EXCLUDES(mu_) {
+    sc::LockGuard lock(mu_);
     return closed_;
   }
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] std::size_t size() const SC_EXCLUDES(mu_) {
+    sc::LockGuard lock(mu_);
     return items_.size();
   }
   [[nodiscard]] bool empty() const { return size() == 0; }
@@ -103,11 +108,11 @@ class BoundedMpmcQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable sc::Mutex mu_;
+  sc::CondVar not_full_;
+  sc::CondVar not_empty_;
+  std::deque<T> items_ SC_GUARDED_BY(mu_);
+  bool closed_ SC_GUARDED_BY(mu_) = false;
 };
 
 // Lock-free bounded single-producer/single-consumer ring.  Exactly one
@@ -126,6 +131,9 @@ class SpscRing {
     slots_.resize(cap);
     mask_ = cap - 1;
   }
+
+  // sc-lint: hotpath(spsc-ring) -- the dispatcher/worker fast path: no
+  // locks, no sleeps, no allocation, no hash-map probes, no I/O.
 
   // Producer side only.
   bool try_push(T item) {
@@ -157,6 +165,9 @@ class SpscRing {
     return head_.load(std::memory_order_acquire) ==
            tail_.load(std::memory_order_acquire);
   }
+
+  // sc-lint: endhotpath(spsc-ring)
+
   [[nodiscard]] std::size_t capacity() const { return mask_; }
 
  private:

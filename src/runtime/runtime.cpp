@@ -39,7 +39,7 @@ bool ControlPlaneRuntime::post(Request request) {
   if (request.kind == RequestKind::kPolicyPath &&
       options_.coalesce_path_misses) {
     ShardPending& pending = *pending_[job.shard];
-    std::unique_lock lock(pending.mu);
+    sc::UniqueLock lock(pending.mu);
     const auto key = path_key(request.bs, request.clause);
     if (const auto it = pending.waiting.find(key);
         it != pending.waiting.end()) {
@@ -57,7 +57,7 @@ bool ControlPlaneRuntime::post(Request request) {
     job.request = std::move(request);
     if (!pool_->submit_to(worker_of(job.shard), std::move(job))) {
       // Rejected (shutting down): roll the marker back.
-      std::lock_guard relock(pending.mu);
+      sc::LockGuard relock(pending.mu);
       pending.waiting.erase(key);
       complete_one();
       return false;
@@ -90,7 +90,7 @@ void ControlPlaneRuntime::finish(std::size_t shard,
 
 void ControlPlaneRuntime::complete_one() {
   if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard lock(drain_mu_);
+    sc::LockGuard lock(drain_mu_);
     drain_cv_.notify_all();
   }
 }
@@ -130,7 +130,7 @@ void ControlPlaneRuntime::execute(unsigned, Job& job) {
     std::vector<Waiter> waiters;
     {
       ShardPending& pending = *pending_[job.shard];
-      std::lock_guard lock(pending.mu);
+      sc::LockGuard lock(pending.mu);
       const auto it = pending.waiting.find(path_key(r.bs, r.clause));
       if (it != pending.waiting.end()) {
         waiters = std::move(it->second);
@@ -145,14 +145,14 @@ void ControlPlaneRuntime::execute(unsigned, Job& job) {
 
 Response ControlPlaneRuntime::call(Request request) {
   struct SyncState {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool ready = false;
-    Response response;
+    sc::Mutex mu;
+    sc::CondVar cv;
+    bool ready SC_GUARDED_BY(mu) = false;
+    Response response SC_GUARDED_BY(mu);
   };
   auto state = std::make_shared<SyncState>();
   request.done = [state](Response&& response) {
-    std::lock_guard lock(state->mu);
+    sc::LockGuard lock(state->mu);
     state->response = std::move(response);
     state->ready = true;
     state->cv.notify_one();
@@ -163,8 +163,8 @@ Response ControlPlaneRuntime::call(Request request) {
     r.error = "control-plane runtime is shut down";
     return r;
   }
-  std::unique_lock lock(state->mu);
-  state->cv.wait(lock, [&] { return state->ready; });
+  sc::UniqueLock lock(state->mu);
+  state->cv.wait(lock, [&]() SC_REQUIRES(state->mu) { return state->ready; });
   return std::move(state->response);
 }
 
@@ -192,7 +192,7 @@ PolicyTag ControlPlaneRuntime::request_policy_path(UeId ue, std::uint32_t bs,
 }
 
 void ControlPlaneRuntime::drain() {
-  std::unique_lock lock(drain_mu_);
+  sc::UniqueLock lock(drain_mu_);
   drain_cv_.wait(lock, [&] {
     return in_flight_.load(std::memory_order_acquire) == 0;
   });

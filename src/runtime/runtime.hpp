@@ -31,7 +31,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -40,6 +39,7 @@
 #include "runtime/metrics.hpp"
 #include "runtime/sharded_controller.hpp"
 #include "runtime/thread_pool.hpp"
+#include "util/annotations.hpp"
 
 namespace softcell {
 
@@ -133,9 +133,11 @@ class ControlPlaneRuntime {
   };
 
   // In-flight path installs, per shard: (bs, clause) -> attached waiters.
+  // Each shard's map has its own capability; shards never contend.
   struct ShardPending {
-    std::mutex mu;
-    std::unordered_map<std::uint64_t, std::vector<Waiter>> waiting;
+    sc::Mutex mu;
+    std::unordered_map<std::uint64_t, std::vector<Waiter>> waiting
+        SC_GUARDED_BY(mu);
   };
   static std::uint64_t path_key(std::uint32_t bs, ClauseId clause) {
     return (static_cast<std::uint64_t>(clause.value()) << 32) | bs;
@@ -151,8 +153,10 @@ class ControlPlaneRuntime {
   std::vector<std::unique_ptr<ShardPending>> pending_;
   std::unique_ptr<ThreadPool<Job>> pool_;
   std::atomic<std::uint64_t> in_flight_{0};
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
+  // drain_mu_ exists solely for the drain condvar protocol; the counter it
+  // coordinates (in_flight_) is an atomic, so nothing is guarded by it.
+  sc::Mutex drain_mu_;
+  sc::CondVar drain_cv_;
 };
 
 }  // namespace softcell

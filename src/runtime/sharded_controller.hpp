@@ -33,6 +33,13 @@
 // Thread safety: all methods are safe to call from any thread.  Different
 // shards proceed fully in parallel; calls hitting one shard serialize on
 // that shard's internal lock.
+//
+// Capability note (softcell-verify Part A): this class itself holds no
+// lock -- every member is either internally synchronized (Controller's
+// sc::SharedMutex, VersionedSnapshot's writer mutex) or lock-free by
+// design (ShardMetrics relaxed atomics), so no field here carries an
+// SC_GUARDED_BY.  Anything stateful added to this class must either be one
+// of those two shapes or bring its own annotated sc:: lock.
 #pragma once
 
 #include <cstdint>

@@ -14,9 +14,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <version>
+
+#include "util/annotations.hpp"
 
 // std::atomic<std::shared_ptr> in libstdc++ is a lock-free tagged-pointer
 // protocol (_Sp_atomic) that ThreadSanitizer cannot model -- it reports the
@@ -58,8 +59,8 @@ class VersionedSnapshot {
 
   // Writer side: publish `next` and return the new version.  Writers are
   // serialized against each other; readers are never stalled.
-  std::uint64_t update(std::shared_ptr<const T> next) {
-    std::lock_guard lock(write_mu_);
+  std::uint64_t update(std::shared_ptr<const T> next) SC_EXCLUDES(write_mu_) {
+    sc::LockGuard lock(write_mu_);
 #if defined(SOFTCELL_SNAPSHOT_LOCKED)
     std::atomic_store_explicit(&ptr_, std::move(next),
                                std::memory_order_release);
@@ -76,7 +77,10 @@ class VersionedSnapshot {
   std::atomic<std::shared_ptr<const T>> ptr_;
 #endif
   std::atomic<std::uint64_t> version_{1};
-  std::mutex write_mu_;  // serializes writers only
+  // Serializes writers only.  ptr_ is deliberately NOT SC_GUARDED_BY it:
+  // readers go through the atomic load()/store protocol above and are
+  // never required to hold any lock.
+  sc::Mutex write_mu_;
 };
 
 }  // namespace softcell

@@ -19,19 +19,23 @@
 // Backpressure: every queue is bounded; a full ring spins the producer
 // (yielding) and a full overflow/shared queue blocks it until a worker
 // drains, so admission slows instead of memory growing without bound.
+//
+// Capability map (see DESIGN.md section 12): `lifecycle_mu_` guards the
+// started_/stopped_ lifecycle flags; each worker's `park_mu` serializes
+// only the park/wake condvar protocol (the asleep flag is an atomic);
+// `drain_mu_` exists solely for the drain condvar (pending_ is an atomic).
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "runtime/queue.hpp"
+#include "util/annotations.hpp"
 
 namespace softcell {
 
@@ -68,10 +72,12 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Launches the worker threads (no-op if already running).
-  void start() {
-    std::lock_guard lock(lifecycle_mu_);
-    if (started_) return;
+  // Launches the worker threads (no-op if already running or stopped --
+  // the stopped_ check keeps a start() racing stop() from launching
+  // workers nobody would ever join).
+  void start() SC_EXCLUDES(lifecycle_mu_) {
+    sc::LockGuard lock(lifecycle_mu_);
+    if (started_ || stopped_) return;
     started_ = true;
     for (unsigned i = 0; i < workers_.size(); ++i)
       workers_[i]->thread = std::thread([this, i] { run_worker(i); });
@@ -79,11 +85,17 @@ class ThreadPool {
 
   // Drains every queue, then joins.  Submissions racing with stop() may be
   // rejected (return false).
-  void stop() {
+  void stop() SC_EXCLUDES(lifecycle_mu_) {
+    // Lock-discipline fix (softcell-verify Part A finding): `started_` used
+    // to be re-read *outside* lifecycle_mu_ below, racing a concurrent
+    // start() -- read it under the same critical section that flips
+    // stopped_ instead (tests/test_runtime.cpp ThreadSafety.*).
+    bool started;
     {
-      std::lock_guard lock(lifecycle_mu_);
+      sc::LockGuard lock(lifecycle_mu_);
       if (stopped_) return;
       stopped_ = true;
+      started = started_;
     }
     stopping_.store(true, std::memory_order_release);
     shared_.close();
@@ -91,7 +103,7 @@ class ThreadPool {
       w->overflow.close();
       wake(*w);
     }
-    if (!started_) {
+    if (!started) {
       // Never ran: execute leftovers inline so stop() keeps the "all
       // accepted tasks run" contract even for a suspended pool.
       for (unsigned i = 0; i < workers_.size(); ++i) drain_worker_queues(i);
@@ -152,8 +164,8 @@ class ThreadPool {
 
   // Blocks until every submitted task has finished executing.  Only
   // meaningful while no new submissions race with the wait.
-  void drain() {
-    std::unique_lock lock(drain_mu_);
+  void drain() SC_EXCLUDES(drain_mu_) {
+    sc::UniqueLock lock(drain_mu_);
     drain_cv_.wait(lock, [&] {
       return pending_.load(std::memory_order_acquire) == 0;
     });
@@ -174,8 +186,10 @@ class ThreadPool {
     BoundedMpmcQueue<Task> overflow;
     std::atomic<std::uintptr_t> ring_owner{0};
     std::thread thread;
-    std::mutex park_mu;
-    std::condition_variable park_cv;
+    // park_mu serializes only the park/wake protocol below; the flag it
+    // coordinates is an atomic, so nothing is SC_GUARDED_BY it.
+    sc::Mutex park_mu;
+    sc::CondVar park_cv;
     std::atomic<bool> asleep{false};
   };
 
@@ -187,7 +201,7 @@ class ThreadPool {
 
   void wake(Worker& w) {
     if (w.asleep.load(std::memory_order_acquire)) {
-      std::lock_guard lock(w.park_mu);
+      sc::LockGuard lock(w.park_mu);
       w.park_cv.notify_one();
     }
   }
@@ -200,7 +214,7 @@ class ThreadPool {
 
   void finish_task() {
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard lock(drain_mu_);
+      sc::LockGuard lock(drain_mu_);
       drain_cv_.notify_all();
     }
   }
@@ -240,7 +254,7 @@ class ThreadPool {
       // producer may read asleep == false just before we set it), keeping
       // the protocol simple instead of fencing the flag against the
       // lock-free ring.
-      std::unique_lock lock(w.park_mu);
+      sc::UniqueLock lock(w.park_mu);
       w.asleep.store(true, std::memory_order_release);
       if (!w.ring.empty() || !w.overflow.empty() || !shared_.empty() ||
           stopping_.load(std::memory_order_acquire)) {
@@ -259,11 +273,11 @@ class ThreadPool {
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> pending_{0};
   std::atomic<std::uint64_t> processed_{0};
-  std::mutex lifecycle_mu_;
-  bool started_ = false;
-  bool stopped_ = false;
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
+  sc::Mutex lifecycle_mu_;
+  bool started_ SC_GUARDED_BY(lifecycle_mu_) = false;
+  bool stopped_ SC_GUARDED_BY(lifecycle_mu_) = false;
+  sc::Mutex drain_mu_;
+  sc::CondVar drain_cv_;
 };
 
 }  // namespace softcell

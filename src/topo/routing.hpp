@@ -4,6 +4,10 @@
 // (access switch -> mb1 -> ... -> mbM -> gateway).  Waypoints are few
 // (middlebox host switches + gateway), so we memoize one reverse BFS tree
 // per *destination* and extract any source's path from it in O(path length).
+//
+// Thread-safety: NONE.  The const query methods mutate the memo table, so
+// callers must serialize externally -- in practice every use is under the
+// owning Controller's exclusive mu_ writer lock (see controller.hpp).
 #pragma once
 
 #include <cstdint>

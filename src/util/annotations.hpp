@@ -1,0 +1,201 @@
+// softcell-verify Part A: Clang thread-safety capability annotations and
+// the annotated lock wrappers every piece of concurrent code in src/ must
+// use (enforced by tools/softcell_lint.py rule `naked-mutex`).
+//
+// Under Clang the SC_* macros expand to the thread-safety attributes, so a
+// `clang++ -Wthread-safety -Werror` build *proves* the lock discipline the
+// runtime relies on: every SC_GUARDED_BY field is only touched with its
+// capability held (shared for reads, exclusive for writes), every
+// SC_REQUIRES function is only called under the right lock, and RAII
+// guards cannot leak a capability past their scope.  Under GCC (the tier-1
+// build) the macros are no-ops and the wrappers compile down to the plain
+// std types, so there is zero runtime or codegen cost either way.
+//
+// The capability model itself (which capability guards which state, and
+// the ordering between them) is documented in DESIGN.md section 12.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SC_THREAD_ANNOTATION
+#define SC_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+// A type that acts as a lock ("capability" in analysis terms).
+#define SC_CAPABILITY(name) SC_THREAD_ANNOTATION(capability(name))
+// RAII type that acquires a capability in its constructor and releases it
+// in its destructor.
+#define SC_SCOPED_CAPABILITY SC_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members: may only be accessed with the capability held (shared for
+// reads, exclusive for writes); SC_PT_GUARDED_BY guards the pointee of a
+// pointer member instead of the pointer itself.
+#define SC_GUARDED_BY(...) SC_THREAD_ANNOTATION(guarded_by(__VA_ARGS__))
+#define SC_PT_GUARDED_BY(...) SC_THREAD_ANNOTATION(pt_guarded_by(__VA_ARGS__))
+
+// Functions: caller must hold the capability (exclusively / shared), or
+// must NOT hold it (deadlock prevention for self-locking entry points).
+#define SC_REQUIRES(...) \
+  SC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SC_REQUIRES_SHARED(...) \
+  SC_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define SC_EXCLUDES(...) SC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Functions that acquire / release capabilities.
+#define SC_ACQUIRE(...) \
+  SC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SC_ACQUIRE_SHARED(...) \
+  SC_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define SC_RELEASE(...) \
+  SC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SC_RELEASE_SHARED(...) \
+  SC_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define SC_TRY_ACQUIRE(...) \
+  SC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define SC_RETURN_CAPABILITY(x) SC_THREAD_ANNOTATION(lock_returned(x))
+
+// Lock-ordering declaration: this capability must be acquired after the
+// listed ones (cycle detection across the declared order).
+#define SC_ACQUIRED_AFTER(...) SC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define SC_ACQUIRED_BEFORE(...) \
+  SC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+// Escape hatch: disables the analysis for one function.  Every use in
+// ctrl/ and runtime/ must appear in the documented allowlist in DESIGN.md
+// section 12 (acceptance bound: at most 3).
+#define SC_NO_THREAD_SAFETY_ANALYSIS \
+  SC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace softcell::sc {
+
+// Annotated std::mutex.  `native()` exists only so CondVar and UniqueLock
+// can interoperate with the std wait machinery; application code must go
+// through the annotated API.
+class SC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SC_ACQUIRE() { mu_.lock(); }
+  void unlock() SC_RELEASE() { mu_.unlock(); }
+  bool try_lock() SC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  [[nodiscard]] std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// Annotated std::shared_mutex (the controller's reader/writer lock).
+class SC_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() SC_ACQUIRE() { mu_.lock(); }
+  void unlock() SC_RELEASE() { mu_.unlock(); }
+  void lock_shared() SC_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() SC_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  [[nodiscard]] std::shared_mutex& native() { return mu_; }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// RAII exclusive guard over Mutex (std::lock_guard shape: no unlock).
+class SC_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) SC_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~LockGuard() SC_RELEASE() {}
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  std::lock_guard<std::mutex> lock_;
+};
+
+// RAII exclusive guard over Mutex with mid-scope unlock/relock (the
+// std::unique_lock shape CondVar waits on).
+class SC_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) SC_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~UniqueLock() SC_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() SC_ACQUIRE() { lock_.lock(); }
+  void unlock() SC_RELEASE() { lock_.unlock(); }
+
+  [[nodiscard]] std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+// RAII exclusive guard over SharedMutex (writer side).
+class SC_SCOPED_CAPABILITY WriteLock {
+ public:
+  explicit WriteLock(SharedMutex& mu) SC_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~WriteLock() SC_RELEASE() {}
+
+  WriteLock(const WriteLock&) = delete;
+  WriteLock& operator=(const WriteLock&) = delete;
+
+ private:
+  std::unique_lock<std::shared_mutex> lock_;
+};
+
+// RAII shared guard over SharedMutex (reader side).
+class SC_SCOPED_CAPABILITY ReadLock {
+ public:
+  explicit ReadLock(SharedMutex& mu) SC_ACQUIRE_SHARED(mu)
+      : lock_(mu.native()) {}
+  ~ReadLock() SC_RELEASE() {}
+
+  ReadLock(const ReadLock&) = delete;
+  ReadLock& operator=(const ReadLock&) = delete;
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+// Condition variable paired with sc::Mutex via sc::UniqueLock.  The
+// predicate is re-evaluated with the lock held, exactly like
+// std::condition_variable.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  template <typename Pred>
+  void wait(UniqueLock& lock, Pred pred) {
+    cv_.wait(lock.native(), std::move(pred));
+  }
+  template <typename Rep, typename Period>
+  void wait_for(UniqueLock& lock,
+                const std::chrono::duration<Rep, Period>& dur) {
+    cv_.wait_for(lock.native(), dur);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace softcell::sc

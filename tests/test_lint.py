@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Tests for tools/softcell_lint.py (softcell-verify Part B).
+
+Two halves, mirroring the linter's contract:
+  * every rule FIRES on its known-bad fixture in tools/lint_fixtures/
+    (so a regression that silently disables a rule is caught), and
+  * the linter stays SILENT on src/ (so the tree keeps the invariants and
+    the tier-1 `static` stage keeps passing).
+
+Pure stdlib (unittest + subprocess); registered with ctest as
+`lint.fixtures_and_src`.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINT = REPO / "tools" / "softcell_lint.py"
+FIXTURES = REPO / "tools" / "lint_fixtures"
+
+
+def run_lint(*args):
+    return subprocess.run(
+        [sys.executable, str(LINT), *args],
+        capture_output=True, text=True, cwd=REPO)
+
+
+class FixtureCorpus(unittest.TestCase):
+    """Each rule must fire on its fixture, at the expected locations."""
+
+    @classmethod
+    def setUpClass(cls):
+        with tempfile.TemporaryDirectory() as tmp:
+            report = Path(tmp) / "report.json"
+            cls.proc = run_lint(str(FIXTURES), "--report", str(report),
+                                "--suppressions", "/dev/null")
+            cls.report = json.loads(report.read_text())
+        cls.findings = cls.report["findings"]
+        cls.by_rule = {}
+        for f in cls.findings:
+            cls.by_rule.setdefault(f["rule"], []).append(f)
+
+    def test_exit_code_signals_findings(self):
+        self.assertEqual(self.proc.returncode, 1, self.proc.stderr)
+
+    def test_report_is_machine_readable(self):
+        self.assertEqual(self.report["version"], 1)
+        self.assertEqual(self.report["files_scanned"], 5)
+        for f in self.findings:
+            for key in ("rule", "path", "line", "message", "snippet"):
+                self.assertIn(key, f)
+
+    def assert_fires(self, rule, path_part, count):
+        hits = [f for f in self.by_rule.get(rule, [])
+                if path_part in f["path"]]
+        self.assertEqual(
+            len(hits), count,
+            f"{rule} on {path_part}: expected {count} findings, got "
+            f"{json.dumps(hits, indent=2)}")
+
+    def test_epoch_bump_fires(self):
+        # Two naked mutations; the note_tag-paired and tier controls stay
+        # silent.
+        self.assert_fires("epoch-bump", "dataplane_bad_epoch_bump", 2)
+
+    def test_naked_mutex_fires(self):
+        # std::mutex, std::condition_variable, std::lock_guard; the
+        # comment/string controls stay silent.
+        self.assert_fires("naked-mutex", "bad_naked_mutex", 3)
+
+    def test_hotpath_blocking_fires(self):
+        # Lock + sleep + unordered_map inside the region, plus the
+        # never-closed region; the outside-the-region control stays silent.
+        self.assert_fires("hotpath-blocking", "bad_hotpath", 4)
+
+    def test_naked_rand_fires(self):
+        # random_device, mt19937, srand, rand; 'operand' stays silent.
+        self.assert_fires("naked-rand", "bad_naked_rand", 4)
+
+    def test_iostream_write_fires(self):
+        # cout, cerr, printf; the ostringstream control stays silent.
+        self.assert_fires("iostream-write", "bad_iostream", 3)
+
+    def test_no_cross_contamination(self):
+        # No rule fires on another rule's fixture (each bad file isolates
+        # one failure class).
+        fixture_of = {
+            "epoch-bump": "epoch_bump",
+            "naked-mutex": "naked_mutex",
+            "hotpath-blocking": "hotpath",
+            "naked-rand": "naked_rand",
+            "iostream-write": "iostream",
+        }
+        for f in self.findings:
+            self.assertIn(
+                fixture_of[f["rule"]],
+                Path(f["path"]).stem,
+                f"unexpected {f['rule']} finding in {f['path']}")
+
+
+class SourceTreeClean(unittest.TestCase):
+    """src/ must lint clean -- the same invocation tier1.sh runs."""
+
+    def test_src_is_clean(self):
+        proc = run_lint(str(REPO / "src"))
+        self.assertEqual(proc.returncode, 0,
+                         f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+
+    def test_suppression_file_is_well_formed(self):
+        # Malformed or justification-free entries must hard-fail (exit 2),
+        # so the committed file is validated by loading it.
+        sup = REPO / "tools" / "lint_suppressions.txt"
+        self.assertTrue(sup.exists(), "suppression file missing")
+        proc = run_lint(str(REPO / "src"), "--suppressions", str(sup))
+        self.assertIn(proc.returncode, (0, 1), proc.stderr)
+
+    def test_malformed_suppression_rejected(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            bad = Path(tmp) / "sup.txt"
+            bad.write_text("naked-mutex src/foo.cpp:10\n")  # no justification
+            proc = run_lint(str(REPO / "src"), "--suppressions", str(bad))
+            self.assertEqual(proc.returncode, 2, proc.stderr)
+
+    def test_suppression_actually_suppresses(self):
+        fixture = FIXTURES / "bad_iostream.cpp"
+        with tempfile.TemporaryDirectory() as tmp:
+            # Reproduce the three findings, suppress them all, expect clean.
+            report = Path(tmp) / "r.json"
+            run_lint(str(fixture), "--report", str(report),
+                     "--suppressions", "/dev/null")
+            findings = json.loads(report.read_text())["findings"]
+            self.assertEqual(len(findings), 3)
+            sup = Path(tmp) / "sup.txt"
+            sup.write_text("".join(
+                f"{f['rule']} {f['path']}:{f['line']} fixture exercised by "
+                "test_lint.py\n" for f in findings))
+            proc = run_lint(str(fixture), "--suppressions", str(sup))
+            self.assertEqual(proc.returncode, 0, proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
 #include "core/path.hpp"
 #include "ofp/mirror.hpp"
 #include "topo/cellular.hpp"
@@ -214,6 +219,69 @@ TEST(Equivalence, ReplayedFlowModsReconstructIdenticalTables) {
     ++compared;
   }
   EXPECT_GT(compared, 10u);
+}
+
+// Lock-discipline regression (softcell-verify Part A finding, PR 4):
+// Mirror had no internal synchronization although enqueue() fires on
+// runtime worker threads (via the engine op sink) while the harness thread
+// polls pending()/fault_stats()/switches() and eventually sync()s --
+// concurrent unordered_map insertion vs. iteration over channels_.  All
+// mirror state is now behind Mirror::mu_.  This test replays that shape:
+// installer threads mutate the engine (serialized by an external mutex,
+// standing in for the shard controller's writer lock, so the *mirror* is
+// the only shared structure under test) while the main thread hammers the
+// introspection API; afterwards the replica tables must still match the
+// engine exactly.  Run under -DSOFTCELL_SANITIZE=thread via the
+// concurrency label.
+TEST(MirrorThreadSafety, WorkerEnqueuesRaceHarnessIntrospection) {
+  CellularTopology topo({.k = 4, .seed = 29});
+  RoutingOracle routes(topo.graph());
+  AggregationEngine eng(topo.graph(), {});
+  Mirror mirror(eng);
+
+  std::mutex engine_mu;  // the shard controller's writer lock, in miniature
+  std::atomic<bool> done{false};
+  std::vector<std::thread> installers;
+  for (int t = 0; t < 2; ++t) {
+    installers.emplace_back([&, t] {
+      for (std::uint32_t bs = static_cast<std::uint32_t>(t);
+           bs < topo.num_base_stations(); bs += 2) {
+        // Path expansion happens under the writer lock, exactly as in
+        // Controller::install_path_locked -- RoutingOracle memoizes BFS
+        // trees lazily and is not thread-safe on its own.
+        std::lock_guard<std::mutex> lock(engine_mu);
+        const auto path = expand_policy_path(
+            topo.graph(), routes, Direction::kDownlink,
+            topo.access_switch(bs),
+            std::vector<NodeId>{topo.core_instance(bs % 4, 0).node},
+            topo.gateway(), topo.internet());
+        eng.install(path, bs, topo.bs_prefix(bs), std::nullopt);
+      }
+    });
+  }
+  std::thread poller([&] {
+    // The harness-side read mix: these raced the worker enqueues before
+    // the fix (iterating channels_ mid-rehash).
+    while (!done.load(std::memory_order_acquire)) {
+      (void)mirror.pending();
+      (void)mirror.switches();
+      (void)mirror.fault_stats();
+      (void)mirror.switch_ids();
+    }
+  });
+  for (auto& th : installers) th.join();
+  done.store(true, std::memory_order_release);
+  poller.join();
+
+  EXPECT_GT(mirror.pending(), 0u);
+  EXPECT_GT(mirror.sync(), 0u);
+  EXPECT_EQ(mirror.pending(), 0u);
+  // Convergence check: every replica table matches the engine's model.
+  for (const NodeId sw : mirror.switch_ids()) {
+    const SwitchTable& truth = eng.table(sw);
+    const SwitchTable& replica = mirror.agent(sw)->table();
+    ASSERT_EQ(replica.rule_count(), truth.rule_count()) << sw.value();
+  }
 }
 
 RuleOp default_op(NodeId sw, std::uint16_t tag,

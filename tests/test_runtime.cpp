@@ -88,6 +88,29 @@ TEST(SpscRing, CrossThreadFifo) {
 
 // --- thread pool -------------------------------------------------------------
 
+// Lock-discipline regression (softcell-verify Part A finding, PR 4):
+// ThreadPool::stop() used to re-read `started_` *outside* lifecycle_mu_,
+// racing a concurrent start().  A stale false sent stop() down the inline
+// drain while start()'s freshly launched workers drained the same queues,
+// so a task could run twice -- and the launched workers were never joined
+// (std::terminate from ~thread).  started_ is now read in the same
+// critical section that flips stopped_, and start() refuses to launch
+// after stop().  Every accepted task must run exactly once, whichever
+// side wins the race.
+TEST(ThreadSafety, StopRacingStartRunsEveryTaskExactlyOnce) {
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> runs{0};
+    ThreadPool<int> pool({.workers = 2, .start_suspended = true},
+                         [&](unsigned, int&) { runs.fetch_add(1); });
+    for (int i = 0; i < 64; ++i) ASSERT_TRUE(pool.submit_to(i % 2, i));
+    std::thread starter([&] { pool.start(); });
+    std::thread stopper([&] { pool.stop(); });
+    starter.join();
+    stopper.join();
+    EXPECT_EQ(runs.load(), 64) << "round " << round;
+  }
+}
+
 TEST(ThreadPool, PinnedProducerFifoWithBackpressure) {
   // A tiny ring forces the producer through the spin-on-full path; order
   // must still hold (the determinism guarantee the runtime builds on).

@@ -1,0 +1,25 @@
+// Fixture: hotpath-blocking must fire.  A lock acquisition, a sleep and a
+// node-based container declaration inside a marked hot region.
+#include <map>
+
+void warm_path(State& s) {
+  // sc-lint: hotpath(fixture-loop)
+  for (int i = 0; i < 64; ++i) {
+    sc::LockGuard lock(s.mu);                       // finding: lock in hotpath
+    std::this_thread::sleep_for(kTick);             // finding: sleep
+    std::unordered_map<int, int> scratch;           // finding: unordered_map
+    s.total += scratch.size() + i;
+  }
+  // sc-lint: endhotpath(fixture-loop)
+
+  // Control: outside the region the same tokens must NOT fire.
+  sc::LockGuard lock(s.mu);
+  std::unordered_map<int, int> fine;
+  s.total += fine.size();
+}
+
+// Control: an unterminated region is itself a finding.
+void leaky_region(State& s) {
+  // sc-lint: hotpath(never-closed)
+  s.total += 1;
+}

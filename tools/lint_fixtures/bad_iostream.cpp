@@ -1,0 +1,19 @@
+// Fixture: iostream-write must fire.  Library code writing to the process
+// streams interleaves worker output and serializes on the global stream
+// locks.
+#include <cstdio>
+#include <iostream>
+
+void report_progress(int step) {
+  std::cout << "step " << step << "\n";   // finding: std::cout
+  std::cerr << "warn\n";                  // finding: std::cerr
+  printf("step %d\n", step);              // finding: printf
+}
+
+// Control: an ostringstream sink must NOT fire.
+#include <sstream>
+std::string render(int step) {
+  std::ostringstream out;
+  out << "step " << step;
+  return out.str();
+}

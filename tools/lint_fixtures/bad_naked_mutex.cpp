@@ -1,0 +1,20 @@
+// Fixture: naked-mutex must fire.  Raw std:: primitives bypass the sc::
+// capability wrappers, so the Clang -Wthread-safety build cannot see the
+// acquisitions.
+#include <mutex>
+
+struct UnannotatedState {
+  std::mutex mu;                     // finding: std::mutex
+  std::condition_variable cv;        // finding: std::condition_variable
+  int counter = 0;
+
+  void bump() {
+    std::lock_guard<std::mutex> lock(mu);  // finding: std::lock_guard
+    ++counter;
+  }
+};
+
+// Control: prose mentioning a mutex in a comment must NOT fire, and
+// neither must the string below.
+// "the mutex is not needed here because the field is an atomic"
+const char* kMsg = "std::mutex in a string literal is not a lock";

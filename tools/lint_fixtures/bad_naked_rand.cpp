@@ -1,0 +1,17 @@
+// Fixture: naked-rand must fire.  Randomness outside util/rng.hpp breaks
+// the chaos harness's seed-replay determinism.
+#include <cstdlib>
+#include <random>
+
+int roll_the_dice() {
+  std::random_device rd;             // finding: std::random_device
+  std::mt19937 gen(rd());            // finding: std::mt19937
+  srand(42);                         // finding: srand
+  return rand() % 6;                 // finding: rand
+}
+
+// Control: the project Rng and words containing 'rand' must NOT fire.
+int fine(Rng& rng) {
+  int operand = 3;                   // 'rand' inside an identifier
+  return static_cast<int>(rng.next_below(6)) + operand;
+}

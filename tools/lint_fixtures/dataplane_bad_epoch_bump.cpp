@@ -1,0 +1,41 @@
+// Fixture: epoch-bump must fire.  A tag-class mutation in "dataplane" code
+// with no note_tag() bump within the window -- exactly the bug class that
+// poisons the Algorithm-1 memo (stale epoch, stale resolve summary).
+// The file never compiles as part of the build; the lint test feeds it to
+// softcell_lint.py and asserts the finding.  The rule only looks at
+// dataplane code, so the fixture keeps "dataplane" in its file name.
+
+void TagClass_add_default_without_epoch_bump(Cls& cls, RuleAction action) {
+  cls.def = Entry{action, 1};
+  // ... many lines of unrelated bookkeeping so no note_tag is in range ...
+  bump_rules(+1);
+  refresh_digest();
+  update_counters();
+  recompute_summary();
+  log_install();
+  touch_lru();
+  finalize();
+}
+
+void TagClass_erase_without_epoch_bump(Cls& cls, Prefix pre) {
+  cls.by_prefix.erase(pre);
+  bump_rules(-1);
+  refresh_digest();
+  update_counters();
+  recompute_summary();
+  log_install();
+  touch_lru();
+  finalize();
+}
+
+// Control: this mutation is correctly paired and must NOT fire.
+void TagClass_add_prefix_with_bump(Cls& cls, Prefix pre, RuleAction action,
+                                   Direction dir, PolicyTag tag) {
+  cls.by_prefix.emplace(pre, Entry{action, 1});
+  note_tag(dir, tag, +1);
+}
+
+// Control: location-tier mutations carry no tag epoch and must NOT fire.
+void LocationTier_add(Tier& tier, Prefix pre, LocationEntry e) {
+  tier.by_prefix.emplace(pre, e);
+}

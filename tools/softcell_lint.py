@@ -1,0 +1,416 @@
+#!/usr/bin/env python3
+"""softcell-verify Part B: project-specific lint rules for the SoftCell tree.
+
+Five rules encode invariants the type system cannot see (DESIGN.md
+section 12, "Static guarantees"):
+
+  epoch-bump        Tag-class mutations in the dataplane switch table
+                    (cls.by_prefix inserts/erases, cls.def writes) must be
+                    paired with a note_tag() structural-epoch bump within a
+                    few lines -- the Algorithm-1 fast path memoizes resolve
+                    summaries keyed by that epoch, so a silent mutation
+                    poisons the memo (stale scores, wrong tag choices).
+                    Location-tier mutations (tier.by_prefix) carry no tag
+                    and are exempt.
+
+  naked-mutex       No std:: synchronization primitives outside
+                    src/util/annotations.hpp.  Locks must go through the
+                    sc:: capability-annotated wrappers so the Clang
+                    -Wthread-safety build sees every acquisition.
+
+  hotpath-blocking  Inside `// sc-lint: hotpath(name)` ...
+                    `// sc-lint: endhotpath(name)` regions: no mutexes or
+                    lock guards (sc:: or std::), no sleeps, no node-based
+                    std::unordered_* declarations.  These regions are the
+                    per-install scoring loops and the SPSC ring; a blocking
+                    call there stalls every request on the shard.
+
+  naked-rand        All randomness flows through util/rng.hpp (the
+                    deterministic splitmix64 Rng).  rand(), srand(),
+                    std::random_device and std::mt19937 anywhere else break
+                    seed-replay determinism (the chaos harness's shrinking
+                    and CI repro depend on it).
+
+  iostream-write    Library code under src/ never writes to
+                    stdout/stderr: harness and runtime results are returned
+                    as values (RunReport, ostringstream), and worker
+                    threads writing to iostreams interleave output and take
+                    the global stream locks on the request path.
+
+Usage:
+  python3 tools/softcell_lint.py [--root DIR] [--report FILE]
+                                 [--suppressions FILE] [--list-rules]
+                                 [paths...]
+
+Paths default to src/ under --root (default: repo root, parent of tools/).
+Suppressions live in tools/lint_suppressions.txt, one per line:
+
+  <rule> <path>:<line> <justification -- mandatory>
+
+Exit status: 0 = clean (all findings suppressed or none), 1 = findings,
+2 = bad invocation or malformed suppression file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+# --- comment / string stripping ---------------------------------------------
+# Token rules must not fire on prose ("the mutex is not needed here") or on
+# string literals.  The stripper blanks them out, preserving line numbers
+# and column positions so findings still point at the real source location.
+
+_STRIP_RE = re.compile(
+    r"""
+      //[^\n]*                 # line comment
+    | /\*.*?\*/                # block comment
+    | "(?:\\.|[^"\\\n])*"      # string literal
+    | '(?:\\.|[^'\\\n])*'      # char literal
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def strip_comments(text: str) -> str:
+    def blank(m: re.Match) -> str:
+        return "".join(c if c == "\n" else " " for c in m.group(0))
+
+    return _STRIP_RE.sub(blank, text)
+
+
+# --- findings ----------------------------------------------------------------
+
+
+class Finding:
+    def __init__(self, rule: str, path: str, line: int, message: str,
+                 snippet: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+        self.snippet = snippet.strip()
+
+    def key(self) -> tuple:
+        return (self.rule, self.path, self.line)
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --- rule: epoch-bump --------------------------------------------------------
+# Receiver spelling is deliberate: the switch-table code names the tag class
+# `cls` and the location tier `tier`; only the former carries a tag epoch.
+
+_EPOCH_MUTATION = re.compile(
+    r"\bcls(?:->|\.)by_prefix\.(?:emplace|erase|insert|clear)\s*\("
+    r"|\bcls(?:->|\.)def\s*=[^=]"
+    r"|\.def\.reset\s*\("
+    r"|\.def\.emplace\s*\("
+)
+_NOTE_TAG = re.compile(r"\bnote_tag\s*\(")
+_EPOCH_WINDOW = 6  # lines on each side a note_tag() may sit
+
+
+def check_epoch_bump(path: str, lines: list[str]) -> list[Finding]:
+    if "dataplane" not in path:
+        return []
+    out = []
+    has_note = [bool(_NOTE_TAG.search(l)) for l in lines]
+    for i, line in enumerate(lines):
+        if not _EPOCH_MUTATION.search(line):
+            continue
+        lo = max(0, i - _EPOCH_WINDOW)
+        hi = min(len(lines), i + _EPOCH_WINDOW + 1)
+        if not any(has_note[lo:hi]):
+            out.append(Finding(
+                "epoch-bump", path, i + 1,
+                "tag-class mutation without a note_tag() epoch bump within "
+                f"{_EPOCH_WINDOW} lines; the fast-path memo keys on that "
+                "epoch", line))
+    return out
+
+
+# --- rule: naked-mutex -------------------------------------------------------
+
+_NAKED_MUTEX = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|timed_mutex|recursive_mutex"
+    r"|condition_variable(?:_any)?|lock_guard|unique_lock|shared_lock"
+    r"|scoped_lock)\b"
+)
+
+
+def check_naked_mutex(path: str, lines: list[str]) -> list[Finding]:
+    if path.endswith("util/annotations.hpp"):
+        return []  # the one place allowed to touch the std primitives
+    out = []
+    for i, line in enumerate(lines):
+        m = _NAKED_MUTEX.search(line)
+        if m:
+            out.append(Finding(
+                "naked-mutex", path, i + 1,
+                f"{m.group(0)} outside the sc:: capability wrappers "
+                "(util/annotations.hpp); thread-safety analysis cannot see "
+                "this lock", line))
+    return out
+
+
+# --- rule: hotpath-blocking --------------------------------------------------
+
+_HOTPATH_BEGIN = re.compile(r"sc-lint:\s*hotpath\(([A-Za-z0-9_-]+)\)")
+_HOTPATH_END = re.compile(r"sc-lint:\s*endhotpath\(([A-Za-z0-9_-]+)\)")
+_BLOCKING = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|condition_variable(?:_any)?|lock_guard"
+    r"|unique_lock|shared_lock|scoped_lock|unordered_map|unordered_set"
+    r"|unordered_multimap|unordered_multiset)\b"
+    r"|\bsc::(?:Mutex|SharedMutex|LockGuard|UniqueLock|WriteLock|ReadLock"
+    r"|CondVar)\b"
+    r"|\bsleep_for\s*\(|\bsleep_until\s*\(|\busleep\s*\(|\bsleep\s*\("
+)
+
+
+def check_hotpath(path: str, raw_lines: list[str],
+                  stripped: list[str]) -> list[Finding]:
+    # Region markers live in comments, so they are parsed from the raw
+    # text; the blocking-token scan runs on the stripped text.
+    out = []
+    open_regions: dict[str, int] = {}
+    for i, raw in enumerate(raw_lines):
+        begin = _HOTPATH_BEGIN.search(raw)
+        end = _HOTPATH_END.search(raw)
+        if begin and not end:
+            name = begin.group(1)
+            if name in open_regions:
+                out.append(Finding(
+                    "hotpath-blocking", path, i + 1,
+                    f"hotpath region '{name}' opened twice (unterminated at "
+                    f"line {open_regions[name] + 1}?)", raw))
+            open_regions[name] = i
+            continue
+        if end:
+            name = end.group(1)
+            if name not in open_regions:
+                out.append(Finding(
+                    "hotpath-blocking", path, i + 1,
+                    f"endhotpath('{name}') with no matching open", raw))
+            open_regions.pop(name, None)
+            continue
+        if open_regions:
+            m = _BLOCKING.search(stripped[i])
+            if m:
+                names = ", ".join(sorted(open_regions))
+                out.append(Finding(
+                    "hotpath-blocking", path, i + 1,
+                    f"{m.group(0).strip()} inside hotpath region "
+                    f"[{names}]; hot regions must stay lock-free, "
+                    "sleep-free and node-allocation-free", raw))
+    for name, line in open_regions.items():
+        out.append(Finding(
+            "hotpath-blocking", path, line + 1,
+            f"hotpath region '{name}' never closed "
+            "(missing sc-lint: endhotpath)", raw_lines[line]))
+    return out
+
+
+# --- rule: naked-rand --------------------------------------------------------
+
+_NAKED_RAND = re.compile(
+    r"\bstd::random_device\b|\bstd::mt19937(?:_64)?\b"
+    r"|(?<![\w:.>])s?rand\s*\("
+)
+
+
+def check_naked_rand(path: str, lines: list[str]) -> list[Finding]:
+    if path.endswith("util/rng.hpp"):
+        return []  # the deterministic Rng implementation itself
+    out = []
+    for i, line in enumerate(lines):
+        m = _NAKED_RAND.search(line)
+        if m:
+            out.append(Finding(
+                "naked-rand", path, i + 1,
+                f"{m.group(0).strip()} outside util/rng.hpp breaks "
+                "seed-replay determinism (chaos shrinking, CI repro)", line))
+    return out
+
+
+# --- rule: iostream-write ----------------------------------------------------
+
+_IOSTREAM = re.compile(
+    r"\bstd::(?:cout|cerr|clog)\b|(?<![\w:.>])f?printf\s*\(|\bputs\s*\("
+)
+
+
+def check_iostream(path: str, lines: list[str]) -> list[Finding]:
+    out = []
+    for i, line in enumerate(lines):
+        m = _IOSTREAM.search(line)
+        if m:
+            out.append(Finding(
+                "iostream-write", path, i + 1,
+                f"{m.group(0).strip()} in library code; return values "
+                "(RunReport, ostringstream) instead -- worker threads must "
+                "not write to process-global streams", line))
+    return out
+
+
+RULES = {
+    "epoch-bump": "tag-class mutations must bump the structural epoch",
+    "naked-mutex": "std:: sync primitives only inside util/annotations.hpp",
+    "hotpath-blocking": "no locks/sleeps/unordered_* in hotpath regions",
+    "naked-rand": "all randomness through util/rng.hpp",
+    "iostream-write": "no stdout/stderr writes from library code",
+}
+
+
+def scan_file(root: Path, file: Path) -> list[Finding]:
+    rel = file.relative_to(root).as_posix()
+    raw = file.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.splitlines()
+    stripped_lines = strip_comments(raw).splitlines()
+    # splitlines() on the stripped text can only differ if the file ends
+    # mid-comment; pad defensively.
+    while len(stripped_lines) < len(raw_lines):
+        stripped_lines.append("")
+    findings = []
+    findings += check_epoch_bump(rel, stripped_lines)
+    findings += check_naked_mutex(rel, stripped_lines)
+    findings += check_hotpath(rel, raw_lines, stripped_lines)
+    findings += check_naked_rand(rel, stripped_lines)
+    findings += check_iostream(rel, stripped_lines)
+    return findings
+
+
+# --- suppressions ------------------------------------------------------------
+
+_SUPPRESSION_RE = re.compile(
+    r"^(?P<rule>[a-z-]+)\s+(?P<path>\S+):(?P<line>\d+)\s+(?P<why>\S.*)$")
+
+
+def load_suppressions(path: Path) -> dict[tuple, str]:
+    table: dict[tuple, str] = {}
+    if not path.exists():
+        return table
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SUPPRESSION_RE.match(line)
+        if not m:
+            print(f"{path}:{lineno}: malformed suppression (want "
+                  f"'<rule> <path>:<line> <justification>'): {line}",
+                  file=sys.stderr)
+            sys.exit(2)
+        if m.group("rule") not in RULES:
+            print(f"{path}:{lineno}: unknown rule '{m.group('rule')}'",
+                  file=sys.stderr)
+            sys.exit(2)
+        key = (m.group("rule"), m.group("path"), int(m.group("line")))
+        table[key] = m.group("why")
+    return table
+
+
+# --- driver ------------------------------------------------------------------
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    out = []
+    for p in paths:
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.hpp")))
+            out.extend(sorted(p.rglob("*.cpp")))
+        elif p.suffix in (".hpp", ".cpp"):
+            out.append(p)
+    return sorted(set(out))
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", help="files or directories to lint")
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parent.parent,
+                    help="repo root findings are reported relative to")
+    ap.add_argument("--suppressions", type=Path, default=None,
+                    help="suppression file "
+                         "(default: tools/lint_suppressions.txt)")
+    ap.add_argument("--report", type=Path, default=None,
+                    help="write machine-readable JSON findings here")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule:18s} {desc}")
+        return 0
+
+    root = args.root.resolve()
+    targets = ([Path(p).resolve() for p in args.paths] if args.paths
+               else [root / "src"])
+    files = collect_files(targets)
+    if not files:
+        print("softcell-lint: no .hpp/.cpp files found", file=sys.stderr)
+        return 2
+
+    sup_path = args.suppressions or root / "tools" / "lint_suppressions.txt"
+    suppressions = load_suppressions(sup_path)
+
+    findings: list[Finding] = []
+    for f in files:
+        try:
+            rel_root = root if f.is_relative_to(root) else f.parent
+        except AttributeError:  # pragma: no cover (py<3.9)
+            rel_root = root
+        findings.extend(scan_file(rel_root, f))
+
+    active, suppressed = [], []
+    used_suppressions = set()
+    for finding in findings:
+        if finding.key() in suppressions:
+            suppressed.append(finding)
+            used_suppressions.add(finding.key())
+        else:
+            active.append(finding)
+
+    for finding in active:
+        print(finding)
+    for key in sorted(set(suppressions) - used_suppressions):
+        print(f"softcell-lint: note: unused suppression {key[0]} "
+              f"{key[1]}:{key[2]}", file=sys.stderr)
+
+    if args.report:
+        report = {
+            "version": 1,
+            "files_scanned": len(files),
+            "findings": [f.to_json() for f in active],
+            "suppressed": [
+                dict(f.to_json(), justification=suppressions[f.key()])
+                for f in suppressed
+            ],
+        }
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(json.dumps(report, indent=2) + "\n")
+
+    if active:
+        print(f"softcell-lint: {len(active)} finding(s) "
+              f"({len(suppressed)} suppressed) in {len(files)} files",
+              file=sys.stderr)
+        return 1
+    print(f"softcell-lint: clean ({len(files)} files, "
+          f"{len(suppressed)} suppressed)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
