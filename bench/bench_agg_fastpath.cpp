@@ -27,6 +27,7 @@
 
 #include "core/path.hpp"
 #include "fig7_common.hpp"
+#include "telemetry/export.hpp"
 #include "topo/routing.hpp"
 #include "util/rng.hpp"
 
@@ -208,53 +209,47 @@ int main(int argc, char** argv) {
   }
   if (mismatch) return 1;
 
-  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"bench\": \"agg_fastpath\",\n");
-    std::fprintf(f, "  \"base_stations\": %u,\n", bs_count);
-    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
-    std::fprintf(f, "  \"results\": [\n");
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      const auto mode_json = [&](const char* name, const ModeResult& m,
-                                 const char* tail) {
-        std::fprintf(
-            f,
-            "      \"%s\": {\"seconds\": %.4f, \"installs\": %llu,"
-            " \"installs_per_s\": %.0f, \"rules_scanned_per_install\": %.3f,"
-            " \"total_rules\": %zu, \"tags_in_use\": %zu,\n"
-            "        \"perf\": {\"candidate_scans\": %llu,"
-            " \"candidates_scored\": %llu, \"hop_evals\": %llu,"
-            " \"presence_skips\": %llu, \"filter_settles\": %llu,"
-            " \"bound_skips\": %llu,"
-            " \"memo_hits\": %llu, \"memo_misses\": %llu,"
-            " \"score_resolves\": %llu, \"scratch_reuses\": %llu}}%s\n",
-            name, m.seconds, static_cast<unsigned long long>(m.installs),
-            m.installs_per_s(), m.scanned_per_install(), m.total_rules,
-            m.tags_in_use,
-            static_cast<unsigned long long>(m.perf.candidate_scans),
-            static_cast<unsigned long long>(m.perf.candidates_scored),
-            static_cast<unsigned long long>(m.perf.hop_evals),
-            static_cast<unsigned long long>(m.perf.presence_skips),
-            static_cast<unsigned long long>(m.perf.filter_settles),
-            static_cast<unsigned long long>(m.perf.bound_skips),
-            static_cast<unsigned long long>(m.perf.memo_hits),
-            static_cast<unsigned long long>(m.perf.memo_misses),
-            static_cast<unsigned long long>(m.perf.score_resolves),
-            static_cast<unsigned long long>(m.perf.scratch_reuses), tail);
-      };
-      std::fprintf(f, "    {\"clauses\": %u, \"installs\": %llu,\n", r.clauses,
-                   static_cast<unsigned long long>(r.fast.installs));
-      mode_json("reference", r.ref, ",");
-      mode_json("fastpath", r.fast, ",");
-      std::fprintf(f,
-                   "      \"speedup_installs_per_s\": %.3f,"
-                   " \"identical_results\": true}%s\n",
-                   r.fast.installs_per_s() / r.ref.installs_per_s(),
-                   i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+  telemetry::BenchReport report("agg_fastpath");
+  report.meta_u64("base_stations", bs_count);
+  report.meta_bool("smoke", smoke);
+  const auto mode_json = [](telemetry::JsonWriter& w, std::string_view name,
+                            const ModeResult& m) {
+    w.key(name)
+        .begin_object()
+        .num("seconds", m.seconds, 4)
+        .u64("installs", m.installs)
+        .num("installs_per_s", m.installs_per_s(), 0)
+        .num("rules_scanned_per_install", m.scanned_per_install(), 3)
+        .u64("total_rules", m.total_rules)
+        .u64("tags_in_use", m.tags_in_use)
+        .key("perf")
+        .begin_object()
+        .u64("candidate_scans", m.perf.candidate_scans)
+        .u64("candidates_scored", m.perf.candidates_scored)
+        .u64("hop_evals", m.perf.hop_evals)
+        .u64("presence_skips", m.perf.presence_skips)
+        .u64("filter_settles", m.perf.filter_settles)
+        .u64("bound_skips", m.perf.bound_skips)
+        .u64("memo_hits", m.perf.memo_hits)
+        .u64("memo_misses", m.perf.memo_misses)
+        .u64("score_resolves", m.perf.score_resolves)
+        .u64("scratch_reuses", m.perf.scratch_reuses)
+        .end_object()
+        .end_object();
+  };
+  for (const Row& r : rows) {
+    auto row = report.row();
+    row.begin_object().u64("clauses", r.clauses).u64("installs",
+                                                     r.fast.installs);
+    mode_json(row, "reference", r.ref);
+    mode_json(row, "fastpath", r.fast);
+    row.num("speedup_installs_per_s",
+            r.fast.installs_per_s() / r.ref.installs_per_s(), 3)
+        .boolean("identical_results", true)
+        .end_object();
+    report.add_row(std::move(row));
+  }
+  if (report.write(out_path)) {
     std::printf("  wrote %s\n", out_path.c_str());
   } else {
     std::fprintf(stderr, "could not write %s\n", out_path.c_str());

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/export.hpp"
 #include "workload/cbench.hpp"
 
 using namespace softcell;
@@ -56,9 +57,11 @@ int main(int argc, char** argv) {
     std::uint64_t fingerprint;
   };
   std::vector<Row> rows;
+  MetricsSnapshot last_metrics;  // snapshot of the widest run, exported below
   for (const unsigned workers : worker_sweep) {
     config.workers = workers;
     const auto r = bench_runtime_pipeline(topo, config);
+    last_metrics = r.metrics;
     Row row;
     row.workers = workers;
     row.per_second = r.total.per_second();
@@ -102,35 +105,35 @@ int main(int argc, char** argv) {
                 " and do not measure parallel scaling.\n",
                 hw, max_workers);
 
-  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"bench\": \"runtime_scaling\",\n");
-    std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
-    std::fprintf(f, "  \"valid_scaling\": %s,\n",
-                 valid_scaling ? "true" : "false");
-    std::fprintf(f, "  \"shards\": %zu,\n", config.shards);
-    std::fprintf(f, "  \"requests\": %llu,\n",
-                 static_cast<unsigned long long>(config.requests));
-    std::fprintf(f, "  \"path_request_ratio\": %.3f,\n",
-                 config.path_request_ratio);
-    std::fprintf(f, "  \"fingerprint\": \"%016llx\",\n",
-                 static_cast<unsigned long long>(rows.front().fingerprint));
-    std::fprintf(f, "  \"results\": [\n");
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      std::fprintf(f,
-                   "    {\"workers\": %u, \"requests_per_s\": %.0f,"
-                   " \"seconds\": %.4f, \"p50_ns\": %llu, \"p99_ns\": %llu,"
-                   " \"coalesced_misses\": %llu, \"speedup_vs_1\": %.3f}%s\n",
-                   r.workers, r.per_second, r.seconds,
-                   static_cast<unsigned long long>(r.p50_ns),
-                   static_cast<unsigned long long>(r.p99_ns),
-                   static_cast<unsigned long long>(r.coalesced),
-                   r.per_second / rows.front().per_second,
-                   i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+  telemetry::BenchReport report("runtime_scaling");
+  report.meta_u64("hardware_threads", hw);
+  report.meta_bool("valid_scaling", valid_scaling);
+  report.meta_bool("smoke", smoke);
+  report.meta_u64("shards", config.shards);
+  report.meta_u64("requests", config.requests);
+  report.meta_num("path_request_ratio", config.path_request_ratio, 3);
+  char fp[17];
+  std::snprintf(fp, sizeof fp, "%016llx",
+                static_cast<unsigned long long>(rows.front().fingerprint));
+  report.meta_str("fingerprint", fp);
+  for (const Row& r : rows) {
+    auto row = report.row();
+    row.begin_object()
+        .u64("workers", r.workers)
+        .num("requests_per_s", r.per_second, 0)
+        .num("seconds", r.seconds, 4)
+        .u64("p50_ns", r.p50_ns)
+        .u64("p99_ns", r.p99_ns)
+        .u64("coalesced_misses", r.coalesced)
+        .num("speedup_vs_1", r.per_second / rows.front().per_second, 3)
+        .end_object();
+    report.add_row(std::move(row));
+  }
+  telemetry::Snapshot snapshot;
+  last_metrics.contribute(snapshot);
+  snapshot.finish();
+  report.metrics(snapshot);
+  if (report.write(out_path)) {
     std::printf("\n  wrote %s\n", out_path.c_str());
   } else {
     std::fprintf(stderr, "could not write %s\n", out_path.c_str());

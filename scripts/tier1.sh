@@ -7,7 +7,10 @@
 #                  report SKIP, never silent PASS
 #   3. ctest -L chaos      -- the 200-seed fault-injection corpus
 #   4. ctest -L nofastpath -- engine + e2e with SOFTCELL_FASTPATH=0
-#   5. ASan + TSan + UBSan rebuilds running the concurrency|chaos labels
+#   5. telemetry -- an off-mode rebuild (-DSOFTCELL_TELEMETRY=OFF proves
+#      the tree compiles with spans erased) plus the disarmed-overhead
+#      smoke bench with its JSON output validated
+#   6. ASan + TSan + UBSan rebuilds running the concurrency|chaos labels
 #      with a trimmed corpus (SOFTCELL_CHAOS_SEEDS)
 #
 # Every stage runs even if an earlier one fails; a per-stage
@@ -96,6 +99,25 @@ fi
 
 run_stage "tests (chaos)"    bash -c 'cd build && ctest --output-on-failure -L chaos'
 run_stage "tests (nofastpath)" bash -c 'cd build && ctest --output-on-failure -L nofastpath'
+
+# --- telemetry stage ---------------------------------------------------------
+# The telemetry-labelled tests in the default tree already ran inside
+# "tests (full)"; this stage adds what that tree cannot check:
+#   * the whole library builds with tracing compiled OUT (macro no-ops,
+#     header-only stubs -- a missing gate shows up only here), and its
+#     telemetry-labelled tests still pass (test_telemetry skips its tracing
+#     cases, test_telemetry_off pins the stub guarantees);
+#   * the disarmed-tracing overhead bench stays within its <=3% budget
+#     (exit code) and emits machine-readable JSON.
+run_stage "telemetry (off-mode build)" bash -c \
+  'cmake -B build-notel -S . -DSOFTCELL_TELEMETRY=OFF &&
+   cmake --build build-notel -j --target test_telemetry test_telemetry_off \
+     bench_telemetry_overhead &&
+   cd build-notel && ctest --output-on-failure -L telemetry'
+run_stage "telemetry (overhead smoke)" bash -c \
+  'SOFTCELL_SMOKE=1 ./build/bench/bench_telemetry_overhead \
+     build/bench/SMOKE_telemetry.json &&
+   python3 -c "import json,sys; d=json.load(open(\"build/bench/SMOKE_telemetry.json\")); sys.exit(0 if d[\"schema\"]==\"softcell-bench-1\" and d[\"results\"][0][\"within_budget\"] else 1)"'
 
 if [[ "$PERF" == 1 ]]; then
   run_stage "bench (perf smoke)" bash -c 'cd build && ctest --output-on-failure -L perf'

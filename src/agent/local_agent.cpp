@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/trace.hpp"
+
 namespace softcell {
 
 LocalAgent::LocalAgent(std::uint32_t bs_index, AddressPlan plan,
@@ -145,7 +147,12 @@ LocalAgent::FlowResult LocalAgent::handle_new_flow(UeId ue,
     out.tag = *cls->tag;
   } else {
     // Miss: the first flow at this base station needing this policy path.
+    // This is the edge of the causal chain -- mint a fresh trace id here
+    // and every span downstream (runtime pipeline, controller, engine,
+    // FlowMod install) stitches onto it.
     ++misses_;
+    telemetry::TraceScope trace_scope(telemetry::new_trace_id());
+    SC_TRACE_SPAN_ARG("agent.classifier_miss", ue.value());
     out.tag = path_requester_
                   ? path_requester_(ue, bs_index_, cls->clause)
                   : controller_->request_policy_path(bs_index_, cls->clause);

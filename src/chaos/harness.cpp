@@ -2,6 +2,8 @@
 
 #include <charconv>
 #include <cstddef>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <unordered_set>
@@ -9,6 +11,8 @@
 #include <vector>
 
 #include "sim/network.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/trace.hpp"
 
 namespace softcell::chaos {
 namespace {
@@ -92,6 +96,14 @@ class Runner {
   }
 
   RunReport run() {
+    // Arm the flight recorder for the run: on a violation the recent spans
+    // (classifier miss -> runtime -> controller -> engine -> flow-mod,
+    // plus the chaos.step markers) ship with the shrunken repro.  Records
+    // carry no wall-clock-derived *behaviour*, so the determinism digest
+    // is unaffected.
+    telemetry::Tracer& tracer = telemetry::Tracer::global();
+    tracer.reset();
+    tracer.arm();
     try {
       for (cur_ = 0; cur_ < sc_.steps.size(); ++cur_) {
         exec(sc_.steps[cur_]);
@@ -103,10 +115,13 @@ class Runner {
     } catch (const ViolationError& v) {
       rep_.ok = false;
       rep_.violation = v.v;
+      capture_trace(tracer);
     } catch (const std::exception& e) {
       rep_.ok = false;
       rep_.violation = Violation{0, cur_, e.what()};
+      capture_trace(tracer);
     }
+    tracer.disarm();
     rep_.digest = dig_.h;
     if (net_->mirror()) rep_.faults = net_->mirror()->fault_stats();
     return rep_;
@@ -139,6 +154,23 @@ class Runner {
 
   [[noreturn]] void violate(int invariant, std::string detail) {
     throw ViolationError{Violation{invariant, cur_, std::move(detail)}};
+  }
+
+  // Dumps the flight recorder as Chrome trace JSON into the report (and to
+  // $SOFTCELL_TRACE_OUT when set).  During shrinking every failing
+  // candidate overwrites the file, so what survives on disk is the trace
+  // of the final, minimal repro.
+  void capture_trace(telemetry::Tracer& tracer) {
+    if (!telemetry::kSpansEnabled) return;
+    const auto records = tracer.flight();
+    rep_.trace_json =
+        telemetry::chrome_trace_json(records, tracer.names(),
+                                     tracer.dropped());
+    if (const char* path = std::getenv("SOFTCELL_TRACE_OUT");
+        path != nullptr && *path != '\0') {
+      std::ofstream out(path);
+      if (out) out << rep_.trace_json << '\n';
+    }
   }
 
   [[nodiscard]] std::uint32_t num_bs() const {
@@ -191,6 +223,7 @@ class Runner {
   }
 
   void exec(const Step& s) {
+    SC_TRACE_EVENT("chaos.step", static_cast<std::uint64_t>(s.kind));
     dig_.mix(static_cast<std::uint64_t>(s.kind));
     switch (s.kind) {
       case Step::Kind::kAttach: return do_attach(s);

@@ -77,6 +77,13 @@ struct RunReport {
   std::size_t handoffs = 0;
   std::size_t quiesces = 0;
   ofp::FaultStats faults;  // cumulative fault-layer activity (main net)
+
+  // Chrome trace_event JSON of the telemetry flight recorder at the moment
+  // of violation (the causal spans leading up to the failure), written
+  // next to the SOFTCELL_CHAOS_REPLAY line.  Empty when the run passed or
+  // when tracing is compiled out (SOFTCELL_TELEMETRY=OFF).  Also dumped to
+  // the path in $SOFTCELL_TRACE_OUT, if set.
+  std::string trace_json;
 };
 
 // Runs one scenario to completion (or to the first violation).

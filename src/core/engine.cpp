@@ -1,3 +1,6 @@
+// sc-lint: metrics-owner(AggPerf) -- the engine's hot-path counters are
+// incremented here and nowhere else; everyone else reads them through
+// perf() / the telemetry registry (rule `metrics-direct`).
 #include "core/engine.hpp"
 
 #include <algorithm>
@@ -7,6 +10,8 @@
 #include <sstream>
 #include <stdexcept>
 #include <unordered_set>
+
+#include "telemetry/trace.hpp"
 
 namespace softcell {
 
@@ -367,6 +372,7 @@ AggregationEngine::InstallResult AggregationEngine::install(
   const std::uint64_t bsd = bs_key(bs_index, dir);
   if (pin && !hint)
     throw std::invalid_argument("install: pin requires a hint tag");
+  SC_TRACE_SPAN_ARG("engine.install", bs_index);
   ++perf_.installs;
   if (scratch_.warm)
     ++perf_.scratch_reuses;

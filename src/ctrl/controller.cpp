@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "telemetry/trace.hpp"
+
 namespace softcell {
 
 Controller::Controller(const CellularTopology& topo, ServicePolicy policy,
@@ -157,6 +159,7 @@ using InstallResultAlias = AggregationEngine::InstallResult;
 
 Controller::InstalledPath Controller::install_path_locked(
     std::uint32_t bs, ClauseId clause, std::optional<PolicyTag> hint) {
+  SC_TRACE_SPAN_ARG("ctrl.install_path", bs);
   const auto instances = select_instances_locked(bs, clause);
   selected_[SlowState::PathKey{clause, bs}] = instances;
   const auto up = expand_policy_path(topo_->graph(), routes_,
@@ -206,6 +209,7 @@ PolicyTag Controller::request_policy_path_locked(std::uint32_t bs,
 }
 
 PolicyTag Controller::request_policy_path(std::uint32_t bs, ClauseId clause) {
+  SC_TRACE_SPAN_ARG("ctrl.request_policy_path", bs);
   sc::WriteLock lock(mu_);
   return request_policy_path_locked(bs, clause);
 }

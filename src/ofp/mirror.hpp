@@ -33,6 +33,8 @@
 
 #include "core/engine.hpp"
 #include "ofp/switch_agent.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/annotations.hpp"
 
 namespace softcell::ofp {
@@ -42,6 +44,12 @@ class Mirror {
   // Subscribes to `engine`; replaces any previously set sink.
   explicit Mirror(AggregationEngine& engine) {
     engine.set_op_sink([this](const RuleOp& op) { enqueue(op); });
+    // fault_stats() takes mu_; collectors run outside the registry lock,
+    // so the only ordering is the documented controller.mu_ -> Mirror::mu_.
+    collector_ = telemetry::Registry::global().add_collector(
+        [this](telemetry::MetricSink& sink) {
+          fault_stats().contribute(sink, "ofp.fault.");
+        });
   }
 
   // Flushes every channel behind a barrier; returns the number of flow-mods
@@ -112,6 +120,9 @@ class Mirror {
 
  private:
   void enqueue(const RuleOp& op) SC_EXCLUDES(mu_) {
+    // Tail of the causal chain: the FlowMod leaving for switch `op.sw`
+    // carries the trace id minted at the classifier miss.
+    SC_TRACE_EVENT("ofp.flowmod", op.sw.value());
     sc::LockGuard lock(mu_);
     auto [it, fresh] = channels_.try_emplace(op.sw, op.sw);
     if (fresh && faults_.any()) it->second.set_faults(faults_, fault_seed_);
@@ -123,6 +134,9 @@ class Mirror {
   std::uint32_t next_xid_ SC_GUARDED_BY(mu_) = 1;
   FaultSpec faults_ SC_GUARDED_BY(mu_);
   std::uint64_t fault_seed_ SC_GUARDED_BY(mu_) = 0;
+  // Publishes folded fault stats on Registry::collect(); unregisters on
+  // destruction (declared last so it dies first).
+  telemetry::Registry::CollectorHandle collector_;
 };
 
 }  // namespace softcell::ofp

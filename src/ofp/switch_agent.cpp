@@ -1,3 +1,6 @@
+// sc-lint: metrics-owner(FaultStats) -- the fault layer's counters are
+// incremented here and nowhere else; everyone else reads them through
+// fault_stats() / the telemetry registry (rule `metrics-direct`).
 #include "ofp/switch_agent.hpp"
 
 #include <utility>

@@ -19,10 +19,12 @@
 #include <map>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dataplane/switch_table.hpp"
 #include "ofp/flowmod.hpp"
+#include "telemetry/registry.hpp"
 #include "util/rng.hpp"
 
 namespace softcell::ofp {
@@ -83,6 +85,25 @@ struct FaultStats {
 
   [[nodiscard]] std::uint64_t injected() const {
     return drops + delays + reorders + duplicates + corrupts;
+  }
+
+  // Publishes the counters into a telemetry sink under `prefix` (see
+  // telemetry/registry.hpp); how the fault layer joins Registry::collect()
+  // without changing any increment site.
+  void contribute(telemetry::MetricSink& sink,
+                  std::string_view prefix = "ofp.fault.") const {
+    const auto name = [&](std::string_view leaf) {
+      std::string full(prefix);
+      full.append(leaf);
+      return full;
+    };
+    sink.counter(name("drops"), drops);
+    sink.counter(name("delays"), delays);
+    sink.counter(name("reorders"), reorders);
+    sink.counter(name("duplicates"), duplicates);
+    sink.counter(name("corrupts"), corrupts);
+    sink.counter(name("retransmits"), retransmits);
+    sink.counter(name("rounds"), rounds);
   }
 };
 

@@ -13,9 +13,11 @@
 
 #include <array>
 #include <atomic>
-#include <bit>
 #include <cstdint>
+#include <string>
+#include <string_view>
 
+#include "telemetry/registry.hpp"
 #include "util/annotations.hpp"
 
 namespace softcell {
@@ -30,20 +32,21 @@ namespace softcell {
 class LatencyHistogram {
  public:
   // Bucket 47 tops out at ~2^48 ns (~3 days); everything above saturates.
-  static constexpr std::size_t kBuckets = 48;
+  // Geometry lives in telemetry/registry.hpp so the registry's histograms
+  // and the exporters agree with us bucket for bucket.
+  static constexpr std::size_t kBuckets = telemetry::kHistogramBuckets;
 
   void record(std::uint64_t nanos) {
     buckets_[bucket_of(nanos)].fetch_add(1, std::memory_order_relaxed);
   }
 
   [[nodiscard]] static std::size_t bucket_of(std::uint64_t nanos) {
-    const std::size_t b = nanos == 0 ? 0 : std::bit_width(nanos) - 1;
-    return b < kBuckets ? b : kBuckets - 1;
+    return telemetry::histogram_bucket_of(nanos);
   }
   // Upper bound (exclusive) of a bucket, i.e. the value reported for
   // quantiles that land in it -- a conservative (pessimistic) estimate.
   [[nodiscard]] static std::uint64_t bucket_upper(std::size_t bucket) {
-    return bucket + 1 >= 64 ? UINT64_MAX : (std::uint64_t{1} << (bucket + 1));
+    return telemetry::histogram_bucket_upper(bucket);
   }
 
   void merge_into(std::array<std::uint64_t, kBuckets>& out) const {
@@ -99,6 +102,37 @@ struct MetricsSnapshot {
       if (seen > rank) return LatencyHistogram::bucket_upper(i);
     }
     return LatencyHistogram::bucket_upper(latency_buckets.size() - 1);
+  }
+
+  // Publishes the snapshot into a telemetry sink: runtime counters under
+  // `prefix` (default "runtime."), the latency histogram as
+  // `prefix`latency_ns, and the engine counters under "agg.".  This is how
+  // the runtime's metrics reach Registry::collect() and the BENCH_*.json
+  // exporter without changing any increment site.
+  void contribute(telemetry::MetricSink& sink,
+                  std::string_view prefix = "runtime.") const {
+    const auto name = [&](std::string_view leaf) {
+      std::string full(prefix);
+      full.append(leaf);
+      return full;
+    };
+    sink.counter(name("requests"), requests);
+    sink.counter(name("classifier_fetches"), classifier_fetches);
+    sink.counter(name("path_requests"), path_requests);
+    sink.counter(name("coalesced_misses"), coalesced_misses);
+    sink.counter(name("errors"), errors);
+    sink.histogram(name("latency_ns"), latency_buckets);
+    sink.counter("agg.installs", agg_installs);
+    sink.counter("agg.candidate_scans", agg_candidate_scans);
+    sink.counter("agg.candidates_scored", agg_candidates_scored);
+    sink.counter("agg.hop_evals", agg_hop_evals);
+    sink.counter("agg.presence_skips", agg_presence_skips);
+    sink.counter("agg.filter_settles", agg_filter_settles);
+    sink.counter("agg.bound_skips", agg_bound_skips);
+    sink.counter("agg.memo_hits", agg_memo_hits);
+    sink.counter("agg.memo_misses", agg_memo_misses);
+    sink.counter("agg.score_resolves", agg_score_resolves);
+    sink.counter("agg.scratch_reuses", agg_scratch_reuses);
   }
 };
 

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/trace.hpp"
+
 namespace softcell {
 
 ControlPlaneRuntime::ControlPlaneRuntime(ShardedController& controller,
@@ -35,6 +37,10 @@ bool ControlPlaneRuntime::post(Request request) {
   Job job;
   job.shard = controller_.shard_of(request.ue);
   job.submitted = Clock::now();
+  // Inherit the poster's causal chain so the worker-side spans stitch onto
+  // the span that crossed the queue (e.g. the LocalAgent classifier miss).
+  if (request.trace_id == 0)
+    request.trace_id = telemetry::current_trace_id();
 
   if (request.kind == RequestKind::kPolicyPath &&
       options_.coalesce_path_misses) {
@@ -97,6 +103,8 @@ void ControlPlaneRuntime::complete_one() {
 
 void ControlPlaneRuntime::execute(unsigned, Job& job) {
   Request& r = job.request;
+  telemetry::TraceScope trace_scope(r.trace_id);
+  SC_TRACE_SPAN_ARG("runtime.execute", job.shard);
   Response response;
   try {
     switch (r.kind) {

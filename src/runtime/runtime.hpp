@@ -66,6 +66,11 @@ struct Request {
   ClauseId clause{};       // kPolicyPath
   LocalUeId local{};       // kAttach / kUpdateLocation
   SubscriberProfile profile{};  // kProvision
+  // Causal chain id (telemetry/trace.hpp).  0 = inherit the poster's
+  // current trace id; workers re-establish it via TraceScope so spans on
+  // both sides of the queue stitch into one chain.  Present even in
+  // SOFTCELL_TELEMETRY=OFF builds to keep the struct layout stable.
+  std::uint64_t trace_id = 0;
   // Optional completion; runs on the worker thread.
   std::function<void(Response&&)> done;
 };

@@ -25,6 +25,13 @@ ShardedController::ShardedController(const CellularTopology& topo,
     shards_.push_back(
         std::make_unique<Controller>(topo, snapshot, options.controller));
   metrics_ = std::make_unique<ShardMetrics[]>(options.shards);
+  // Behind-the-accessor migration onto the telemetry registry: collect()
+  // pulls the same aggregate the accessors expose.  `this` outlives the
+  // handle (member order), so the capture is safe.
+  collector_ = telemetry::Registry::global().add_collector(
+      [this](telemetry::MetricSink& sink) {
+        aggregate_metrics().contribute(sink, "runtime.");
+      });
 }
 
 std::size_t ShardedController::shard_of(UeId ue) const {

@@ -51,6 +51,7 @@
 #include "ctrl/controller.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/snapshot.hpp"
+#include "telemetry/registry.hpp"
 
 namespace softcell {
 
@@ -115,6 +116,10 @@ class ShardedController {
   VersionedSnapshot<ServicePolicy> policy_;
   std::vector<std::unique_ptr<Controller>> shards_;
   std::unique_ptr<ShardMetrics[]> metrics_;
+  // Publishes aggregate_metrics() (runtime.* and agg.*) into the global
+  // telemetry registry on every Registry::collect(); unregisters on
+  // destruction.  Declared last so it dies first.
+  telemetry::Registry::CollectorHandle collector_;
 };
 
 }  // namespace softcell

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "telemetry/trace.hpp"
+
 namespace softcell {
 
 namespace {
@@ -87,12 +89,14 @@ AccessSwitch* SoftCellNetwork::access_by_node(NodeId node) {
 
 std::vector<PacketClassifier> SoftCellNetwork::cp_fetch_classifiers(
     UeId ue, std::uint32_t bs) {
+  SC_TRACE_SPAN_ARG("sim.fetch_classifiers", bs);
   if (runtime_) return runtime_->fetch_classifiers(ue, bs);
   return controller_.fetch_classifiers(ue, bs);
 }
 
 PolicyTag SoftCellNetwork::cp_request_policy_path(UeId ue, std::uint32_t bs,
                                                   ClauseId clause) {
+  SC_TRACE_SPAN_ARG("sim.path_request", bs);
   if (runtime_) return runtime_->request_policy_path(ue, bs, clause);
   return controller_.request_policy_path(bs, clause);
 }

@@ -1,0 +1,280 @@
+#include "telemetry/export.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+namespace softcell::telemetry {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+// --- JsonWriter -------------------------------------------------------------
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!has_value_.empty()) {
+    if (has_value_.back()) buf_ += ',';
+    has_value_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  buf_ += '{';
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!has_value_.empty());
+  has_value_.pop_back();
+  buf_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  buf_ += '[';
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!has_value_.empty());
+  has_value_.pop_back();
+  buf_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  assert(!pending_key_);
+  if (!has_value_.empty()) {
+    if (has_value_.back()) buf_ += ',';
+    has_value_.back() = true;
+  }
+  buf_ += '"';
+  append_escaped(buf_, name);
+  buf_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::str(std::string_view v) {
+  before_value();
+  buf_ += '"';
+  append_escaped(buf_, v);
+  buf_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::u64(std::uint64_t v) {
+  before_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(v));
+  buf_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::i64(std::int64_t v) {
+  before_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  buf_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::num(double v, int decimals) {
+  before_value();
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  buf_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::boolean(bool v) {
+  before_value();
+  buf_ += v ? "true" : "false";
+  return *this;
+}
+
+// --- Chrome trace export ----------------------------------------------------
+
+std::string chrome_trace_json(std::span<const TraceRecord> records,
+                              const std::vector<std::string>& names,
+                              std::uint64_t dropped) {
+  JsonWriter w;
+  w.begin_object();
+  w.str("displayTimeUnit", "ms");
+  w.key("otherData").begin_object();
+  w.u64("dropped_records", dropped);
+  w.u64("record_count", records.size());
+  w.end_object();
+  w.key("traceEvents").begin_array();
+  for (const TraceRecord& rec : records) {
+    w.begin_object();
+    const std::string_view name =
+        rec.name < names.size() ? std::string_view(names[rec.name])
+                                : std::string_view("?");
+    w.str("name", name);
+    w.str("cat", "softcell");
+    if (rec.kind == kRecordSpan) {
+      w.str("ph", "X");
+      w.num("ts", static_cast<double>(rec.start_ns) / 1000.0, 3);
+      w.num("dur", static_cast<double>(rec.dur_ns) / 1000.0, 3);
+    } else {
+      w.str("ph", "i");
+      w.num("ts", static_cast<double>(rec.start_ns) / 1000.0, 3);
+      w.str("s", "t");
+    }
+    w.u64("pid", 1);
+    w.u64("tid", rec.tid);
+    w.key("args").begin_object();
+    w.u64("trace_id", rec.trace_id);
+    w.u64("arg", rec.arg);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+// --- BenchReport ------------------------------------------------------------
+
+void BenchReport::meta_str(std::string_view key, std::string_view v) {
+  JsonWriter w;
+  w.str(v);
+  meta_.emplace_back(std::string(key), w.take());
+}
+
+void BenchReport::meta_u64(std::string_view key, std::uint64_t v) {
+  JsonWriter w;
+  w.u64(v);
+  meta_.emplace_back(std::string(key), w.take());
+}
+
+void BenchReport::meta_i64(std::string_view key, std::int64_t v) {
+  JsonWriter w;
+  w.i64(v);
+  meta_.emplace_back(std::string(key), w.take());
+}
+
+void BenchReport::meta_num(std::string_view key, double v, int decimals) {
+  JsonWriter w;
+  w.num(v, decimals);
+  meta_.emplace_back(std::string(key), w.take());
+}
+
+void BenchReport::meta_bool(std::string_view key, bool v) {
+  JsonWriter w;
+  w.boolean(v);
+  meta_.emplace_back(std::string(key), w.take());
+}
+
+void BenchReport::metrics(const Snapshot& snapshot) {
+  JsonWriter w;
+  w.begin_object();
+  for (const Sample& s : snapshot.samples()) {
+    switch (s.type) {
+      case Sample::Type::kCounter:
+        w.u64(s.name, s.count);
+        break;
+      case Sample::Type::kGauge:
+        w.i64(s.name, s.value);
+        break;
+      case Sample::Type::kHistogram:
+        w.key(s.name).begin_object();
+        w.u64("count", s.count);
+        w.u64("p50_ns", s.quantile_upper(0.50));
+        w.u64("p99_ns", s.quantile_upper(0.99));
+        w.end_object();
+        break;
+    }
+  }
+  w.end_object();
+  metrics_ = w.take();
+}
+
+std::string BenchReport::render() const {
+  JsonWriter head;
+  head.begin_object();
+  head.str("schema", "softcell-bench-1");
+  head.str("bench", bench_);
+  // The outer object stays open; the buffered fragments (meta pairs, rows,
+  // metrics) are complete JSON values rendered by JsonWriter, so splicing
+  // with explicit commas keeps the document valid.
+  std::string doc = head.take();
+  doc += ",\"meta\":{";
+  bool first = true;
+  for (const auto& [key, value] : meta_) {
+    if (!first) doc += ',';
+    first = false;
+    JsonWriter kw;
+    kw.str(key);
+    doc += kw.take();
+    doc += ':';
+    doc += value;
+  }
+  doc += '}';
+  doc += ",\"results\":[";
+  first = true;
+  for (const std::string& row : rows_) {
+    if (!first) doc += ',';
+    first = false;
+    doc += row;
+  }
+  doc += ']';
+  if (!metrics_.empty()) {
+    doc += ",\"metrics\":";
+    doc += metrics_;
+  }
+  doc += '}';
+  return doc;
+}
+
+bool BenchReport::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render() << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace softcell::telemetry

@@ -1,0 +1,122 @@
+// softcell::telemetry -- exporters.
+//
+// Two output formats share one JsonWriter:
+//
+//   chrome_trace_json()  Chrome trace_event JSON (load via chrome://tracing
+//                        or https://ui.perfetto.dev) from drained
+//                        TraceRecords: spans as "ph":"X" complete events,
+//                        instant events as "ph":"i", timestamps in
+//                        microseconds, trace id and site argument in args.
+//
+//   BenchReport          the flat metrics JSON every bench_* binary emits
+//                        for its BENCH_*.json:
+//                          { "schema": "softcell-bench-1",
+//                            "bench":  "<binary name>",
+//                            "meta":    { scalar config/env },
+//                            "results": [ per-configuration rows ],
+//                            "metrics": { flat registry snapshot } }
+//                        Histograms flatten to {count, p50_ns, p99_ns}.
+//
+// File output goes through std::ofstream (project lint forbids printf-file
+// IO in src/).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
+
+namespace softcell::telemetry {
+
+// Minimal sequential JSON emitter: explicit begin/end nesting, automatic
+// commas, string escaping.  Misuse (value without key inside an object)
+// is a programming error and asserts in debug builds.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& str(std::string_view v);
+  JsonWriter& u64(std::uint64_t v);
+  JsonWriter& i64(std::int64_t v);
+  JsonWriter& num(double v, int decimals = 6);
+  JsonWriter& boolean(bool v);
+
+  // key-value conveniences
+  JsonWriter& str(std::string_view k, std::string_view v) {
+    return key(k).str(v);
+  }
+  JsonWriter& u64(std::string_view k, std::uint64_t v) {
+    return key(k).u64(v);
+  }
+  JsonWriter& i64(std::string_view k, std::int64_t v) {
+    return key(k).i64(v);
+  }
+  JsonWriter& num(std::string_view k, double v, int decimals = 6) {
+    return key(k).num(v, decimals);
+  }
+  JsonWriter& boolean(std::string_view k, bool v) {
+    return key(k).boolean(v);
+  }
+
+  [[nodiscard]] const std::string& out() const { return buf_; }
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+
+ private:
+  void before_value();
+  void raw(std::string_view text) { buf_.append(text); }
+
+  std::string buf_;
+  // One entry per open container: whether a value has been written at
+  // this level (comma needed before the next one).
+  std::vector<bool> has_value_;
+  bool pending_key_ = false;
+};
+
+// Renders drained records as a Chrome trace_event document.  `names` is
+// Tracer::names(); `dropped` lands in otherData so truncated captures are
+// visible in the viewer.
+[[nodiscard]] std::string chrome_trace_json(
+    std::span<const TraceRecord> records,
+    const std::vector<std::string>& names, std::uint64_t dropped);
+
+// Shared BENCH_*.json envelope.  Meta values and result rows are buffered
+// so callers can interleave; render() stitches the final document.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string_view bench) : bench_(bench) {}
+
+  void meta_str(std::string_view key, std::string_view v);
+  void meta_u64(std::string_view key, std::uint64_t v);
+  void meta_i64(std::string_view key, std::int64_t v);
+  void meta_num(std::string_view key, double v, int decimals = 6);
+  void meta_bool(std::string_view key, bool v);
+
+  // One result row: fill the writer with exactly one JSON object.
+  [[nodiscard]] JsonWriter row() const { return JsonWriter{}; }
+  void add_row(JsonWriter row) { rows_.push_back(row.take()); }
+
+  // Flattens a registry snapshot into the "metrics" section.
+  void metrics(const Snapshot& snapshot);
+
+  [[nodiscard]] std::string render() const;
+
+  // Writes render() to `path` (std::ofstream); returns false on IO error.
+  [[nodiscard]] bool write(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> meta_;  // key, raw json
+  std::vector<std::string> rows_;
+  std::string metrics_;  // raw json object body, empty = none
+};
+
+}  // namespace softcell::telemetry

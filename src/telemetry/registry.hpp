@@ -1,0 +1,268 @@
+// softcell::telemetry -- unified metrics registry.
+//
+// One spine for every counter in the tree (DESIGN.md section 13).  Metrics
+// are registered by name and come in three shapes:
+//
+//   Counter    monotonic u64, per-thread shards folded on read
+//   Gauge      last-written i64 (single atomic; writes are rare)
+//   Histogram  48 power-of-two buckets, per-thread shards folded on read
+//
+// Writers touch only their own cache-line-separated slot with relaxed
+// atomics, so instrumentation never contends; readers fold all slots into
+// a deterministic total (the sum is exact once writers have quiesced, and
+// monotonically non-decreasing while they race).
+//
+// Subsystems that keep their own counter structs behind existing accessors
+// (runtime MetricsSnapshot, engine AggPerf, ofp FaultStats) publish into
+// the registry through a Collector callback instead of migrating each
+// increment site; the `metrics-direct` lint rule pins those increments to
+// the owning file.  Registry::collect() folds registered metrics and
+// collector output into one flat, name-sorted Snapshot that the exporters
+// (telemetry/export.hpp) serialize.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/annotations.hpp"
+
+namespace softcell::telemetry {
+
+// ---------------------------------------------------------------------------
+// Shared histogram geometry.  Power-of-two buckets: bucket b covers
+// [2^b, 2^(b+1)); the top bucket absorbs overflow.  This is the geometry
+// runtime::LatencyHistogram has always used -- it now delegates here so
+// every histogram in the tree (and every exported quantile) agrees.
+
+inline constexpr std::size_t kHistogramBuckets = 48;
+
+[[nodiscard]] constexpr std::size_t histogram_bucket_of(
+    std::uint64_t value) noexcept {
+  const std::size_t b =
+      value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value)) - 1;
+  return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+}
+
+// Upper bound (exclusive) of a bucket: the value reported for quantiles
+// that land in it -- a conservative (pessimistic) estimate.
+[[nodiscard]] constexpr std::uint64_t histogram_bucket_upper(
+    std::size_t bucket) noexcept {
+  return bucket + 1 >= 64 ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << (bucket + 1));
+}
+
+// Upper bound of the bucket holding quantile q (0.0 .. 1.0) of the folded
+// bucket array.  Returns 0 for an empty histogram.
+[[nodiscard]] std::uint64_t histogram_quantile_upper(
+    std::span<const std::uint64_t> buckets, double q) noexcept;
+
+// ---------------------------------------------------------------------------
+// Per-thread write shards.  Threads are assigned a slot round-robin; two
+// threads may share a slot (fetch_add keeps that correct), but with 16
+// slots the common case is a private cache line per writer.
+
+inline constexpr std::size_t kMetricSlots = 16;
+
+[[nodiscard]] std::size_t this_thread_slot() noexcept;
+
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[this_thread_slot()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  // Folds all slots.  Exact after writers quiesce; never decreases.
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Cell cells_[kMetricSlots];
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t value) noexcept {
+    cells_[this_thread_slot()]
+        .buckets[histogram_bucket_of(value)]
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Folded bucket counts (index = histogram_bucket_of geometry).
+  [[nodiscard]] std::vector<std::uint64_t> fold() const {
+    std::vector<std::uint64_t> out(kHistogramBuckets, 0);
+    for (const Cell& c : cells_) {
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        out[b] += c.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> buckets[kHistogramBuckets]{};
+  };
+  Cell cells_[kMetricSlots];
+};
+
+// ---------------------------------------------------------------------------
+// Collection.  MetricSink is the push interface collectors and snapshot
+// contributors write into; Snapshot is the folded, name-sorted result.
+
+class MetricSink {
+ public:
+  virtual ~MetricSink() = default;
+  virtual void counter(std::string_view name, std::uint64_t value) = 0;
+  virtual void gauge(std::string_view name, std::int64_t value) = 0;
+  virtual void histogram(std::string_view name,
+                         std::span<const std::uint64_t> buckets) = 0;
+};
+
+struct Sample {
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Type type = Type::kCounter;
+  std::uint64_t count = 0;                // counters + histogram totals
+  std::int64_t value = 0;                 // gauges
+  std::vector<std::uint64_t> buckets;     // histograms only
+
+  [[nodiscard]] std::uint64_t quantile_upper(double q) const noexcept {
+    return histogram_quantile_upper(buckets, q);
+  }
+};
+
+class Snapshot final : public MetricSink {
+ public:
+  void counter(std::string_view name, std::uint64_t value) override;
+  void gauge(std::string_view name, std::int64_t value) override;
+  void histogram(std::string_view name,
+                 std::span<const std::uint64_t> buckets) override;
+
+  // Sorts by name and merges duplicates: counters and histogram buckets
+  // sum (several shards report under one name), gauges keep the last
+  // write.  Registry::collect() calls this; standalone users must too.
+  void finish();
+
+  [[nodiscard]] const std::vector<Sample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] const Sample* find(std::string_view name) const;
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry: name -> metric, plus collector callbacks for subsystems that
+// fold their own structs on demand.  Metric references returned here are
+// stable for the registry's lifetime (node-based storage), so call sites
+// may cache them.
+
+class Registry {
+ public:
+  using Collector = std::function<void(MetricSink&)>;
+
+  // Process-wide instance (tests may build private ones).
+  [[nodiscard]] static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name) SC_EXCLUDES(mu_);
+  [[nodiscard]] Gauge& gauge(std::string_view name) SC_EXCLUDES(mu_);
+  [[nodiscard]] Histogram& histogram(std::string_view name) SC_EXCLUDES(mu_);
+
+  // RAII registration: the collector runs on every collect() until the
+  // handle dies.  Handles may outlive in any order but must not outlive
+  // the registry.
+  class [[nodiscard]] CollectorHandle {
+   public:
+    CollectorHandle() = default;
+    CollectorHandle(CollectorHandle&& other) noexcept
+        : registry_(other.registry_), id_(other.id_) {
+      other.registry_ = nullptr;
+    }
+    CollectorHandle& operator=(CollectorHandle&& other) noexcept;
+    CollectorHandle(const CollectorHandle&) = delete;
+    CollectorHandle& operator=(const CollectorHandle&) = delete;
+    ~CollectorHandle() { reset(); }
+
+    void reset();
+
+   private:
+    friend class Registry;
+    CollectorHandle(Registry* registry, std::uint64_t id)
+        : registry_(registry), id_(id) {}
+
+    Registry* registry_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  CollectorHandle add_collector(Collector fn) SC_EXCLUDES(mu_);
+
+  // Folds every registered metric and runs every collector (outside the
+  // registry lock -- collectors take their own subsystem locks).
+  [[nodiscard]] Snapshot collect() SC_EXCLUDES(mu_);
+
+ private:
+  friend class CollectorHandle;
+  void remove_collector(std::uint64_t id) SC_EXCLUDES(mu_);
+
+  mutable sc::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      SC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      SC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      SC_GUARDED_BY(mu_);
+  std::map<std::uint64_t, Collector> collectors_ SC_GUARDED_BY(mu_);
+  std::uint64_t next_collector_id_ SC_GUARDED_BY(mu_) = 1;
+};
+
+}  // namespace softcell::telemetry

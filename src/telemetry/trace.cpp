@@ -1,0 +1,174 @@
+#include "telemetry/trace.hpp"
+
+#if !defined(SOFTCELL_TELEMETRY_DISABLED)
+
+#include <algorithm>
+
+namespace softcell::telemetry {
+inline namespace tele_on {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_trace_id{1};
+thread_local std::uint64_t t_current_trace_id = 0;
+
+}  // namespace
+
+std::uint64_t new_trace_id() noexcept {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t current_trace_id() noexcept { return t_current_trace_id; }
+
+TraceScope::TraceScope(std::uint64_t trace_id) noexcept
+    : previous_(t_current_trace_id) {
+  t_current_trace_id = trace_id;
+}
+
+TraceScope::~TraceScope() { t_current_trace_id = previous_; }
+
+// SPSC ring: the owning thread produces, drain() (serialized by mu_)
+// consumes.  Slots in [tail, head) belong to the consumer; the producer
+// only writes slot head%N after checking head - tail < capacity, so a
+// record is never overwritten while drain() copies it.
+struct Tracer::Ring {
+  std::atomic<std::uint64_t> head{0};  // producer cursor
+  std::atomic<std::uint64_t> tail{0};  // consumer cursor
+  std::uint8_t tid = 0;
+  TraceRecord slots[kRingCapacity];
+};
+
+// Retires the calling thread's ring when the thread exits: the remaining
+// records fold into the flight recorder and the 128 KiB ring is freed, so
+// short-lived worker pools (one per chaos run) do not accumulate rings.
+struct ThreadRingOwner {
+  Tracer* tracer = nullptr;
+  Tracer::Ring* ring = nullptr;
+  ~ThreadRingOwner() {
+    if (tracer != nullptr && ring != nullptr) tracer->retire(ring);
+  }
+};
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint16_t Tracer::intern(const char* name) {
+  sc::LockGuard lock(mu_);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<std::uint16_t>(i);
+  }
+  names_.emplace_back(name);
+  return static_cast<std::uint16_t>(names_.size() - 1);
+}
+
+std::vector<std::string> Tracer::names() const {
+  sc::LockGuard lock(mu_);
+  return names_;
+}
+
+Tracer::Ring* Tracer::ring_for_this_thread() {
+  thread_local ThreadRingOwner owner;
+  if (owner.ring == nullptr || owner.tracer != this) {
+    auto* ring = new Ring();
+    {
+      sc::LockGuard lock(mu_);
+      ring->tid = next_tid_++;
+      rings_.push_back(ring);
+    }
+    owner.tracer = this;
+    owner.ring = ring;
+  }
+  return owner.ring;
+}
+
+void Tracer::record(TraceRecord rec) noexcept {
+  Ring* ring = ring_for_this_thread();
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  const std::uint64_t tail = ring->tail.load(std::memory_order_acquire);
+  if (head - tail >= kRingCapacity) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  rec.tid = ring->tid;
+  ring->slots[head % kRingCapacity] = rec;
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+void Tracer::flight_push_locked(const TraceRecord& rec) {
+  if (flight_.size() < kFlightCapacity) {
+    flight_.push_back(rec);
+    return;
+  }
+  flight_[flight_next_] = rec;
+  flight_next_ = (flight_next_ + 1) % kFlightCapacity;
+  flight_wrapped_ = true;
+}
+
+void Tracer::drain_ring_locked(Ring& ring) {
+  const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+  std::uint64_t tail = ring.tail.load(std::memory_order_relaxed);
+  while (tail != head) {
+    flight_push_locked(ring.slots[tail % kRingCapacity]);
+    ++tail;
+  }
+  ring.tail.store(tail, std::memory_order_release);
+}
+
+void Tracer::drain() {
+  sc::LockGuard lock(mu_);
+  for (Ring* ring : rings_) drain_ring_locked(*ring);
+}
+
+void Tracer::retire(Ring* ring) {
+  {
+    sc::LockGuard lock(mu_);
+    drain_ring_locked(*ring);
+    rings_.erase(std::remove(rings_.begin(), rings_.end(), ring),
+                 rings_.end());
+  }
+  delete ring;
+}
+
+std::vector<TraceRecord> Tracer::flight() {
+  drain();
+  sc::LockGuard lock(mu_);
+  std::vector<TraceRecord> out;
+  out.reserve(flight_.size());
+  if (flight_wrapped_) {
+    out.insert(out.end(), flight_.begin() + static_cast<long>(flight_next_),
+               flight_.end());
+    out.insert(out.end(), flight_.begin(),
+               flight_.begin() + static_cast<long>(flight_next_));
+  } else {
+    out = flight_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+void Tracer::reset() {
+  sc::LockGuard lock(mu_);
+  for (Ring* ring : rings_) {
+    ring->tail.store(ring->head.load(std::memory_order_acquire),
+                     std::memory_order_release);
+  }
+  flight_.clear();
+  flight_next_ = 0;
+  flight_wrapped_ = false;
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t Tracer::ring_count() const {
+  sc::LockGuard lock(mu_);
+  return rings_.size();
+}
+
+}  // namespace tele_on
+}  // namespace softcell::telemetry
+
+#endif  // !SOFTCELL_TELEMETRY_DISABLED

@@ -6,8 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/trace.hpp"
 
 namespace softcell::chaos {
 namespace {
@@ -165,8 +171,71 @@ TEST(Shrink, SkippedTunnelInstallIsCaughtAndShrunk) {
       << r.violation->detail;
   EXPECT_LE(small.steps.size(), 10u)
       << "shrinker plateaued: " << small.encode();
+  // The report ships the flight-recorder trace of the failure (empty only
+  // when tracing is compiled out).
+  if (telemetry::kSpansEnabled) {
+    EXPECT_FALSE(r.trace_json.empty());
+  }
   std::cout << "  [shrunk to " << small.steps.size() << " steps after " << runs
             << " runs] " << replay_command(small, opt) << "\n";
+}
+
+// Acceptance check from the telemetry issue: an invariant failure under the
+// kDropTunnel sabotage must come with a Chrome-loadable trace_event JSON of
+// the spans leading up to it, both in RunReport::trace_json and -- when
+// SOFTCELL_TRACE_OUT is set -- on disk next to the replay line.
+TEST(FlightRecorder, ViolationDumpsChromeTraceJson) {
+  ChaosOptions opt;
+  opt.sabotage = ChaosOptions::Sabotage::kDropTunnel;
+  opt.install_shortcuts = false;
+  std::optional<Scenario> failing;
+  for (std::uint64_t seed = 1; seed <= 30 && !failing; ++seed) {
+    auto sc = Scenario::generate(seed);
+    if (!run_scenario(sc, opt).ok) failing = std::move(sc);
+  }
+  ASSERT_TRUE(failing.has_value());
+
+  const std::string path = testing::TempDir() + "softcell_chaos_trace.json";
+  ::setenv("SOFTCELL_TRACE_OUT", path.c_str(), 1);
+  const auto r = run_scenario(*failing, opt);
+  ::unsetenv("SOFTCELL_TRACE_OUT");
+  ASSERT_FALSE(r.ok);
+
+  if (!telemetry::kSpansEnabled) {
+    EXPECT_TRUE(r.trace_json.empty());
+    return;
+  }
+  // The embedded document is structurally valid Chrome trace JSON and
+  // contains the per-step chaos markers.
+  EXPECT_NE(r.trace_json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(r.trace_json.find("\"chaos.step\""), std::string::npos);
+  EXPECT_NE(r.trace_json.find("\"dropped_records\""), std::string::npos);
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  for (const char ch : r.trace_json) {
+    if (escaped) {
+      escaped = false;
+    } else if (ch == '\\') {
+      escaped = in_string;
+    } else if (ch == '"') {
+      in_string = !in_string;
+    } else if (!in_string && (ch == '{' || ch == '[')) {
+      ++depth;
+    } else if (!in_string && (ch == '}' || ch == ']')) {
+      ASSERT_GT(depth, 0);
+      --depth;
+    }
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth, 0);
+
+  // And the same document landed at $SOFTCELL_TRACE_OUT.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), r.trace_json + "\n");
+  std::remove(path.c_str());
 }
 
 TEST(Shrink, CleanScenarioShrinksAwayNothing) {

@@ -49,7 +49,7 @@ class FixtureCorpus(unittest.TestCase):
 
     def test_report_is_machine_readable(self):
         self.assertEqual(self.report["version"], 1)
-        self.assertEqual(self.report["files_scanned"], 5)
+        self.assertEqual(self.report["files_scanned"], 6)
         for f in self.findings:
             for key in ("rule", "path", "line", "message", "snippet"):
                 self.assertIn(key, f)
@@ -85,6 +85,11 @@ class FixtureCorpus(unittest.TestCase):
         # cout, cerr, printf; the ostringstream control stays silent.
         self.assert_fires("iostream-write", "bad_iostream", 3)
 
+    def test_metrics_direct_fires(self):
+        # ++, +=, postfix --, whole-struct reset; reads, comparisons and
+        # the comment/string controls stay silent.
+        self.assert_fires("metrics-direct", "bad_metrics_direct", 4)
+
     def test_no_cross_contamination(self):
         # No rule fires on another rule's fixture (each bad file isolates
         # one failure class).
@@ -94,6 +99,7 @@ class FixtureCorpus(unittest.TestCase):
             "hotpath-blocking": "hotpath",
             "naked-rand": "naked_rand",
             "iostream-write": "iostream",
+            "metrics-direct": "metrics_direct",
         }
         for f in self.findings:
             self.assertIn(

@@ -1,0 +1,350 @@
+// softcell::telemetry -- registry fold determinism, collector plumbing,
+// span/flight-recorder behaviour, and exporter well-formedness.
+//
+// The concurrency cases are the ones tier1.sh repeats under TSan
+// (`ctest -L concurrency`): four writer threads hammer one counter and one
+// histogram through the per-thread shards while a reader folds; after
+// join the fold must be exact, and every mid-race fold must be monotonic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/export.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
+
+namespace softcell::telemetry {
+namespace {
+
+constexpr int kWriters = 4;
+constexpr std::uint64_t kAddsPerWriter = 50'000;
+
+TEST(Registry, CounterFoldsExactlyUnderConcurrentWriters) {
+  Registry registry;
+  Counter& c = registry.counter("test.requests");
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kAddsPerWriter; ++i) c.add();
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(c.value(), kWriters * kAddsPerWriter);
+
+  const Snapshot snap = registry.collect();
+  EXPECT_EQ(snap.counter_value("test.requests"), kWriters * kAddsPerWriter);
+}
+
+TEST(Registry, CounterFoldIsMonotonicWhileWritersRace) {
+  Registry registry;
+  Counter& c = registry.counter("test.racing");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) c.add();
+    });
+  }
+  std::uint64_t last = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t now = c.value();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_GE(c.value(), last);
+}
+
+TEST(Registry, HistogramFoldsExactlyUnderConcurrentWriters) {
+  Registry registry;
+  Histogram& h = registry.histogram("test.latency_ns");
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&h, w] {
+      for (std::uint64_t i = 0; i < kAddsPerWriter; ++i) {
+        h.record((i % 1024) + static_cast<std::uint64_t>(w));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  const auto buckets = h.fold();
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets) total += b;
+  EXPECT_EQ(total, kWriters * kAddsPerWriter);
+}
+
+TEST(Registry, MetricReferencesAreStableAndNamed) {
+  Registry registry;
+  Counter& a = registry.counter("alpha");
+  Gauge& g = registry.gauge("gamma");
+  // Same name -> same object (node-based storage, cacheable references).
+  EXPECT_EQ(&a, &registry.counter("alpha"));
+  EXPECT_EQ(&g, &registry.gauge("gamma"));
+  a.add(3);
+  g.set(-7);
+  const Snapshot snap = registry.collect();
+  EXPECT_EQ(snap.counter_value("alpha"), 3u);
+  const Sample* gs = snap.find("gamma");
+  ASSERT_NE(gs, nullptr);
+  EXPECT_EQ(gs->type, Sample::Type::kGauge);
+  EXPECT_EQ(gs->value, -7);
+}
+
+TEST(Registry, CollectorsRunOnCollectAndUnregisterViaHandle) {
+  Registry registry;
+  int calls = 0;
+  {
+    Registry::CollectorHandle handle =
+        registry.add_collector([&calls](MetricSink& sink) {
+          ++calls;
+          sink.counter("collected.value", 42);
+        });
+    const Snapshot snap = registry.collect();
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(snap.counter_value("collected.value"), 42u);
+  }
+  // Handle destroyed: the collector must no longer run.
+  const Snapshot snap = registry.collect();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(snap.find("collected.value"), nullptr);
+}
+
+TEST(Snapshot, DuplicateNamesMerge) {
+  // Two subsystems (e.g. the chaos twin's second network) reporting under
+  // one name: counters sum, gauges keep the last write.
+  Snapshot snap;
+  snap.counter("dup.count", 10);
+  snap.counter("dup.count", 32);
+  snap.gauge("dup.gauge", 5);
+  snap.gauge("dup.gauge", 9);
+  std::vector<std::uint64_t> buckets(kHistogramBuckets, 0);
+  buckets[3] = 2;
+  snap.histogram("dup.hist", buckets);
+  snap.histogram("dup.hist", buckets);
+  snap.finish();
+  EXPECT_EQ(snap.counter_value("dup.count"), 42u);
+  EXPECT_EQ(snap.find("dup.gauge")->value, 9);
+  EXPECT_EQ(snap.find("dup.hist")->buckets[3], 4u);
+  EXPECT_EQ(snap.find("dup.hist")->count, 4u);
+}
+
+TEST(HistogramGeometry, MatchesRuntimeConvention) {
+  EXPECT_EQ(histogram_bucket_of(0), 0u);
+  EXPECT_EQ(histogram_bucket_of(1), 0u);
+  EXPECT_EQ(histogram_bucket_of(2), 1u);
+  EXPECT_EQ(histogram_bucket_of(3), 1u);
+  EXPECT_EQ(histogram_bucket_of(4), 2u);
+  EXPECT_EQ(histogram_bucket_of(~std::uint64_t{0}), kHistogramBuckets - 1);
+  EXPECT_EQ(histogram_bucket_upper(0), 2u);
+  EXPECT_EQ(histogram_bucket_upper(2), 8u);
+
+  std::vector<std::uint64_t> buckets(kHistogramBuckets, 0);
+  buckets[0] = 50;  // values in [1,2)
+  buckets[4] = 50;  // values in [16,32)
+  EXPECT_EQ(histogram_quantile_upper(buckets, 0.25), 2u);
+  EXPECT_EQ(histogram_quantile_upper(buckets, 0.99), 32u);
+  EXPECT_EQ(histogram_quantile_upper({}, 0.5), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing.  These run only with spans compiled in; the same binary built
+// in the tier1.sh build-notel tree skips them (and test_telemetry_off.cpp
+// pins the OFF-mode guarantees).
+
+class TracingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kSpansEnabled) GTEST_SKIP() << "built with SOFTCELL_TELEMETRY=OFF";
+    Tracer::global().disarm();
+    Tracer::global().reset();
+  }
+  void TearDown() override {
+    Tracer::global().disarm();
+    Tracer::global().reset();
+  }
+};
+
+TEST_F(TracingTest, DisarmedSpansRecordNothing) {
+  for (int i = 0; i < 100; ++i) {
+    SC_TRACE_SPAN_ARG("test.disarmed", i);
+    SC_TRACE_EVENT("test.disarmed_event", i);
+  }
+  EXPECT_TRUE(Tracer::global().flight().empty());
+  EXPECT_EQ(Tracer::global().dropped(), 0u);
+}
+
+TEST_F(TracingTest, ArmedSpansLandInFlightRecorderWithTraceIds) {
+  Tracer& tracer = Tracer::global();
+  tracer.arm();
+  const std::uint64_t id = new_trace_id();
+  {
+    TraceScope scope(id);
+    SC_TRACE_SPAN_ARG("test.outer", 7);
+    SC_TRACE_EVENT("test.inner_event", 11);
+  }
+  tracer.disarm();
+  const auto records = tracer.flight();
+  ASSERT_EQ(records.size(), 2u);
+  const auto names = tracer.names();
+  // flight() linearizes by start time: the span opens before the event
+  // fires inside it, even though its record is pushed at destruction.
+  EXPECT_EQ(names.at(records[0].name), "test.outer");
+  EXPECT_EQ(records[0].kind, kRecordSpan);
+  EXPECT_EQ(records[0].trace_id, id);
+  EXPECT_EQ(records[0].arg, 7u);
+  EXPECT_GT(records[0].dur_ns, 0u);
+  EXPECT_EQ(names.at(records[1].name), "test.inner_event");
+  EXPECT_EQ(records[1].kind, kRecordEvent);
+  EXPECT_EQ(records[1].trace_id, id);
+  EXPECT_EQ(records[1].arg, 11u);
+}
+
+TEST_F(TracingTest, TraceScopesNestAndRestore) {
+  const std::uint64_t outer = new_trace_id();
+  const std::uint64_t inner = new_trace_id();
+  EXPECT_NE(outer, inner);
+  EXPECT_EQ(current_trace_id(), 0u);
+  {
+    TraceScope a(outer);
+    EXPECT_EQ(current_trace_id(), outer);
+    {
+      TraceScope b(inner);
+      EXPECT_EQ(current_trace_id(), inner);
+    }
+    EXPECT_EQ(current_trace_id(), outer);
+  }
+  EXPECT_EQ(current_trace_id(), 0u);
+}
+
+TEST_F(TracingTest, RingOverflowDropsAndCounts) {
+  Tracer& tracer = Tracer::global();
+  tracer.arm();
+  const std::size_t pushes = Tracer::kRingCapacity + 500;
+  for (std::size_t i = 0; i < pushes; ++i) {
+    SC_TRACE_EVENT("test.flood", i);
+  }
+  tracer.disarm();
+  EXPECT_EQ(tracer.dropped(), pushes - Tracer::kRingCapacity);
+  EXPECT_EQ(tracer.flight().size(), Tracer::kRingCapacity);
+}
+
+TEST_F(TracingTest, FlightRecorderKeepsMostRecentAcrossDrains) {
+  Tracer& tracer = Tracer::global();
+  tracer.arm();
+  // Fill in ring-sized batches with a drain between each so the flight
+  // recorder (kFlightCapacity) wraps and keeps only the newest records.
+  const std::size_t batches =
+      Tracer::kFlightCapacity / Tracer::kRingCapacity + 2;
+  std::size_t pushed = 0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    for (std::size_t i = 0; i < Tracer::kRingCapacity; ++i) {
+      SC_TRACE_EVENT("test.wrap", pushed);
+      ++pushed;
+    }
+    tracer.drain();
+  }
+  tracer.disarm();
+  const auto records = tracer.flight();
+  ASSERT_EQ(records.size(), Tracer::kFlightCapacity);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  // Oldest-first linearization: the last record is the newest push.
+  EXPECT_EQ(records.back().arg, pushed - 1);
+  EXPECT_EQ(records.front().arg, pushed - Tracer::kFlightCapacity);
+}
+
+TEST_F(TracingTest, RecordsFromManyThreadsCarryDistinctTids) {
+  Tracer& tracer = Tracer::global();
+  tracer.arm();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([t] {
+      TraceScope scope(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < 100; ++i) {
+        SC_TRACE_EVENT("test.mt", i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  tracer.disarm();
+  const auto records = tracer.flight();
+  EXPECT_EQ(records.size(), static_cast<std::size_t>(kWriters) * 100);
+  std::vector<bool> tid_seen(256, false);
+  std::vector<bool> id_seen(kWriters + 2, false);
+  for (const TraceRecord& r : records) {
+    tid_seen[r.tid] = true;
+    ASSERT_GE(r.trace_id, 1u);
+    ASSERT_LE(r.trace_id, static_cast<std::uint64_t>(kWriters));
+    id_seen[r.trace_id] = true;
+  }
+  int tids = 0;
+  for (const bool seen : tid_seen) tids += seen;
+  EXPECT_EQ(tids, kWriters);
+  for (int t = 1; t <= kWriters; ++t) EXPECT_TRUE(id_seen[t]);
+}
+
+TEST_F(TracingTest, ChromeTraceJsonIsWellFormed) {
+  Tracer& tracer = Tracer::global();
+  tracer.arm();
+  {
+    TraceScope scope(new_trace_id());
+    SC_TRACE_SPAN_ARG("test.export_span", 5);
+    SC_TRACE_EVENT("test.export_event", 6);
+  }
+  tracer.disarm();
+  const auto records = tracer.flight();
+  const std::string json =
+      chrome_trace_json(records, tracer.names(), tracer.dropped());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.export_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.export_event\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // Balanced braces/brackets outside strings => structurally sound JSON.
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char ch : json) {
+    if (escaped) {
+      escaped = false;
+    } else if (ch == '\\') {
+      escaped = in_string;
+    } else if (ch == '"') {
+      in_string = !in_string;
+    } else if (!in_string && (ch == '{' || ch == '[')) {
+      ++depth;
+    } else if (!in_string && (ch == '}' || ch == ']')) {
+      ASSERT_GT(depth, 0);
+      --depth;
+    }
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(BenchReport, RendersSharedSchema) {
+  BenchReport report("unit_test");
+  report.meta_u64("threads", 4);
+  report.meta_bool("smoke", true);
+  auto row = report.row();
+  row.begin_object().u64("workers", 2).num("per_s", 123.5, 1).end_object();
+  report.add_row(std::move(row));
+  Snapshot snap;
+  snap.counter("unit.count", 9);
+  snap.finish();
+  report.metrics(snap);
+  const std::string json = report.render();
+  EXPECT_NE(json.find("\"schema\":\"softcell-bench-1\""), std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"workers\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"unit.count\":9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace softcell::telemetry

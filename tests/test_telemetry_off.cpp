@@ -1,0 +1,72 @@
+// Compiled with SOFTCELL_TELEMETRY_DISABLED=1 (see tests/CMakeLists.txt)
+// inside the regular tracing-enabled build tree: proves an OFF translation
+// unit is a true no-op AND links cleanly against the ON-built library (the
+// tele_on/tele_off inline namespaces keep the two APIs ODR-distinct, and
+// TraceRecord stays unconditional so the exporters keep one signature).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/export.hpp"
+#include "telemetry/trace.hpp"
+
+namespace softcell::telemetry {
+namespace {
+
+static_assert(!kSpansEnabled,
+              "this test must be built with SOFTCELL_TELEMETRY_DISABLED");
+// The stubs carry no state: a Span is an empty object the optimizer can
+// erase entirely, and trace ids are compile-time zero.
+static_assert(sizeof(Span) == 1, "disabled Span must hold no state");
+static_assert(new_trace_id() == 0, "disabled trace ids are constant 0");
+static_assert(current_trace_id() == 0, "disabled trace ids are constant 0");
+static_assert(Tracer::kRingCapacity == 0, "no ring is ever allocated");
+
+TEST(TelemetryOff, MacrosAreNoOpsAndAllocateNoRings) {
+  Tracer& tracer = Tracer::global();
+  tracer.arm();  // arming a disabled tracer is itself a no-op
+  for (int i = 0; i < 1000; ++i) {
+    SC_TRACE_SPAN("off.span");
+    SC_TRACE_SPAN_ARG("off.span_arg", i);
+    SC_TRACE_EVENT("off.event", i);
+  }
+  EXPECT_FALSE(tracer.armed());
+  EXPECT_EQ(tracer.ring_count(), 0u);
+  EXPECT_TRUE(tracer.flight().empty());
+  EXPECT_TRUE(tracer.names().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TelemetryOff, SpanArgumentExpressionIsNotEvaluated) {
+  int evaluations = 0;
+  const auto count = [&evaluations] { return ++evaluations; };
+  SC_TRACE_SPAN_ARG("off.lazy", count());
+  SC_TRACE_EVENT("off.lazy_event", count());
+  static_cast<void>(count);  // only "used" when the macros expand to spans
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(TelemetryOff, ExportersStillLinkAgainstOnBuiltLibrary) {
+  // chrome_trace_json is compiled into the (tracing-enabled) library;
+  // TraceRecord is unconditional, so an OFF TU can still feed it.
+  TraceRecord rec;
+  rec.trace_id = 1;
+  rec.start_ns = 2000;
+  rec.dur_ns = 500;
+  rec.name = 0;
+  rec.kind = kRecordSpan;
+  const std::vector<std::string> names{"off.synthetic"};
+  const std::string json = chrome_trace_json({&rec, 1}, names, 0);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"off.synthetic\""), std::string::npos);
+
+  BenchReport report("off_mode");
+  report.meta_bool("spans_enabled", kSpansEnabled);
+  const std::string doc = report.render();
+  EXPECT_NE(doc.find("\"spans_enabled\":false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace softcell::telemetry

@@ -1,0 +1,29 @@
+// Fixture: metrics-direct must fire.  This file has NO
+// "sc-lint: metrics-owner(...)" marker, so every write to the known
+// counter-struct receivers is a finding.
+
+struct AggPerf {
+  unsigned long long installs = 0;
+  unsigned long long memo_hits = 0;
+  unsigned long long drops = 0;
+};
+
+struct Holder {
+  AggPerf perf_;
+  AggPerf fault_stats_;
+
+  void poke() {
+    ++perf_.installs;            // finding: prefix increment
+    fault_stats_.drops += 1;     // finding: compound assign
+    perf_.memo_hits--;           // finding: postfix decrement
+    perf_ = AggPerf{};           // finding: whole-struct reset
+  }
+
+  // Controls: reads and comparisons must NOT fire.
+  unsigned long long read() const { return perf_.installs; }
+  bool saturated() const { return fault_stats_.drops == 3; }
+};
+
+// Control: prose mentioning "++perf_.installs" in a comment must NOT fire,
+// nor must the string literal below.
+const char* kDoc = "never write ++perf_.installs outside the owner";

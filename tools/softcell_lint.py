@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """softcell-verify Part B: project-specific lint rules for the SoftCell tree.
 
-Five rules encode invariants the type system cannot see (DESIGN.md
+Six rules encode invariants the type system cannot see (DESIGN.md
 section 12, "Static guarantees"):
 
   epoch-bump        Tag-class mutations in the dataplane switch table
@@ -36,6 +36,14 @@ section 12, "Static guarantees"):
                     as values (RunReport, ostringstream), and worker
                     threads writing to iostreams interleave output and take
                     the global stream locks on the request path.
+
+  metrics-direct    Perf-counter structs (AggPerf, FaultStats) may only be
+                    mutated inside their owning file, marked with
+                    `// sc-lint: metrics-owner(Struct)`.  Everyone else
+                    reads them through accessors or the telemetry registry
+                    (telemetry/registry.hpp collectors); a stray increment
+                    elsewhere silently splits a metric across two homes and
+                    the registry snapshot stops being the source of truth.
 
 Usage:
   python3 tools/softcell_lint.py [--root DIR] [--report FILE]
@@ -266,12 +274,44 @@ def check_iostream(path: str, lines: list[str]) -> list[Finding]:
     return out
 
 
+# --- rule: metrics-direct ----------------------------------------------------
+# The owning file carries a `// sc-lint: metrics-owner(Struct)` marker (in a
+# comment, so it is parsed from the raw text); everywhere else, writes to
+# the known counter-struct receivers are findings.  Reads stay free.
+
+_METRICS_OWNER = re.compile(r"sc-lint:\s*metrics-owner\([A-Za-z0-9_]+\)")
+_METRICS_RECV = r"(?:perf_|fault_stats_)"
+_METRICS_DIRECT = re.compile(
+    r"(?:\+\+|--)\s*" + _METRICS_RECV + r"\.\w+"          # ++perf_.x
+    r"|\b" + _METRICS_RECV + r"\.\w+\s*"                   # perf_.x++ / x += /
+    r"(?:\+\+|--|(?:[+\-*/%|&^]|<<|>>)?=(?!=))"            # x = (not ==)
+    r"|\b" + _METRICS_RECV + r"\s*=(?!=)"                  # whole-struct reset
+)
+
+
+def check_metrics_direct(path: str, raw_lines: list[str],
+                         stripped: list[str]) -> list[Finding]:
+    if any(_METRICS_OWNER.search(raw) for raw in raw_lines):
+        return []  # the declared owner of the struct's increments
+    out = []
+    for i, line in enumerate(stripped):
+        m = _METRICS_DIRECT.search(line)
+        if m:
+            out.append(Finding(
+                "metrics-direct", path, i + 1,
+                f"{m.group(0).strip()}: perf-counter structs are mutated "
+                "only in their sc-lint: metrics-owner(...) file; read them "
+                "via accessors or telemetry registry collectors", line))
+    return out
+
+
 RULES = {
     "epoch-bump": "tag-class mutations must bump the structural epoch",
     "naked-mutex": "std:: sync primitives only inside util/annotations.hpp",
     "hotpath-blocking": "no locks/sleeps/unordered_* in hotpath regions",
     "naked-rand": "all randomness through util/rng.hpp",
     "iostream-write": "no stdout/stderr writes from library code",
+    "metrics-direct": "perf-counter structs mutated only in their owner file",
 }
 
 
@@ -290,6 +330,7 @@ def scan_file(root: Path, file: Path) -> list[Finding]:
     findings += check_hotpath(rel, raw_lines, stripped_lines)
     findings += check_naked_rand(rel, stripped_lines)
     findings += check_iostream(rel, stripped_lines)
+    findings += check_metrics_direct(rel, raw_lines, stripped_lines)
     return findings
 
 
