@@ -47,6 +47,14 @@ int main(int argc, char** argv) {
   std::vector<unsigned> worker_sweep{1u, 2u, 4u, 8u};
   if (smoke) worker_sweep = {1u, 2u};
 
+  // The sweep's top worker counts only measure parallel speedup when the
+  // host can actually run them concurrently; oversubscribed rows time-slice
+  // and the curve reflects scheduler behaviour, not the pipeline.  When
+  // that happens the speedup column is reported as n/a (JSON null), not as
+  // a number that looks like a scaling result.
+  const unsigned max_workers = worker_sweep.back();
+  const bool valid_scaling = hw >= max_workers;
+
   struct Row {
     unsigned workers;
     double per_second;
@@ -71,11 +79,18 @@ int main(int argc, char** argv) {
     row.coalesced = r.metrics.coalesced_misses;
     row.fingerprint = r.fingerprint;
     rows.push_back(row);
-    std::printf("  %7u | %12.0f | %9.1f | %9.1f | %9llu | %8.2fx\n", workers,
-                row.per_second, static_cast<double>(row.p50_ns) / 1e3,
-                static_cast<double>(row.p99_ns) / 1e3,
-                static_cast<unsigned long long>(row.coalesced),
-                row.per_second / rows.front().per_second);
+    if (valid_scaling) {
+      std::printf("  %7u | %12.0f | %9.1f | %9.1f | %9llu | %8.2fx\n", workers,
+                  row.per_second, static_cast<double>(row.p50_ns) / 1e3,
+                  static_cast<double>(row.p99_ns) / 1e3,
+                  static_cast<unsigned long long>(row.coalesced),
+                  row.per_second / rows.front().per_second);
+    } else {
+      std::printf("  %7u | %12.0f | %9.1f | %9.1f | %9llu | %9s\n", workers,
+                  row.per_second, static_cast<double>(row.p50_ns) / 1e3,
+                  static_cast<double>(row.p99_ns) / 1e3,
+                  static_cast<unsigned long long>(row.coalesced), "n/a");
+    }
     if (row.fingerprint != rows.front().fingerprint) {
       std::fprintf(stderr,
                    "FATAL: %u-worker fingerprint %016llx differs from the"
@@ -89,11 +104,6 @@ int main(int argc, char** argv) {
   std::printf("\n  determinism: all worker counts produced fingerprint"
               " %016llx\n",
               static_cast<unsigned long long>(rows.front().fingerprint));
-  // The sweep's top worker counts only measure parallel speedup when the
-  // host can actually run them concurrently; oversubscribed rows time-slice
-  // and the curve reflects scheduler behaviour, not the pipeline.
-  const unsigned max_workers = rows.empty() ? 0 : rows.back().workers;
-  const bool valid_scaling = hw >= max_workers;
   if (hw <= 1)
     std::printf("  note: single-hardware-thread host -- workers time-slice"
                 " one core, so the sweep shows pipeline overhead, not"
@@ -102,7 +112,8 @@ int main(int argc, char** argv) {
   else if (!valid_scaling)
     std::printf("  warning: host has %u hardware threads but the sweep runs"
                 " up to %u workers -- oversubscribed rows are time-sliced"
-                " and do not measure parallel scaling.\n",
+                " and do not measure parallel scaling; speedup_vs_1 is"
+                " reported as null.\n",
                 hw, max_workers);
 
   telemetry::BenchReport report("runtime_scaling");
@@ -124,9 +135,12 @@ int main(int argc, char** argv) {
         .num("seconds", r.seconds, 4)
         .u64("p50_ns", r.p50_ns)
         .u64("p99_ns", r.p99_ns)
-        .u64("coalesced_misses", r.coalesced)
-        .num("speedup_vs_1", r.per_second / rows.front().per_second, 3)
-        .end_object();
+        .u64("coalesced_misses", r.coalesced);
+    if (valid_scaling)
+      row.num("speedup_vs_1", r.per_second / rows.front().per_second, 3);
+    else
+      row.null("speedup_vs_1");
+    row.end_object();
     report.add_row(std::move(row));
   }
   telemetry::Snapshot snapshot;

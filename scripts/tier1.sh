@@ -6,12 +6,14 @@
 #                  build + curated clang-tidy pass; unavailable tools
 #                  report SKIP, never silent PASS
 #   3. ctest -L chaos      -- the 200-seed fault-injection corpus
+#   3b. ctest -L cluster    -- the controller-fleet suite incl. its own
+#       200-seed corpus with the exactly-one-owner invariant armed
 #   4. ctest -L nofastpath -- engine + e2e with SOFTCELL_FASTPATH=0
 #   5. telemetry -- an off-mode rebuild (-DSOFTCELL_TELEMETRY=OFF proves
 #      the tree compiles with spans erased) plus the disarmed-overhead
 #      smoke bench with its JSON output validated
-#   6. ASan + TSan + UBSan rebuilds running the concurrency|chaos labels
-#      with a trimmed corpus (SOFTCELL_CHAOS_SEEDS)
+#   6. ASan + TSan + UBSan rebuilds running the concurrency|chaos|cluster
+#      labels with a trimmed corpus (SOFTCELL_CHAOS_SEEDS)
 #
 # Every stage runs even if an earlier one fails; a per-stage
 # PASS/FAIL/SKIP summary is printed at the end and the script exits
@@ -98,6 +100,7 @@ else
 fi
 
 run_stage "tests (chaos)"    bash -c 'cd build && ctest --output-on-failure -L chaos'
+run_stage "tests (cluster)"  bash -c 'cd build && ctest --output-on-failure -L cluster'
 run_stage "tests (nofastpath)" bash -c 'cd build && ctest --output-on-failure -L nofastpath'
 
 # --- telemetry stage ---------------------------------------------------------
@@ -128,16 +131,16 @@ if [[ "$FAST" == 0 ]]; then
   # the instrumented runs stay in the seconds range.
   run_stage "asan configure" cmake -B build-asan -S . -DSOFTCELL_SANITIZE=address
   run_stage "asan build"     cmake --build build-asan -j
-  run_stage "asan tests (concurrency|chaos)" \
-    bash -c 'cd build-asan && SOFTCELL_CHAOS_SEEDS=40 ctest --output-on-failure -L "concurrency|chaos"'
+  run_stage "asan tests (concurrency|chaos|cluster)" \
+    bash -c 'cd build-asan && SOFTCELL_CHAOS_SEEDS=40 ctest --output-on-failure -L "concurrency|chaos|cluster"'
   run_stage "tsan configure" cmake -B build-tsan -S . -DSOFTCELL_SANITIZE=thread
   run_stage "tsan build"     cmake --build build-tsan -j
-  run_stage "tsan tests (concurrency|chaos)" \
-    bash -c 'cd build-tsan && SOFTCELL_CHAOS_SEEDS=25 ctest --output-on-failure -L "concurrency|chaos"'
+  run_stage "tsan tests (concurrency|chaos|cluster)" \
+    bash -c 'cd build-tsan && SOFTCELL_CHAOS_SEEDS=25 ctest --output-on-failure -L "concurrency|chaos|cluster"'
   run_stage "ubsan configure" cmake -B build-ubsan -S . -DSOFTCELL_SANITIZE=undefined
   run_stage "ubsan build"     cmake --build build-ubsan -j
-  run_stage "ubsan tests (concurrency|chaos)" \
-    bash -c 'cd build-ubsan && SOFTCELL_CHAOS_SEEDS=40 ctest --output-on-failure -L "concurrency|chaos"'
+  run_stage "ubsan tests (concurrency|chaos|cluster)" \
+    bash -c 'cd build-ubsan && SOFTCELL_CHAOS_SEEDS=40 ctest --output-on-failure -L "concurrency|chaos|cluster"'
 fi
 
 echo

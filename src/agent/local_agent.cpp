@@ -8,7 +8,7 @@
 namespace softcell {
 
 LocalAgent::LocalAgent(std::uint32_t bs_index, AddressPlan plan,
-                       PortCodec codec, Controller& controller,
+                       PortCodec codec, ControlPlane& controller,
                        AccessSwitch& access)
     : bs_index_(bs_index),
       plan_(plan),

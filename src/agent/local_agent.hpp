@@ -31,8 +31,10 @@ namespace softcell {
 
 class LocalAgent {
  public:
+  // The agent programs against the ControlPlane surface only, so the same
+  // code serves a single Controller and a cluster::ControllerFleet.
   LocalAgent(std::uint32_t bs_index, AddressPlan plan, PortCodec codec,
-             Controller& controller, AccessSwitch& access);
+             ControlPlane& controller, AccessSwitch& access);
 
   // --- UE lifecycle ----------------------------------------------------------
   // Assigns a local UE id + LocIP, registers with the controller, and caches
@@ -139,7 +141,7 @@ class LocalAgent {
   std::uint32_t bs_index_;
   AddressPlan plan_;
   PortCodec codec_;
-  Controller* controller_;
+  ControlPlane* controller_;
   AccessSwitch* access_;
   PathRequester path_requester_;
 

@@ -85,6 +85,7 @@ class Runner {
     cfg.mobility.install_shortcuts = options.install_shortcuts;
     cfg.attach_mirror = true;
     cfg.runtime_workers = options.runtime_workers;
+    cfg.cluster_controllers = options.cluster_controllers;
     net_ = std::make_unique<SoftCellNetwork>(cfg, make_table1_policy());
     if (options.twin_reference) {
       SoftCellConfig tcfg = cfg;
@@ -240,6 +241,10 @@ class Runner {
       case Step::Kind::kQuiesce:
         ++rep_.quiesces;
         return sweep();
+      case Step::Kind::kCtrlKill: return do_ctrl_kill(s);
+      case Step::Kind::kSplitBrain: return do_split_brain(s);
+      case Step::Kind::kStaleLease: return do_stale_lease(s);
+      case Step::Kind::kStoreLag: return do_store_lag(s);
       case Step::Kind::kMaxKind: return;
     }
   }
@@ -443,6 +448,84 @@ class Runner {
     dig_.mix(bs);
   }
 
+  // --- cluster fault steps (no-ops without a fleet) --------------------------
+  // Toggle semantics keep every subsequence valid for the shrinker: a step
+  // flips whatever state its target is in.  The "last usable replica"
+  // guards mirror the failover budget -- slow-state writes always need one
+  // caught-up reachable member.
+
+  void do_ctrl_kill(const Step& s) {
+    cluster::ControllerFleet* fleet = net_->fleet();
+    if (!fleet) return;
+    const std::size_t r = s.a % fleet->replica_count();
+    if (!fleet->is_alive(r)) {
+      fleet->restart(r);
+      if (twin_) twin_->fleet()->restart(r);
+      dig_.mix(0xC1u);
+      dig_.mix(r);
+      return;
+    }
+    if (fleet->is_usable(r) && fleet->usable_count() <= 1) return;
+    // The sabotage kill is applied identically to the twin: both fleets
+    // carry the same zombie, so invariant 5 stays green and the detector
+    // that MUST fire is invariant 6 at the next sweep.
+    const bool revoke =
+        opt_.sabotage != ChaosOptions::Sabotage::kLeaseNotRevoked;
+    fleet->kill(r, revoke);
+    if (twin_) twin_->fleet()->kill(r, revoke);
+    dig_.mix(0xC2u);
+    dig_.mix(r);
+  }
+
+  void do_split_brain(const Step& s) {
+    cluster::ControllerFleet* fleet = net_->fleet();
+    if (!fleet) return;
+    const std::size_t r = s.a % fleet->replica_count();
+    if (!fleet->is_alive(r)) return;
+    if (fleet->is_isolated(r)) {
+      fleet->heal(r);
+      if (twin_) twin_->fleet()->heal(r);
+      dig_.mix(0xC3u);
+      dig_.mix(r);
+      return;
+    }
+    if (fleet->is_usable(r) && fleet->usable_count() <= 1) return;
+    fleet->isolate(r);
+    if (twin_) twin_->fleet()->isolate(r);
+    dig_.mix(0xC4u);
+    dig_.mix(r);
+  }
+
+  void do_stale_lease(const Step& s) {
+    cluster::ControllerFleet* fleet = net_->fleet();
+    if (!fleet) return;
+    const std::uint32_t p = s.a % fleet->partition_count();
+    fleet->force_expire(p);
+    if (twin_) twin_->fleet()->force_expire(p);
+    dig_.mix(0xC5u);
+    dig_.mix(p);
+    dig_.mix(fleet->lease_epoch(p));
+  }
+
+  void do_store_lag(const Step& s) {
+    cluster::ControllerFleet* fleet = net_->fleet();
+    if (!fleet) return;
+    const std::size_t r = s.a % fleet->replica_count();
+    if (!fleet->is_alive(r) || fleet->is_isolated(r)) return;
+    if (fleet->is_lagged(r)) {
+      fleet->set_store_lag(r, false);
+      if (twin_) twin_->fleet()->set_store_lag(r, false);
+      dig_.mix(0xC6u);
+      dig_.mix(r);
+      return;
+    }
+    if (fleet->is_usable(r) && fleet->usable_count() <= 1) return;
+    fleet->set_store_lag(r, true);
+    if (twin_) twin_->fleet()->set_store_lag(r, true);
+    dig_.mix(0xC7u);
+    dig_.mix(r);
+  }
+
   void do_faults(const Step& s) {
     const std::uint32_t profile = s.a % 6;
     net_->mirror()->set_faults(fault_profile(profile),
@@ -453,6 +536,14 @@ class Runner {
   // The full sweep: quiesce the control plane (mirror sync) and check every
   // invariant globally.
   void sweep() {
+    // Cluster quiesce first: heal partitions, flush replication lag, and
+    // reassign orphaned leases (both nets identically) -- the sweep checks
+    // the SETTLED fleet, so any stale state surviving settle() is a bug.
+    if (net_->fleet()) {
+      net_->fleet()->settle();
+      if (twin_) twin_->fleet()->settle();
+    }
+
     // (1) + (4) + (5): every live flow still delivers, both directions,
     // through exactly its admission-time middlebox sequence.
     for (const auto& f : flows_) {
@@ -521,6 +612,29 @@ class Runner {
         violate(5, "fastpath/reference total_rules diverged");
       if (engine.tags_allocated() != ref.tags_allocated())
         violate(5, "fastpath/reference tags_allocated diverged");
+    }
+
+    // (6) exactly-one-owner + log convergence, cluster mode only.
+    if (cluster::ControllerFleet* fleet = net_->fleet()) {
+      std::vector<UeId> ues;
+      ues.reserve(roster_.size());
+      for (const auto& ue : roster_) ues.push_back(ue.id);
+      const auto owner_violations = fleet->audit_exactly_one_owner(ues);
+      if (!owner_violations.empty()) {
+        std::ostringstream out;
+        out << owner_violations.size() << " UE(s) violate exactly-one-owner: "
+            << owner_violations.front();
+        violate(6, out.str());
+      }
+      if (const auto msg = fleet->audit_engines_converged())
+        violate(6, "fleet slow state diverged: " + *msg);
+      const cluster::FleetStats st = fleet->stats();
+      dig_.mix(st.takeovers);
+      dig_.mix(st.lease_waits);
+      dig_.mix(st.cross_handoffs);
+      dig_.mix(st.rebuilt_locations);
+      dig_.mix(st.replayed_ops);
+      dig_.mix(fleet->logical_clock());
     }
 
     dig_.mix(net_->controller().state_fingerprint());
@@ -607,6 +721,8 @@ std::string encode_options(const ChaosOptions& options) {
   out += options.install_shortcuts ? '1' : '0';
   out += 'b';
   out += std::to_string(static_cast<unsigned>(options.sabotage));
+  out += 'c';
+  out += std::to_string(options.cluster_controllers);
   return out;
 }
 
@@ -639,9 +755,14 @@ std::optional<ChaosOptions> decode_options(std::string_view text) {
   unsigned sabotage = 0;
   if (!flag('t', opt.twin_reference) || !number('w', opt.runtime_workers) ||
       !flag('s', opt.install_shortcuts) || !number('b', sabotage) ||
-      pos != text.size() ||
-      sabotage > static_cast<unsigned>(ChaosOptions::Sabotage::kDropTunnel))
+      sabotage >
+          static_cast<unsigned>(ChaosOptions::Sabotage::kLeaseNotRevoked))
     return std::nullopt;
+  // The c<n> cluster suffix is optional: repro lines from before the
+  // cluster subsystem decode to cluster_controllers == 0.
+  if (pos < text.size() && !number('c', opt.cluster_controllers))
+    return std::nullopt;
+  if (pos != text.size()) return std::nullopt;
   opt.sabotage = static_cast<ChaosOptions::Sabotage>(sabotage);
   return opt;
 }

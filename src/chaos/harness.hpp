@@ -1,5 +1,5 @@
 // ChaosHarness: drives a SoftCellNetwork (plus an optional fastpath=false
-// twin) through a Scenario and checks five global invariants after every
+// twin) through a Scenario and checks six global invariants after every
 // step (cheap ones inline, the full sweep at each quiesce point):
 //
 //   1. No permanently blackholed flow -- every admitted flow delivers, both
@@ -14,6 +14,11 @@
 //   5. Fastpath-vs-reference divergence is zero: every per-packet
 //      observable and the engine aggregates (total rules, tags) match the
 //      reference-scan twin exactly.
+//   6. Exactly one owner (cluster mode): after every quiesce settle, each
+//      attached UE's location lives in exactly one fleet member's store --
+//      zombies and dead members included -- and that member holds the
+//      partition's current lease; and every caught-up member replayed the
+//      slow-state log to identical engines.
 //
 // Every run produces an order-sensitive FNV-1a digest over the per-step
 // observables, so `run(s).digest == run(s).digest` is the determinism
@@ -57,12 +62,21 @@ struct ChaosOptions {
     // "Forget" the tunnel install: remove the BS-BS tunnels right after
     // the handoff, as if the flow-mod had been skipped.
     kDropTunnel,
+    // Cluster mode: kill controllers WITHOUT revoking their leases.  The
+    // zombie keeps its stale location store, successors must wait the
+    // lease out, and invariant 6 must see two holders at the next sweep.
+    kLeaseNotRevoked,
   };
   Sabotage sabotage = Sabotage::kNone;
+
+  // > 0: run both networks with a ControllerFleet of this many replicas
+  // (SoftCellConfig::cluster_controllers) and arm the cluster step kinds
+  // plus invariant 6.  Mutually exclusive with runtime_workers.
+  unsigned cluster_controllers = 0;
 };
 
 struct Violation {
-  int invariant = 0;  // 1..5 as above; 0 = unexpected exception
+  int invariant = 0;  // 1..6 as above; 0 = unexpected exception
   std::size_t step = 0;       // index into Scenario::steps
   std::string detail;
 };
@@ -96,9 +110,10 @@ RunReport run_scenario(const Scenario& scenario, const ChaosOptions& options = {
 Scenario shrink(const Scenario& failing, const ChaosOptions& options,
                 std::size_t* runs_out = nullptr);
 
-// Compact text form of ChaosOptions ("t<0|1>w<n>s<0|1>b<sabotage>"), carried
-// through SOFTCELL_CHAOS_OPTS so a replayed repro runs under the exact
-// configuration that produced the failure.
+// Compact text form of ChaosOptions ("t<0|1>w<n>s<0|1>b<sabotage>c<n>"; the
+// trailing c<cluster_controllers> is optional on decode for pre-cluster
+// repro lines), carried through SOFTCELL_CHAOS_OPTS so a replayed repro
+// runs under the exact configuration that produced the failure.
 std::string encode_options(const ChaosOptions& options);
 std::optional<ChaosOptions> decode_options(std::string_view text);
 

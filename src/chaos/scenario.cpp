@@ -1,6 +1,7 @@
 #include "chaos/scenario.hpp"
 
 #include <charconv>
+#include <iterator>
 #include <sstream>
 
 namespace softcell::chaos {
@@ -19,12 +20,17 @@ const char* kind_name(Step::Kind kind) {
     case Step::Kind::kAgentRestart: return "restart";
     case Step::Kind::kFaultWindow: return "faults";
     case Step::Kind::kQuiesce: return "quiesce";
+    case Step::Kind::kCtrlKill: return "ctrlkill";
+    case Step::Kind::kSplitBrain: return "splitbrain";
+    case Step::Kind::kStaleLease: return "stalelease";
+    case Step::Kind::kStoreLag: return "storelag";
     case Step::Kind::kMaxKind: break;
   }
   return "?";
 }
 
-Scenario Scenario::generate(std::uint64_t seed, std::size_t length) {
+Scenario Scenario::generate(std::uint64_t seed, std::size_t length,
+                            bool cluster_steps) {
   Scenario s;
   s.seed = seed;
   s.steps.reserve(length + length / 8 + 2);
@@ -35,7 +41,7 @@ Scenario Scenario::generate(std::uint64_t seed, std::size_t length) {
     Step::Kind kind;
     std::uint32_t weight;
   };
-  static constexpr Weighted kTable[] = {
+  static constexpr Weighted kBase[] = {
       {Step::Kind::kAttach, 10},       {Step::Kind::kOpenFlow, 20},
       {Step::Kind::kSendUplink, 12},   {Step::Kind::kSendDownlink, 12},
       {Step::Kind::kHandoff, 10},      {Step::Kind::kCompleteHandoff, 8},
@@ -43,8 +49,17 @@ Scenario Scenario::generate(std::uint64_t seed, std::size_t length) {
       {Step::Kind::kFailover, 2},      {Step::Kind::kAgentRestart, 3},
       {Step::Kind::kFaultWindow, 6},
   };
+  static constexpr Weighted kCluster[] = {
+      {Step::Kind::kCtrlKill, 4},
+      {Step::Kind::kSplitBrain, 3},
+      {Step::Kind::kStaleLease, 3},
+      {Step::Kind::kStoreLag, 3},
+  };
+  std::vector<Weighted> table(std::begin(kBase), std::end(kBase));
+  if (cluster_steps)
+    table.insert(table.end(), std::begin(kCluster), std::end(kCluster));
   std::uint32_t total = 0;
-  for (const auto& w : kTable) total += w.weight;
+  for (const auto& w : table) total += w.weight;
 
   // Warm-up: a few subscribers so early traffic steps have someone to act on.
   const std::size_t warmup = 3 + rng.next_below(3);
@@ -62,8 +77,8 @@ Scenario Scenario::generate(std::uint64_t seed, std::size_t length) {
       continue;
     }
     std::uint64_t roll = rng.next_below(total);
-    Step::Kind kind = kTable[0].kind;
-    for (const auto& w : kTable) {
+    Step::Kind kind = table[0].kind;
+    for (const auto& w : table) {
       if (roll < w.weight) {
         kind = w.kind;
         break;

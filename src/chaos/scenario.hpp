@@ -36,6 +36,11 @@ struct Step {
     kAgentRestart,     // a: base station
     kFaultWindow,      // a: fault-profile ordinal (0 disarms)
     kQuiesce,          // flush the mirror + full invariant sweep
+    // Cluster steps (no-ops unless ChaosOptions::cluster_controllers > 0).
+    kCtrlKill,         // a: replica ordinal (kill; if already dead, restart)
+    kSplitBrain,       // a: replica ordinal (toggle isolate <-> heal)
+    kStaleLease,       // a: partition ordinal (force-expire its lease)
+    kStoreLag,         // a: replica ordinal (toggle replication lag)
     kMaxKind,          // sentinel, keep last
   };
 
@@ -54,8 +59,12 @@ struct Scenario {
 
   // Derives a scenario deterministically from `seed`: a warm-up of attaches
   // followed by a weighted random walk over the step kinds, with a quiesce
-  // sprinkled in every ~8-12 steps and one final quiesce.
-  static Scenario generate(std::uint64_t seed, std::size_t length = 36);
+  // sprinkled in every ~8-12 steps and one final quiesce.  With
+  // cluster_steps the walk also draws controller-kill / split-brain /
+  // stale-lease / store-lag steps (identical output to the plain walk when
+  // false, so existing seeds stay stable).
+  static Scenario generate(std::uint64_t seed, std::size_t length = 36,
+                           bool cluster_steps = false);
 
   // Compact single-line text form: "<seed-hex>:<kind>.<a>.<b>,..." -- the
   // round-trip `decode(s.encode()) == s` is exact.

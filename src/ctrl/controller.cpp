@@ -47,7 +47,7 @@ void Controller::provision_subscriber(UeId ue,
 
 void Controller::attach_ue(UeId ue, std::uint32_t bs, LocalUeId local) {
   sc::WriteLock lock(mu_);
-  if (store_.profile(ue) == nullptr)
+  if (!store_.profile(ue))
     throw std::invalid_argument("attach_ue: unknown subscriber");
   store_.set_location(ue, UeLocation{bs, local});
 }
@@ -70,8 +70,8 @@ std::optional<UeLocation> Controller::ue_location(UeId ue) const {
 std::vector<PacketClassifier> Controller::fetch_classifiers(
     UeId ue, std::uint32_t bs) const {
   sc::ReadLock lock(mu_);
-  const SubscriberProfile* profile = store_.profile(ue);
-  if (profile == nullptr)
+  const std::optional<SubscriberProfile> profile = store_.profile(ue);
+  if (!profile)
     throw std::invalid_argument("fetch_classifiers: unknown subscriber");
 
   // One classifier per application type: the UE-specific instantiation of

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "ctrl/control_plane.hpp"
 #include "ctrl/store.hpp"
 #include "policy/policy.hpp"
 #include "topo/cellular.hpp"
@@ -47,17 +48,6 @@
 #include "util/annotations.hpp"
 
 namespace softcell {
-
-// A UE-specific packet classifier, cached by local agents (section 4.2).
-// Matches on the application (i.e. its well-known destination ports;
-// kOther acts as the wildcard classifier) and yields either a ready policy
-// tag or "send to controller" when the policy path is not installed yet.
-struct PacketClassifier {
-  AppType app = AppType::kOther;
-  ClauseId clause{};
-  bool allow = true;
-  std::optional<PolicyTag> tag;  // nullopt => path not installed yet
-};
 
 // How the controller picks middlebox instances for a (clause, bs) path.
 enum class InstancePlacement {
@@ -73,7 +63,7 @@ struct ControllerOptions {
   EngineOptions engine;
 };
 
-class Controller {
+class Controller : public ControlPlane {
  public:
   Controller(const CellularTopology& topo, ServicePolicy policy,
              ControllerOptions options = {});
@@ -82,28 +72,28 @@ class Controller {
              std::shared_ptr<const ServicePolicy> policy,
              ControllerOptions options = {});
 
-  // --- provisioning ---------------------------------------------------------
+  // --- provisioning (ControlPlane) ------------------------------------------
   void provision_subscriber(UeId ue, const SubscriberProfile& profile)
-      SC_EXCLUDES(mu_);
+      override SC_EXCLUDES(mu_);
 
-  // --- UE lifecycle (called by local agents) --------------------------------
+  // --- UE lifecycle (ControlPlane, called by local agents) ------------------
   // Registers the UE at `bs` with the agent-assigned local id.
   void attach_ue(UeId ue, std::uint32_t bs, LocalUeId local)
-      SC_EXCLUDES(mu_);
-  void detach_ue(UeId ue) SC_EXCLUDES(mu_);
+      override SC_EXCLUDES(mu_);
+  void detach_ue(UeId ue) override SC_EXCLUDES(mu_);
   void update_location(UeId ue, std::uint32_t bs, LocalUeId local)
-      SC_EXCLUDES(mu_);
+      override SC_EXCLUDES(mu_);
   [[nodiscard]] std::optional<UeLocation> ue_location(UeId ue) const
-      SC_EXCLUDES(mu_);
+      override SC_EXCLUDES(mu_);
 
   // Compiles the packet classifiers for a UE at `bs` (read-mostly hot path;
   // this is what Cbench-style load hammers).
   [[nodiscard]] std::vector<PacketClassifier> fetch_classifiers(
-      UeId ue, std::uint32_t bs) const SC_EXCLUDES(mu_);
+      UeId ue, std::uint32_t bs) const override SC_EXCLUDES(mu_);
 
   // Ensures the (clause, bs) policy path exists and returns its tag.
   PolicyTag request_policy_path(std::uint32_t bs, ClauseId clause)
-      SC_EXCLUDES(mu_);
+      override SC_EXCLUDES(mu_);
 
   // Batched variant: installs every missing (bs, clause) path under one
   // writer-lock acquisition, processing requests sorted by (bs, clause) so
@@ -123,7 +113,7 @@ class Controller {
   // direction; the reverse direction is a separate request with the roles
   // swapped.
   PolicyTag request_m2m_path(std::uint32_t src_bs, std::uint32_t dst_bs,
-                             ClauseId clause) SC_EXCLUDES(mu_);
+                             ClauseId clause) override SC_EXCLUDES(mu_);
 
   // --- consistent updates (section 3.2 / Reitblatt et al.) ------------------
   // Re-installs the (clause, bs) path under a fresh tag and returns
@@ -241,7 +231,7 @@ class Controller {
   // the reader lock (internal callers already under the writer lock use
   // the _locked variant).
   [[nodiscard]] std::vector<NodeId> select_instances(
-      std::uint32_t bs, ClauseId clause) const SC_EXCLUDES(mu_);
+      std::uint32_t bs, ClauseId clause) const override SC_EXCLUDES(mu_);
 
  private:
   struct InstalledPath {

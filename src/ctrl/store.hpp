@@ -14,19 +14,12 @@
 // happens under that controller's mutex -- the capability is expressed at
 // the owner: Controller declares `ControlStore store_ SC_GUARDED_BY(mu_)`
 // (softcell-verify Part A), so the thread-safety analysis flags any access
-// that escapes the controller's lock sections.  Audit notes for the
-// re-entrant controller API:
-//   * profile() returns a pointer into an unordered_map node; it is
-//     invalidated by the next put_profile() (rehash may move the node).
-//     Callers must consume it under the same controller lock section that
-//     obtained it -- Controller::fetch_classifiers does exactly that --
-//     and must never cache it across calls.
-//   * mutate() applies a write to every replica before returning, so a
-//     reader that runs strictly before or after a (controller-serialized)
-//     write always observes consistent replicas; replicas_consistent()
-//     checks that invariant.
-//   * fail_primary() invalidates everything previously returned by
-//     profile() (the primary replica is destroyed).
+// that escapes the controller's lock sections.  profile() returns the
+// subscriber record *by value*, so nothing a caller obtains here can be
+// invalidated by later writes, a rehash, or fail_primary().  mutate()
+// applies a write to every replica before returning, so a reader that runs
+// strictly before or after a (controller-serialized) write always observes
+// consistent replicas; replicas_consistent() checks that invariant.
 #pragma once
 
 #include <cstdint>
@@ -81,9 +74,13 @@ class ControlStore {
   void put_profile(UeId ue, const SubscriberProfile& p) {
     mutate([&](SlowState& s) { s.profiles[ue] = p; });
   }
-  [[nodiscard]] const SubscriberProfile* profile(UeId ue) const {
+  // Returns a copy: the result stays valid across later put_profile()
+  // rehashes and fail_primary() (which destroys the primary replica a
+  // returned pointer would dangle into).
+  [[nodiscard]] std::optional<SubscriberProfile> profile(UeId ue) const {
     const auto it = primary().profiles.find(ue);
-    return it == primary().profiles.end() ? nullptr : &it->second;
+    if (it == primary().profiles.end()) return std::nullopt;
+    return it->second;
   }
 
   void put_path(ClauseId clause, std::uint32_t bs, PolicyTag tag) {
@@ -108,6 +105,12 @@ class ControlStore {
     return it->second;
   }
   [[nodiscard]] std::size_t attached_ues() const { return locations_.size(); }
+  // Iterates the location map (fleet partition audits / rebuilds).  `fn`
+  // must not mutate the store; collect first, then write.
+  template <typename Fn>
+  void for_each_location(Fn&& fn) const {
+    for (const auto& [ue, loc] : locations_) fn(ue, loc);
+  }
 
   // --- failover -------------------------------------------------------------
   // Kills the primary replica and promotes the next one.  The slow state

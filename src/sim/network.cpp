@@ -38,22 +38,46 @@ ControllerOptions with_tag_bound(ControllerOptions opts,
     opts.engine.max_tags = PortCodec(tag_bits).max_tags();
   return opts;
 }
+
+// Fleet-mode config normalization (see SoftCellConfig::cluster_controllers).
+SoftCellConfig normalized(SoftCellConfig config) {
+  if (config.cluster_controllers > 0) {
+    if (config.runtime_workers > 0)
+      throw std::invalid_argument(
+          "SoftCellNetwork: cluster_controllers and runtime_workers are "
+          "mutually exclusive");
+    config.mobility.install_shortcuts = false;
+  }
+  return config;
+}
 }  // namespace
 
 SoftCellNetwork::SoftCellNetwork(SoftCellConfig config, ServicePolicy policy)
-    : config_(config),
-      topo_(config.topo),
-      codec_(config.tag_bits),
-      sharded_(topo_, std::move(policy),
+    : config_(normalized(config)),
+      topo_(config_.topo),
+      codec_(config_.tag_bits),
+      // The shard exists in both modes (it is the non-fleet controller); in
+      // fleet mode it sits idle and the fleet replicas do the work.
+      sharded_(topo_, policy,
                {.shards = 1,
-                .controller = with_tag_bound(config.controller,
-                                             config.tag_bits)}),
-      controller_(sharded_.shard(0)),
-      mobility_(controller_, topo_.plan(), codec_, config.mobility) {
-  if (config.runtime_workers > 0)
+                .controller = with_tag_bound(config_.controller,
+                                             config_.tag_bits)}),
+      fleet_(config_.cluster_controllers > 0
+                 ? std::make_unique<cluster::ControllerFleet>(
+                       topo_, std::move(policy),
+                       cluster::FleetOptions{
+                           .replicas = config_.cluster_controllers,
+                           .controller = with_tag_bound(config_.controller,
+                                                        config_.tag_bits)})
+                 : nullptr),
+      controller_(fleet_ ? fleet_->replica(0) : sharded_.shard(0)),
+      cp_(fleet_ ? static_cast<ControlPlane&>(*fleet_)
+                 : static_cast<ControlPlane&>(controller_)),
+      mobility_(controller_, topo_.plan(), codec_, config_.mobility) {
+  if (config_.runtime_workers > 0)
     runtime_ = std::make_unique<ControlPlaneRuntime>(
-        sharded_, RuntimeOptions{.workers = config.runtime_workers});
-  if (config.attach_mirror)
+        sharded_, RuntimeOptions{.workers = config_.runtime_workers});
+  if (config_.attach_mirror)
     mirror_ = std::make_unique<ofp::Mirror>(controller_.engine());
   const auto n = topo_.num_base_stations();
   access_.reserve(n);
@@ -65,7 +89,7 @@ SoftCellNetwork::SoftCellNetwork(SoftCellConfig config, ServicePolicy policy)
     const auto to_gw = controller_.routes().path(node, topo_.gateway());
     access_.push_back(std::make_unique<AccessSwitch>(node, bs, to_gw.at(1)));
     agents_.push_back(std::make_unique<LocalAgent>(
-        bs, topo_.plan(), codec_, controller_, *access_.back()));
+        bs, topo_.plan(), codec_, cp_, *access_.back()));
     if (runtime_)
       agents_.back()->set_path_requester(
           [this](UeId ue, std::uint32_t abs, ClauseId clause) {
@@ -75,11 +99,25 @@ SoftCellNetwork::SoftCellNetwork(SoftCellConfig config, ServicePolicy policy)
   }
   for (const auto& inst : topo_.middleboxes())
     middleboxes_.emplace(inst.node, make_middlebox(inst.type, topo_.plan()));
-  if (config.enable_nat) nat_.emplace(kNatPool, config.nat_seed);
-  controller_.set_classifier_listener(
-      [this](std::uint32_t bs, ClauseId clause, PolicyTag tag) {
-        agents_.at(bs)->update_classifier_tag(clause, tag);
-      });
+  if (config_.enable_nat) nat_.emplace(kNatPool, config_.nat_seed);
+  const auto push_tag = [this](std::uint32_t bs, ClauseId clause,
+                               PolicyTag tag) {
+    agents_.at(bs)->update_classifier_tag(clause, tag);
+  };
+  if (fleet_) {
+    // Every replica installs the same paths (log replication), so each
+    // install fires the push once per replica; update_classifier_tag is
+    // idempotent, the duplicates are harmless.
+    for (std::size_t i = 0; i < fleet_->replica_count(); ++i)
+      fleet_->replica(i).set_classifier_listener(push_tag);
+    // Crash rebuild re-queries the base-station agents (section 5.2).
+    fleet_->set_location_query(
+        [this](const std::function<void(UeId, UeLocation)>& sink) {
+          for (const auto& agent : agents_) agent->enumerate_ues(sink);
+        });
+  } else {
+    controller_.set_classifier_listener(push_tag);
+  }
 }
 
 AccessSwitch* SoftCellNetwork::access_by_node(NodeId node) {
@@ -91,21 +129,21 @@ std::vector<PacketClassifier> SoftCellNetwork::cp_fetch_classifiers(
     UeId ue, std::uint32_t bs) {
   SC_TRACE_SPAN_ARG("sim.fetch_classifiers", bs);
   if (runtime_) return runtime_->fetch_classifiers(ue, bs);
-  return controller_.fetch_classifiers(ue, bs);
+  return cp_.fetch_classifiers(ue, bs);
 }
 
 PolicyTag SoftCellNetwork::cp_request_policy_path(UeId ue, std::uint32_t bs,
                                                   ClauseId clause) {
   SC_TRACE_SPAN_ARG("sim.path_request", bs);
   if (runtime_) return runtime_->request_policy_path(ue, bs, clause);
-  return controller_.request_policy_path(bs, clause);
+  return cp_.request_policy_path(bs, clause);
 }
 
 UeId SoftCellNetwork::add_subscriber(const SubscriberProfile& profile) {
   const UeId ue(next_ue_++);
   SubscriberProfile p = profile;
   p.ue = ue;
-  controller_.provision_subscriber(ue, p);
+  cp_.provision_subscriber(ue, p);
   permanent_ip_.emplace(ue, kPermanentBase + ue.value());
   return ue;
 }
@@ -115,20 +153,20 @@ void SoftCellNetwork::attach(UeId ue, std::uint32_t bs) {
 }
 
 void SoftCellNetwork::detach(UeId ue) {
-  const auto loc = controller_.ue_location(ue);
+  const auto loc = cp_.ue_location(ue);
   if (!loc) throw std::invalid_argument("detach: UE not attached");
   agents_.at(loc->bs)->ue_depart(ue);
 }
 
 std::optional<std::uint32_t> SoftCellNetwork::serving_bs(UeId ue) const {
-  const auto loc = controller_.ue_location(ue);
+  const auto loc = cp_.ue_location(ue);
   if (!loc) return std::nullopt;
   return loc->bs;
 }
 
 MobilityManager::HandoffTicket SoftCellNetwork::handoff(UeId ue,
                                                         std::uint32_t new_bs) {
-  const auto loc = controller_.ue_location(ue);
+  const auto loc = cp_.ue_location(ue);
   if (!loc) throw std::invalid_argument("handoff: UE not attached");
   if (loc->bs == new_bs)
     throw std::invalid_argument("handoff: already at that base station");
@@ -159,7 +197,7 @@ SoftCellNetwork::Delivery SoftCellNetwork::send_uplink(const FlowHandle& flow,
                                                        TcpFlag flag,
                                                        std::uint32_t payload) {
   Delivery d;
-  const auto loc = controller_.ue_location(flow.ue);
+  const auto loc = cp_.ue_location(flow.ue);
   if (!loc) {
     d.drop_reason = "UE not attached";
     return d;
@@ -205,8 +243,8 @@ SoftCellNetwork::Delivery SoftCellNetwork::send_uplink(const FlowHandle& flow,
 
 SoftCellNetwork::M2mFlowHandle SoftCellNetwork::open_m2m_flow(
     UeId a, UeId b, std::uint16_t dst_port) {
-  const auto loc_a = controller_.ue_location(a);
-  const auto loc_b = controller_.ue_location(b);
+  const auto loc_a = cp_.ue_location(a);
+  const auto loc_b = cp_.ue_location(b);
   if (!loc_a || !loc_b)
     throw std::invalid_argument("open_m2m_flow: both UEs must be attached");
   if (loc_a->bs == loc_b->bs)
@@ -227,9 +265,9 @@ SoftCellNetwork::M2mFlowHandle SoftCellNetwork::open_m2m_flow(
 
   // One direct half-path per direction, no gateway detour (section 7).
   const PolicyTag tag_ab =
-      controller_.request_m2m_path(loc_a->bs, loc_b->bs, clause);
+      cp_.request_m2m_path(loc_a->bs, loc_b->bs, clause);
   const PolicyTag tag_ba =
-      controller_.request_m2m_path(loc_b->bs, loc_a->bs, clause);
+      cp_.request_m2m_path(loc_b->bs, loc_a->bs, clause);
 
   const Ipv4Addr a_perm = permanent_ip_.at(a);
   const Ipv4Addr b_perm = permanent_ip_.at(b);
@@ -288,7 +326,7 @@ SoftCellNetwork::Delivery SoftCellNetwork::send_m2m(const M2mFlowHandle& flow,
                                                     std::uint32_t payload) {
   Delivery d;
   const UeId sender = a_to_b ? flow.a : flow.b;
-  const auto loc = controller_.ue_location(sender);
+  const auto loc = cp_.ue_location(sender);
   if (!loc) {
     d.drop_reason = "sender not attached";
     return d;
@@ -434,7 +472,7 @@ SoftCellNetwork::Delivery SoftCellNetwork::forward(Packet pkt, NodeId cur,
           cur = *tun;
           continue;
         }
-        const auto hit = controller_.engine().table(cur).lookup(
+        const auto hit = fwd_engine().table(cur).lookup(
             dir, in, pkt.transit, pkt.key.dst_ip);
         if (!hit) {
           d.drop_reason = "no rule at access switch";
@@ -482,7 +520,7 @@ SoftCellNetwork::Delivery SoftCellNetwork::forward(Packet pkt, NodeId cur,
     }
     const Ipv4Addr addr = up ? pkt.key.src_ip : pkt.key.dst_ip;
     auto hit =
-        controller_.engine().table(cur).lookup(dir, in, pkt.transit, addr);
+        fwd_engine().table(cur).lookup(dir, in, pkt.transit, addr);
     // Multi-table resubmit: re-match at this switch with the rewritten tag.
     for (int depth = 0; hit && hit->action.resubmit; ++depth) {
       if (depth > 4) {
@@ -490,7 +528,7 @@ SoftCellNetwork::Delivery SoftCellNetwork::forward(Packet pkt, NodeId cur,
         return d;
       }
       if (hit->action.set_tag) pkt.transit = *hit->action.set_tag;
-      hit = controller_.engine().table(cur).lookup(dir, in, pkt.transit, addr);
+      hit = fwd_engine().table(cur).lookup(dir, in, pkt.transit, addr);
     }
     if (!hit) {
       d.drop_reason = "no rule at fabric switch " + std::to_string(cur.value());
@@ -506,7 +544,7 @@ SoftCellNetwork::Delivery SoftCellNetwork::forward(Packet pkt, NodeId cur,
 
 SoftCellNetwork::PublicService SoftCellNetwork::expose_service(
     UeId ue, std::uint16_t service_port) {
-  const auto loc = controller_.ue_location(ue);
+  const auto loc = cp_.ue_location(ue);
   if (!loc) throw std::invalid_argument("expose_service: UE not attached");
 
   // Classify by the UE's profile and the service's application class; the
@@ -543,7 +581,7 @@ SoftCellNetwork::PublicService SoftCellNetwork::expose_service(
 
   // Program pinholes on the clause's firewall instances so
   // Internet-initiated connections toward the published endpoint pass.
-  for (const NodeId mb : controller_.select_instances(loc->bs, match->clause))
+  for (const NodeId mb : cp_.select_instances(loc->bs, match->clause))
     if (auto* fw = dynamic_cast<StatefulFirewall*>(middleboxes_.at(mb).get()))
       fw->publish(e.locip, e.tagged_port);
 
@@ -578,7 +616,7 @@ SoftCellNetwork::Delivery SoftCellNetwork::send_service_reply(
     return d;
   }
   const ServiceEntry& e = it->second;
-  const auto loc = controller_.ue_location(e.ue);
+  const auto loc = cp_.ue_location(e.ue);
   if (!loc) {
     d.drop_reason = "served UE not attached";
     return d;
@@ -606,6 +644,10 @@ SoftCellNetwork::Delivery SoftCellNetwork::send_service_reply(
 }
 
 void SoftCellNetwork::fail_controller_primary_and_recover() {
+  if (fleet_) {
+    fleet_->fail_primary_and_recover();
+    return;
+  }
   controller_.fail_primary_replica();
   controller_.rebuild_locations(
       [this](const std::function<void(UeId, UeLocation)>& sink) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "agent/local_agent.hpp"
+#include "cluster/fleet.hpp"
 #include "ctrl/controller.hpp"
 #include "mbox/middlebox.hpp"
 #include "mobility/handoff.hpp"
@@ -47,6 +48,14 @@ struct SoftCellConfig {
   // agents on mirror()->sync().  The chaos harness uses this (with wire
   // faults armed) to check switch-table equivalence under churn.
   bool attach_mirror = false;
+  // > 0: replace the single controller with a cluster::ControllerFleet of
+  // this many replicas -- partitioned UE ownership, leader leases, crash
+  // rebuild (src/cluster/).  Incompatible with runtime_workers (the
+  // pipeline shards by UE, the fleet by serving bs; composing them is
+  // future work).  Mobility shortcuts are forced off in fleet mode: the
+  // shortcut machinery drives one concrete Controller, and the fleet may
+  // serve a handoff from a different replica.
+  unsigned cluster_controllers = 0;
 };
 
 class SoftCellNetwork {
@@ -131,8 +140,15 @@ class SoftCellNetwork {
 
   // --- introspection -----------------------------------------------------------------
   [[nodiscard]] const CellularTopology& topology() const { return topo_; }
+  // In fleet mode this is replica 0 (the mirror's pinned engine source);
+  // control-plane traffic goes through cp_, not this reference.
   [[nodiscard]] Controller& controller() { return controller_; }
   [[nodiscard]] const Controller& controller() const { return controller_; }
+  // The controller fleet, or nullptr when cluster_controllers == 0.
+  [[nodiscard]] cluster::ControllerFleet* fleet() { return fleet_.get(); }
+  [[nodiscard]] const cluster::ControllerFleet* fleet() const {
+    return fleet_.get();
+  }
   // The runtime pipeline, or nullptr when runtime_workers == 0.
   [[nodiscard]] ControlPlaneRuntime* runtime() { return runtime_.get(); }
   // The flow-mod mirror, or nullptr when attach_mirror == false.
@@ -149,7 +165,7 @@ class SoftCellNetwork {
   // Middlebox instances a flow of this clause from this bs must traverse.
   [[nodiscard]] std::vector<NodeId> expected_middleboxes(
       std::uint32_t bs, ClauseId clause) const {
-    return controller_.select_instances(bs, clause);
+    return cp_.select_instances(bs, clause);
   }
   // The policy clause a flow was admitted under (set on its first delivered
   // uplink packet); nullopt before admission or for unknown flows.
@@ -173,6 +189,13 @@ class SoftCellNetwork {
                    QosClass qos = QosClass::kBestEffort);
   [[nodiscard]] AccessSwitch* access_by_node(NodeId node);
 
+  // The rule universe packets are matched against: the single controller's
+  // engine, or -- in fleet mode -- the first usable replica's (all usable
+  // replicas hold identical engines; see ControllerFleet).
+  [[nodiscard]] const AggregationEngine& fwd_engine() const {
+    return fleet_ ? fleet_->forwarding_engine() : controller_.engine();
+  }
+
   // Control-plane entry points used by the harness: routed through the
   // runtime pipeline when configured, inline otherwise.
   std::vector<PacketClassifier> cp_fetch_classifiers(UeId ue,
@@ -187,7 +210,9 @@ class SoftCellNetwork {
   // harness runs one shard; controller_ aliases that shard (see the shard
   // ownership rules in runtime/sharded_controller.hpp).
   ShardedController sharded_;
-  Controller& controller_;
+  std::unique_ptr<cluster::ControllerFleet> fleet_;  // fleet mode only
+  Controller& controller_;  // shard 0, or fleet replica 0
+  ControlPlane& cp_;        // where control-plane calls actually go
   std::unique_ptr<ControlPlaneRuntime> runtime_;
   std::unique_ptr<ofp::Mirror> mirror_;
   MobilityManager mobility_;

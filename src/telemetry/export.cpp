@@ -135,6 +135,12 @@ JsonWriter& JsonWriter::boolean(bool v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::null() {
+  before_value();
+  buf_ += "null";
+  return *this;
+}
+
 // --- Chrome trace export ----------------------------------------------------
 
 std::string chrome_trace_json(std::span<const TraceRecord> records,

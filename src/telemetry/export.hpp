@@ -49,6 +49,7 @@ class JsonWriter {
   JsonWriter& i64(std::int64_t v);
   JsonWriter& num(double v, int decimals = 6);
   JsonWriter& boolean(bool v);
+  JsonWriter& null();
 
   // key-value conveniences
   JsonWriter& str(std::string_view k, std::string_view v) {
@@ -66,6 +67,7 @@ class JsonWriter {
   JsonWriter& boolean(std::string_view k, bool v) {
     return key(k).boolean(v);
   }
+  JsonWriter& null(std::string_view k) { return key(k).null(); }
 
   [[nodiscard]] const std::string& out() const { return buf_; }
   [[nodiscard]] std::string take() { return std::move(buf_); }

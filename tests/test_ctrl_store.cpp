@@ -1,0 +1,179 @@
+// Controller-level failover drills: fail_primary_replica() followed by
+// rebuild_locations() racing concurrent handoff traffic, the deterministic
+// rebuild-vs-handoff interleavings, and the by-value profile() guarantee
+// that makes all of it safe (see ctrl/store.hpp).  A chaos scenario pins
+// the same drill between a handoff and its completion.
+#include "ctrl/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "chaos/harness.hpp"
+
+namespace softcell {
+namespace {
+
+SubscriberProfile silver(UeId ue) {
+  SubscriberProfile p;
+  p.ue = ue;
+  p.plan = BillingPlan::kSilver;
+  return p;
+}
+
+TEST(StoreProfile, CopySurvivesFailoverAndRehash) {
+  ControlStore s(3);
+  s.put_profile(UeId(1), silver(UeId(1)));
+  const auto held = s.profile(UeId(1));
+  ASSERT_TRUE(held.has_value());
+
+  // The returned value is a copy: destroying the primary replica (which a
+  // returned pointer would dangle into) and rehashing the map under heavy
+  // growth must leave it untouched.
+  s.fail_primary();
+  for (std::uint32_t v = 2; v < 200; ++v) s.put_profile(UeId(v), silver(UeId(v)));
+  EXPECT_EQ(held->ue, UeId(1));
+  EXPECT_EQ(held->plan, BillingPlan::kSilver);
+  ASSERT_TRUE(s.profile(UeId(1)).has_value());
+  EXPECT_TRUE(s.replicas_consistent());
+}
+
+TEST(ControllerFailover, RebuildUnderConcurrentHandoffConverges) {
+  CellularTopology topo({.k = 4, .seed = 1});
+  Controller ctrl(topo, make_table1_policy(),
+                  ControllerOptions{.store_replicas = 6});
+  const std::uint32_t num_bs = topo.num_base_stations();
+
+  constexpr std::size_t kThreads = 3;
+  constexpr std::size_t kUesPerThread = 8;
+  constexpr std::size_t kIters = 150;
+  constexpr std::size_t kUes = kThreads * kUesPerThread;
+
+  // Agent truth: written BEFORE the controller call, one writer per UE, so
+  // a rebuild query concurrent with a handoff reads state at least as fresh
+  // as the controller's own.
+  std::vector<std::atomic<std::uint32_t>> truth(kUes + 1);
+  const auto query = [&truth](
+      const std::function<void(UeId, UeLocation)>& sink) {
+    for (std::uint32_t v = 1; v < truth.size(); ++v)
+      sink(UeId(v), UeLocation{truth[v].load(),
+                               LocalUeId(static_cast<std::uint16_t>(v))});
+  };
+
+  for (std::uint32_t v = 1; v <= kUes; ++v) {
+    ctrl.provision_subscriber(UeId(v), silver(UeId(v)));
+    truth[v].store(v % num_bs);
+    ctrl.attach_ue(UeId(v), v % num_bs,
+                   LocalUeId(static_cast<std::uint16_t>(v)));
+  }
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kIters; ++i) {
+        for (std::size_t k = 0; k < kUesPerThread; ++k) {
+          const std::uint32_t v =
+              static_cast<std::uint32_t>(t * kUesPerThread + k + 1);
+          const std::uint32_t bs =
+              static_cast<std::uint32_t>((v * 11 + i) % num_bs);
+          truth[v].store(bs);
+          ctrl.update_location(UeId(v), bs,
+                               LocalUeId(static_cast<std::uint16_t>(v)));
+          if (i % 8 == 0) (void)ctrl.ue_location(UeId(v));
+          if (i % 16 == 0) (void)ctrl.fetch_classifiers(UeId(v), bs);
+        }
+      }
+    });
+  }
+  // The failover thread runs the section-5.2 drill repeatedly while the
+  // handoffs churn: five of the six store replicas die over the run.
+  threads.emplace_back([&] {
+    for (int drill = 0; drill < 5; ++drill) {
+      ctrl.fail_primary_replica();
+      ctrl.rebuild_locations(query);
+      std::this_thread::yield();
+    }
+  });
+  for (auto& th : threads) th.join();
+
+  // Whoever wrote last -- updater or rebuild -- must agree with truth.
+  for (std::uint32_t v = 1; v <= kUes; ++v) {
+    const auto loc = ctrl.ue_location(UeId(v));
+    ASSERT_TRUE(loc.has_value()) << "lost UE " << v;
+    EXPECT_EQ(loc->bs, truth[v].load()) << "UE " << v;
+  }
+  EXPECT_EQ(ctrl.store().replica_count(), 1u);
+  EXPECT_TRUE(ctrl.store().replicas_consistent());
+}
+
+TEST(ControllerFailover, HandoffBeforeRebuildWinsDeterministically) {
+  // The handoff lands first, then the rebuild queries agents that already
+  // saw the move: the rebuilt map reflects the new base station.
+  CellularTopology topo({.k = 4, .seed = 1});
+  Controller ctrl(topo, make_table1_policy());
+  ctrl.provision_subscriber(UeId(1), silver(UeId(1)));
+  ctrl.attach_ue(UeId(1), 2, LocalUeId(1));
+
+  ctrl.fail_primary_replica();
+  ctrl.update_location(UeId(1), 5, LocalUeId(1));  // handoff during outage
+  ctrl.rebuild_locations([](const std::function<void(UeId, UeLocation)>& s) {
+    s(UeId(1), UeLocation{5, LocalUeId(1)});  // agents saw the move
+  });
+
+  const auto loc = ctrl.ue_location(UeId(1));
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->bs, 5u);
+}
+
+TEST(ControllerFailover, HandoffAfterRebuildOverwritesStaleTruth) {
+  // The rebuild ran against pre-handoff agent state; the late handoff
+  // message must still win -- update_location after rebuild_locations
+  // leaves the UE at its true base station.
+  CellularTopology topo({.k = 4, .seed = 1});
+  Controller ctrl(topo, make_table1_policy());
+  ctrl.provision_subscriber(UeId(1), silver(UeId(1)));
+  ctrl.attach_ue(UeId(1), 2, LocalUeId(1));
+
+  ctrl.fail_primary_replica();
+  ctrl.rebuild_locations([](const std::function<void(UeId, UeLocation)>& s) {
+    s(UeId(1), UeLocation{2, LocalUeId(1)});  // stale: pre-handoff
+  });
+  ctrl.update_location(UeId(1), 5, LocalUeId(1));  // late handoff arrives
+
+  const auto loc = ctrl.ue_location(UeId(1));
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->bs, 5u);
+}
+
+}  // namespace
+}  // namespace softcell
+
+namespace softcell::chaos {
+namespace {
+
+TEST(ChaosFailover, PrimaryLossBetweenHandoffAndCompletionPasses) {
+  // Directed scenario: the controller loses its primary store replica while
+  // a handoff is in flight (ticket issued, not yet completed).  The rebuild
+  // must re-learn the post-handoff location from the agents, and every
+  // invariant -- including the admitted middlebox sequence of the moved
+  // flow -- must hold through the completion and the final sweep.
+  Scenario sc;
+  sc.seed = 42;
+  using K = Step::Kind;
+  sc.steps = {{K::kAttach, 0, 1},          {K::kAttach, 1, 4},
+              {K::kOpenFlow, 0, 0},        {K::kOpenFlow, 1, 1},
+              {K::kSendUplink, 0, 0},      {K::kQuiesce, 0, 0},
+              {K::kHandoff, 0, 6},         {K::kFailover, 0, 0},
+              {K::kSendUplink, 0, 0},      {K::kSendDownlink, 0, 0},
+              {K::kCompleteHandoff, 0, 0}, {K::kQuiesce, 0, 0}};
+  const auto r = run_scenario(sc);
+  ASSERT_TRUE(r.ok) << "invariant " << r.violation->invariant << " at step "
+                    << r.violation->step << ": " << r.violation->detail;
+  EXPECT_EQ(r.steps_executed, sc.steps.size());
+  EXPECT_GE(r.handoffs, 1u);
+}
+
+}  // namespace
+}  // namespace softcell::chaos

@@ -49,7 +49,7 @@ class FixtureCorpus(unittest.TestCase):
 
     def test_report_is_machine_readable(self):
         self.assertEqual(self.report["version"], 1)
-        self.assertEqual(self.report["files_scanned"], 6)
+        self.assertEqual(self.report["files_scanned"], 7)
         for f in self.findings:
             for key in ("rule", "path", "line", "message", "snippet"):
                 self.assertIn(key, f)
@@ -90,6 +90,12 @@ class FixtureCorpus(unittest.TestCase):
         # the comment/string controls stay silent.
         self.assert_fires("metrics-direct", "bad_metrics_direct", 4)
 
+    def test_controller_construct_fires(self):
+        # Stack () and {}, new, make_unique, make_shared; the reference,
+        # pointer, affixed-type and string controls stay silent.
+        self.assert_fires("controller-construct", "bad_controller_construct",
+                          5)
+
     def test_no_cross_contamination(self):
         # No rule fires on another rule's fixture (each bad file isolates
         # one failure class).
@@ -100,6 +106,7 @@ class FixtureCorpus(unittest.TestCase):
             "naked-rand": "naked_rand",
             "iostream-write": "iostream",
             "metrics-direct": "metrics_direct",
+            "controller-construct": "controller_construct",
         }
         for f in self.findings:
             self.assertIn(

@@ -14,9 +14,9 @@ SubscriberProfile profile(std::uint32_t provider) {
 TEST(ControlStore, ProfileRoundTrip) {
   ControlStore s(3);
   s.put_profile(UeId(1), profile(7));
-  ASSERT_NE(s.profile(UeId(1)), nullptr);
+  ASSERT_TRUE(s.profile(UeId(1)));
   EXPECT_EQ(s.profile(UeId(1))->provider, 7u);
-  EXPECT_EQ(s.profile(UeId(2)), nullptr);
+  EXPECT_FALSE(s.profile(UeId(2)));
 }
 
 TEST(ControlStore, PathRoundTrip) {
@@ -46,7 +46,7 @@ TEST(ControlStore, SlowStateSurvivesPrimaryFailure) {
   s.fail_primary();
   EXPECT_EQ(s.replica_count(), 2u);
   // Slow state survived...
-  ASSERT_NE(s.profile(UeId(1)), nullptr);
+  ASSERT_TRUE(s.profile(UeId(1)));
   EXPECT_EQ(s.profile(UeId(1))->provider, 5u);
   EXPECT_EQ(*s.path(ClauseId(2), 4), PolicyTag(8));
   // ...but locations are gone until rebuilt.

@@ -1,0 +1,30 @@
+// Fixture: controller-construct must fire.  Controller instances belong to
+// the sim/ and cluster/ composition roots; a stray one bypasses the fleet's
+// partition-ownership leases.
+#include <memory>
+
+void rogue_controllers(const CellularTopology& topo, Policy policy) {
+  Controller ctrl(topo, policy);                     // finding: stack ()
+  Controller braced{topo, policy};                   // finding: stack {}
+  auto* heap = new Controller(topo, policy);         // finding: new
+  auto smart = std::make_unique<Controller>(topo);   // finding: make_unique
+  auto shared = std::make_shared<Controller>(topo);  // finding: make_shared
+  delete heap;
+  (void)smart;
+  (void)shared;
+  (void)ctrl;
+  (void)braced;
+}
+
+// Control: references, pointers, the Controller-affixed types and prose
+// mentioning "new Controller(...)" in a string must NOT fire.
+void fine(Controller& ref, Controller* ptr, const ControllerOptions& opts) {
+  ShardedController sharded(opts);
+  ControllerFleet fleet(opts);
+  const char* msg = "never new Controller() outside the roots";
+  (void)ref;
+  (void)ptr;
+  (void)sharded;
+  (void)fleet;
+  (void)msg;
+}

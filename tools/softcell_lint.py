@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """softcell-verify Part B: project-specific lint rules for the SoftCell tree.
 
-Six rules encode invariants the type system cannot see (DESIGN.md
+Seven rules encode invariants the type system cannot see (DESIGN.md
 section 12, "Static guarantees"):
 
   epoch-bump        Tag-class mutations in the dataplane switch table
@@ -44,6 +44,17 @@ section 12, "Static guarantees"):
                     (telemetry/registry.hpp collectors); a stray increment
                     elsewhere silently splits a metric across two homes and
                     the registry snapshot stops being the source of truth.
+
+  controller-construct
+                    Controller instances are owned by the composition roots
+                    in src/sim/ (SoftCellNetwork) and src/cluster/
+                    (ControllerFleet's replicas); constructing one anywhere
+                    else (stack, new, make_unique/make_shared) bypasses the
+                    fleet's partition-ownership leases -- two Controllers
+                    over the same topology silently double-own every UE.
+                    References, pointers and the Controller* derived types
+                    (ShardedController, ControllerOptions, ControllerFleet)
+                    stay free.
 
 Usage:
   python3 tools/softcell_lint.py [--root DIR] [--report FILE]
@@ -305,6 +316,43 @@ def check_metrics_direct(path: str, raw_lines: list[str],
     return out
 
 
+# --- rule: controller-construct ----------------------------------------------
+# The composition roots allowed to own Controller instances are identified
+# by path segment: src/sim/ (SoftCellNetwork wires a standalone controller
+# or hands the topology to a fleet) and src/cluster/ (ControllerFleet builds
+# its replicas).  Everyone else must accept a ControlPlane& / Controller&.
+#
+# Three construction spellings, each anchored so the Controller-prefixed and
+# Controller-suffixed types (ControllerFleet, ControllerOptions,
+# ShardedController) and mere references (Controller&, Controller*) never
+# match:
+#   * heap:   new Controller(...)            / new Controller{...}
+#   * smart:  make_unique<Controller>(...)   / make_shared<Controller>(...)
+#   * stack:  Controller name(...)           / Controller name{...}
+
+_CTRL_CONSTRUCT = re.compile(
+    r"\bnew\s+(?:\w+::)*Controller\s*[({]"
+    r"|\bmake_(?:unique|shared)\s*<\s*(?:\w+::)*Controller\s*>"
+    r"|(?<![\w:])Controller\s+\w+\s*[({]"
+)
+_CTRL_ALLOWED_DIRS = {"sim", "cluster"}
+
+
+def check_controller_construct(path: str, lines: list[str]) -> list[Finding]:
+    if _CTRL_ALLOWED_DIRS & set(Path(path).parts):
+        return []  # the composition roots that own Controller lifetimes
+    out = []
+    for i, line in enumerate(lines):
+        m = _CTRL_CONSTRUCT.search(line)
+        if m:
+            out.append(Finding(
+                "controller-construct", path, i + 1,
+                f"{m.group(0).strip()}: Controller is constructed only by "
+                "the sim/ and cluster/ composition roots; a stray instance "
+                "bypasses the fleet's partition-ownership leases", line))
+    return out
+
+
 RULES = {
     "epoch-bump": "tag-class mutations must bump the structural epoch",
     "naked-mutex": "std:: sync primitives only inside util/annotations.hpp",
@@ -312,6 +360,8 @@ RULES = {
     "naked-rand": "all randomness through util/rng.hpp",
     "iostream-write": "no stdout/stderr writes from library code",
     "metrics-direct": "perf-counter structs mutated only in their owner file",
+    "controller-construct":
+        "Controller built only by the sim/ and cluster/ composition roots",
 }
 
 
@@ -331,6 +381,7 @@ def scan_file(root: Path, file: Path) -> list[Finding]:
     findings += check_naked_rand(rel, stripped_lines)
     findings += check_iostream(rel, stripped_lines)
     findings += check_metrics_direct(rel, raw_lines, stripped_lines)
+    findings += check_controller_construct(rel, stripped_lines)
     return findings
 
 
