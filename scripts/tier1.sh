@@ -12,8 +12,12 @@
 #   5. telemetry -- an off-mode rebuild (-DSOFTCELL_TELEMETRY=OFF proves
 #      the tree compiles with spans erased) plus the disarmed-overhead
 #      smoke bench with its JSON output validated
-#   6. ASan + TSan + UBSan rebuilds running the concurrency|chaos|cluster
-#      labels with a trimmed corpus (SOFTCELL_CHAOS_SEEDS)
+#   5b. scale -- the million-UE bench under SOFTCELL_SMOKE=1: its built-in
+#      cross-layout fingerprint check (slab vs SOFTCELL_SLAB=0 node maps)
+#      is the exit code, and the JSON envelope is validated
+#   6. ASan + TSan + UBSan rebuilds running the
+#      concurrency|chaos|cluster|slab labels with a trimmed corpus
+#      (SOFTCELL_CHAOS_SEEDS)
 #
 # Every stage runs even if an earlier one fails; a per-stage
 # PASS/FAIL/SKIP summary is printed at the end and the script exits
@@ -122,6 +126,15 @@ run_stage "telemetry (overhead smoke)" bash -c \
      build/bench/SMOKE_telemetry.json &&
    python3 -c "import json,sys; d=json.load(open(\"build/bench/SMOKE_telemetry.json\")); sys.exit(0 if d[\"schema\"]==\"softcell-bench-1\" and d[\"results\"][0][\"within_budget\"] else 1)"'
 
+# --- scale stage -------------------------------------------------------------
+# The million-UE bench's smoke shape: both storage layouts replayed, the
+# cross-layout state fingerprints compared (a mismatch is a nonzero exit),
+# and the softcell-bench-1 envelope checked for the target verdict fields.
+run_stage "scale (smoke, cross-layout)" bash -c \
+  'SOFTCELL_SMOKE=1 ./build/bench/bench_million_ue \
+     build/bench/SMOKE_scale.json &&
+   python3 -c "import json,sys; d=json.load(open(\"build/bench/SMOKE_scale.json\")); sys.exit(0 if d[\"schema\"]==\"softcell-bench-1\" and d[\"meta\"][\"fingerprints_match\"] and d[\"meta\"][\"ctrl_bytes_target_met\"] else 1)"'
+
 if [[ "$PERF" == 1 ]]; then
   run_stage "bench (perf smoke)" bash -c 'cd build && ctest --output-on-failure -L perf'
 fi
@@ -131,16 +144,16 @@ if [[ "$FAST" == 0 ]]; then
   # the instrumented runs stay in the seconds range.
   run_stage "asan configure" cmake -B build-asan -S . -DSOFTCELL_SANITIZE=address
   run_stage "asan build"     cmake --build build-asan -j
-  run_stage "asan tests (concurrency|chaos|cluster)" \
-    bash -c 'cd build-asan && SOFTCELL_CHAOS_SEEDS=40 ctest --output-on-failure -L "concurrency|chaos|cluster"'
+  run_stage "asan tests (concurrency|chaos|cluster|slab)" \
+    bash -c 'cd build-asan && SOFTCELL_CHAOS_SEEDS=40 ctest --output-on-failure -L "concurrency|chaos|cluster|slab"'
   run_stage "tsan configure" cmake -B build-tsan -S . -DSOFTCELL_SANITIZE=thread
   run_stage "tsan build"     cmake --build build-tsan -j
-  run_stage "tsan tests (concurrency|chaos|cluster)" \
-    bash -c 'cd build-tsan && SOFTCELL_CHAOS_SEEDS=25 ctest --output-on-failure -L "concurrency|chaos|cluster"'
+  run_stage "tsan tests (concurrency|chaos|cluster|slab)" \
+    bash -c 'cd build-tsan && SOFTCELL_CHAOS_SEEDS=25 ctest --output-on-failure -L "concurrency|chaos|cluster|slab"'
   run_stage "ubsan configure" cmake -B build-ubsan -S . -DSOFTCELL_SANITIZE=undefined
   run_stage "ubsan build"     cmake --build build-ubsan -j
-  run_stage "ubsan tests (concurrency|chaos|cluster)" \
-    bash -c 'cd build-ubsan && SOFTCELL_CHAOS_SEEDS=40 ctest --output-on-failure -L "concurrency|chaos|cluster"'
+  run_stage "ubsan tests (concurrency|chaos|cluster|slab)" \
+    bash -c 'cd build-ubsan && SOFTCELL_CHAOS_SEEDS=40 ctest --output-on-failure -L "concurrency|chaos|cluster|slab"'
 fi
 
 echo

@@ -14,7 +14,8 @@ LocalAgent::LocalAgent(std::uint32_t bs_index, AddressPlan plan,
       plan_(plan),
       codec_(codec),
       controller_(&controller),
-      access_(&access) {}
+      access_(&access),
+      slab_(mem::slab_enabled()) {}
 
 LocalUeId LocalAgent::alloc_local_id() {
   const auto limit = plan_.max_ues_per_bs();
@@ -35,50 +36,88 @@ Ipv4Addr LocalAgent::ue_arrive(UeId ue, Ipv4Addr permanent_ip) {
   UeState st;
   st.local = alloc_local_id();
   st.permanent_ip = permanent_ip;
+  if (!slab_) st.slots = std::make_unique<NodeSlots>();
   controller_->attach_ue(ue, bs_index_, st.local);
   st.classifiers = controller_->fetch_classifiers(ue, bs_index_);
   const Ipv4Addr locip = plan_.encode(bs_index_, st.local);
-  ues_.emplace(ue, std::move(st));
+  ues_.try_emplace(ue, std::move(st));
   return locip;
 }
 
-void LocalAgent::ue_depart(UeId ue) {
-  const auto it = ues_.find(ue);
-  if (it == ues_.end()) throw std::invalid_argument("ue_depart: not attached");
-  for (const auto& [flow, entry] : it->second.slots) {
-    access_->flows().remove(flow);
-    access_->flows().remove(entry.down_key);
+void LocalAgent::release_flow_records(UeState& st) {
+  for (mem::Handle h = st.flow_head; h;) {
+    FlowRec* rec = flow_slab_.get(h);
+    const mem::Handle next = rec->next;
+    flow_index_.erase(rec->key);
+    flow_slab_.erase(h);
+    h = next;
   }
-  used_ids_.erase(it->second.local);
+  st.flow_head = mem::Handle{};
+  st.flow_count = 0;
+}
+
+void LocalAgent::ue_depart(UeId ue) {
+  UeState* st = ues_.find(ue);
+  if (st == nullptr) throw std::invalid_argument("ue_depart: not attached");
+  if (slab_) {
+    for (mem::Handle h = st->flow_head; h;) {
+      const FlowRec* rec = flow_slab_.get(h);
+      access_->flows().remove(rec->key);
+      access_->flows().remove(rec->entry.down_key);
+      h = rec->next;
+    }
+    release_flow_records(*st);
+  } else {
+    for (const auto& [flow, entry] : *st->slots) {
+      access_->flows().remove(flow);
+      access_->flows().remove(entry.down_key);
+    }
+  }
+  used_ids_.erase(st->local);
   controller_->detach_ue(ue);
-  ues_.erase(it);
+  ues_.erase(ue);
 }
 
 std::optional<Ipv4Addr> LocalAgent::locip_of(UeId ue) const {
-  const auto it = ues_.find(ue);
-  if (it == ues_.end()) return std::nullopt;
-  return plan_.encode(bs_index_, it->second.local);
+  const UeState* st = ues_.find(ue);
+  if (st == nullptr) return std::nullopt;
+  return plan_.encode(bs_index_, st->local);
 }
 
 std::optional<Ipv4Addr> LocalAgent::permanent_ip_of(UeId ue) const {
-  const auto it = ues_.find(ue);
-  if (it == ues_.end()) return std::nullopt;
-  return it->second.permanent_ip;
+  const UeState* st = ues_.find(ue);
+  if (st == nullptr) return std::nullopt;
+  return st->permanent_ip;
 }
 
 std::optional<LocalUeId> LocalAgent::local_of(UeId ue) const {
-  const auto it = ues_.find(ue);
-  if (it == ues_.end()) return std::nullopt;
-  return it->second.local;
+  const UeState* st = ues_.find(ue);
+  if (st == nullptr) return std::nullopt;
+  return st->local;
 }
 
 std::vector<LocalAgent::ActiveFlow> LocalAgent::active_flows(UeId ue) const {
   std::vector<ActiveFlow> out;
-  const auto it = ues_.find(ue);
-  if (it == ues_.end()) return out;
-  out.reserve(it->second.slots.size());
-  for (const auto& [key, entry] : it->second.slots)
-    out.push_back(ActiveFlow{key, entry.tag, entry.clause});
+  const UeState* st = ues_.find(ue);
+  if (st == nullptr) return out;
+  if (slab_) {
+    out.reserve(st->flow_count);
+    for (mem::Handle h = st->flow_head; h;) {
+      const FlowRec* rec = flow_slab_.get(h);
+      out.push_back(ActiveFlow{rec->key, rec->entry.tag, rec->entry.clause});
+      h = rec->next;
+    }
+  } else {
+    out.reserve(st->slots->size());
+    for (const auto& [key, entry] : *st->slots)
+      out.push_back(ActiveFlow{key, entry.tag, entry.clause});
+  }
+  // Canonical order: downstream consumers (mobility shortcut pairing) are
+  // first-wins per tag, so both storage layouts must agree.
+  std::sort(out.begin(), out.end(),
+            [](const ActiveFlow& a, const ActiveFlow& b) {
+              return a.key < b.key;
+            });
   return out;
 }
 
@@ -95,13 +134,28 @@ const PacketClassifier* LocalAgent::classify(const UeState& st,
 void LocalAgent::install_microflow(UeState& st, const FlowKey& flow,
                                    PolicyTag tag, ClauseId clause) {
   const Ipv4Addr locip = plan_.encode(bs_index_, st.local);
-  auto [sit, fresh] = st.slots.try_emplace(
-      flow, UeState::FlowEntry{static_cast<std::uint16_t>(st.next_slot), {}});
-  if (fresh)
-    st.next_slot =
-        static_cast<std::uint16_t>((st.next_slot + 1) %
-                                   codec_.max_flows_per_ue());
-  const std::uint16_t port = codec_.encode(tag, sit->second.slot);
+  FlowEntry* entry;
+  if (slab_) {
+    const auto [it, fresh] = flow_index_.try_emplace(flow);
+    if (fresh) {
+      const mem::Handle h = flow_slab_.emplace(
+          FlowRec{flow, FlowEntry{st.next_slot, {}, {}, {}}, st.flow_head});
+      it->second = h;
+      st.flow_head = h;
+      ++st.flow_count;
+      st.next_slot = static_cast<std::uint16_t>(
+          (st.next_slot + 1) % codec_.max_flows_per_ue());
+    }
+    entry = &flow_slab_.get(it->second)->entry;
+  } else {
+    const auto [sit, fresh] =
+        st.slots->try_emplace(flow, FlowEntry{st.next_slot, {}, {}, {}});
+    if (fresh)
+      st.next_slot = static_cast<std::uint16_t>(
+          (st.next_slot + 1) % codec_.max_flows_per_ue());
+    entry = &sit->second;
+  }
+  const std::uint16_t port = codec_.encode(tag, entry->slot);
 
   // Uplink: permanent 5-tuple -> LocIP + tagged port, toward the fabric.
   MicroflowAction up;
@@ -121,16 +175,16 @@ void LocalAgent::install_microflow(UeState& st, const FlowKey& flow,
   dn.set_dst_ip = st.permanent_ip;
   dn.set_dst_port = flow.src_port;
   access_->flows().install(down, dn);
-  sit->second.down_key = down;
-  sit->second.tag = tag;
-  sit->second.clause = clause;
+  entry->down_key = down;
+  entry->tag = tag;
+  entry->clause = clause;
 }
 
 LocalAgent::FlowResult LocalAgent::handle_new_flow(UeId ue,
                                                    const FlowKey& flow) {
-  const auto it = ues_.find(ue);
-  if (it == ues_.end()) return FlowResult{};
-  UeState& st = it->second;
+  UeState* stp = ues_.find(ue);
+  if (stp == nullptr) return FlowResult{};
+  UeState& st = *stp;
 
   const AppType app = app_from_dst_port(flow.dst_port);
   const PacketClassifier* cls = classify(st, app);
@@ -173,6 +227,7 @@ Ipv4Addr LocalAgent::ue_handoff_in(UeId ue, Ipv4Addr permanent_ip,
   UeState st;
   st.local = alloc_local_id();
   st.permanent_ip = permanent_ip;
+  if (!slab_) st.slots = std::make_unique<NodeSlots>();
   controller_->update_location(ue, bs_index_, st.local);
   st.classifiers = controller_->fetch_classifiers(ue, bs_index_);
 
@@ -199,43 +254,54 @@ Ipv4Addr LocalAgent::ue_handoff_in(UeId ue, Ipv4Addr permanent_ip,
       moved_locips->push_back(key.dst_ip);
   }
   const Ipv4Addr locip = plan_.encode(bs_index_, st.local);
-  ues_.emplace(ue, std::move(st));
+  ues_.try_emplace(ue, std::move(st));
   return locip;
 }
 
 void LocalAgent::update_classifier_tag(ClauseId clause, PolicyTag tag) {
-  for (auto& [ue, st] : ues_)
+  ues_.for_each([&](const UeId&, UeState& st) {
     for (auto& c : st.classifiers)
       if (c.clause == clause && c.allow) c.tag = tag;
+  });
 }
 
 void LocalAgent::ue_handoff_out(UeId ue) {
-  const auto it = ues_.find(ue);
-  if (it == ues_.end())
+  UeState* st = ues_.find(ue);
+  if (st == nullptr)
     throw std::invalid_argument("ue_handoff_out: not attached");
-  quarantine_.insert(it->second.local);
-  used_ids_.erase(it->second.local);
-  ues_.erase(it);
+  quarantine_.insert(st->local);
+  used_ids_.erase(st->local);
+  // The microflow rules moved with the UE; only the agent-side flow records
+  // die here (the node layout frees them with the UeState itself).
+  if (slab_) release_flow_records(*st);
+  ues_.erase(ue);
 }
 
 void LocalAgent::release_quarantine(LocalUeId id) { quarantine_.erase(id); }
 
 void LocalAgent::restart() {
   // All soft state is lost...
-  const auto before = std::move(ues_);
+  std::vector<std::pair<UeId, Ipv4Addr>> before;
+  before.reserve(ues_.size());
+  ues_.for_each([&](const UeId& ue, const UeState& st) {
+    before.emplace_back(ue, st.permanent_ip);
+  });
   ues_.clear();
+  flow_slab_.clear();
+  flow_index_.clear();
   hits_ = 0;
   misses_ = 0;
   // ...and rebuilt read-only from the controller (section 5.2): local ids
   // come from the controller's location map, classifiers are refetched, and
   // flow slots are recovered from the access switch's surviving rules.
-  for (const auto& [ue, old_st] : before) {
+  for (const auto& [ue, permanent_ip] : before) {
     const auto loc = controller_->ue_location(ue);
     if (!loc || loc->bs != bs_index_)
       throw std::logic_error("restart: controller lost a UE location");
     UeState st;
     st.local = loc->local;
-    st.permanent_ip = old_st.permanent_ip;
+    st.permanent_ip = permanent_ip;
+    if (!slab_) st.slots = std::make_unique<NodeSlots>();
     st.classifiers = controller_->fetch_classifiers(ue, bs_index_);
     const Ipv4Addr locip = plan_.encode(bs_index_, st.local);
     std::uint16_t max_slot = 0;
@@ -254,19 +320,42 @@ void LocalAgent::restart() {
       ClauseId clause{};
       for (const auto& cl : st.classifiers)
         if (cl.tag == tag) clause = cl.clause;
-      st.slots[key] = UeState::FlowEntry{slot, down, tag, clause};
+      if (slab_) {
+        const mem::Handle h = flow_slab_.emplace(
+            FlowRec{key, FlowEntry{slot, down, tag, clause}, st.flow_head});
+        flow_index_[key] = h;
+        st.flow_head = h;
+        ++st.flow_count;
+      } else {
+        (*st.slots)[key] = FlowEntry{slot, down, tag, clause};
+      }
       max_slot = std::max<std::uint16_t>(max_slot,
                                          static_cast<std::uint16_t>(slot + 1));
     }
     st.next_slot = max_slot;
-    ues_.emplace(ue, std::move(st));
+    ues_.try_emplace(ue, std::move(st));
   }
 }
 
 void LocalAgent::enumerate_ues(
     const std::function<void(UeId, UeLocation)>& fn) const {
-  for (const auto& [ue, st] : ues_)
+  ues_.for_each([&](const UeId& ue, const UeState& st) {
     fn(ue, UeLocation{bs_index_, st.local});
+  });
+}
+
+std::size_t LocalAgent::bytes_resident() const {
+  std::size_t total = ues_.bytes_resident() + flow_slab_.bytes_resident() +
+                      flow_index_.size() * (sizeof(FlowKey) + sizeof(mem::Handle));
+  ues_.for_each([&](const UeId&, const UeState& st) {
+    total += st.classifiers.capacity() * sizeof(PacketClassifier);
+    if (st.slots)
+      total += sizeof(NodeSlots) +
+               st.slots->size() *
+                   (sizeof(std::pair<const FlowKey, FlowEntry>) +
+                    2 * sizeof(void*));
+  });
+  return total;
 }
 
 }  // namespace softcell

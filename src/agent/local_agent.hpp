@@ -13,19 +13,29 @@
 // Agent state (classifiers + LocIP assignments) is read-only to the agent --
 // only the controller writes it -- so agent failure is recovered by a
 // restart that refetches everything (section 5.2).
+//
+// Storage layout (ROADMAP item 2): UE records live in a mem::SlabMap and
+// per-UE flow slots in one agent-wide mem::Slab threaded into per-UE
+// intrusive lists -- two contiguous arenas instead of a node map of node
+// maps.  SOFTCELL_SLAB=0 restores the legacy per-UE std::unordered_map
+// layout (behind a unique_ptr, so the slab layout does not carry the empty
+// map); digest-sensitive walks (active_flows) are canonically sorted so
+// both layouts are observationally bit-identical.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
+#include <unordered_map>  // sc-lint: slab-owner(LocalAgent legacy layout)
 #include <vector>
 
 #include "agent/access_switch.hpp"
 #include "ctrl/controller.hpp"
+#include "mem/slab_map.hpp"
 #include "packet/locip.hpp"
 #include "packet/packet.hpp"
+#include "util/flat_map.hpp"
 
 namespace softcell {
 
@@ -48,7 +58,9 @@ class LocalAgent {
   [[nodiscard]] std::optional<LocalUeId> local_of(UeId ue) const;
 
   // Active flows of a UE with the tag/clause each was classified to (used
-  // by the mobility manager to set up per-flow shortcuts).
+  // by the mobility manager to set up per-flow shortcuts).  Sorted by flow
+  // key: the shortcut pass pairs each distinct tag with the first flow it
+  // sees, so the order must not depend on the storage layout.
   struct ActiveFlow {
     FlowKey key;
     PolicyTag tag{};
@@ -116,27 +128,45 @@ class LocalAgent {
   [[nodiscard]] std::uint64_t cache_hits() const { return hits_; }
   [[nodiscard]] std::uint64_t cache_misses() const { return misses_; }
 
+  // Resident footprint of the agent's UE/flow state (million-UE bench;
+  // excludes the access switch's own tables).
+  [[nodiscard]] std::size_t bytes_resident() const;
+
   [[nodiscard]] const AccessSwitch& access() const { return *access_; }
 
  private:
+  struct FlowEntry {
+    std::uint16_t slot = 0;
+    FlowKey down_key;  // translated reverse flow (downlink rule key)
+    PolicyTag tag{};
+    ClauseId clause{};
+  };
+  // Legacy node layout: per-UE map, heap-allocated only when in use.
+  using NodeSlots = std::unordered_map<FlowKey, FlowEntry>;
+  // Slab layout: one record in the agent-wide flow slab, linked per UE.
+  struct FlowRec {
+    FlowKey key;  // uplink key (needed to unlink from flow_index_)
+    FlowEntry entry;
+    mem::Handle next;  // next flow of the same UE
+  };
+
   struct UeState {
     LocalUeId local{};
     Ipv4Addr permanent_ip = 0;
     std::vector<PacketClassifier> classifiers;
     std::uint16_t next_slot = 0;
-    struct FlowEntry {
-      std::uint16_t slot = 0;
-      FlowKey down_key;  // translated reverse flow (downlink rule key)
-      PolicyTag tag{};
-      ClauseId clause{};
-    };
-    std::unordered_map<FlowKey, FlowEntry> slots;
+    std::unique_ptr<NodeSlots> slots;  // node layout only
+    mem::Handle flow_head;             // slab layout only
+    std::uint32_t flow_count = 0;      // slab layout only
   };
 
   LocalUeId alloc_local_id();
   const PacketClassifier* classify(const UeState& st, AppType app) const;
   void install_microflow(UeState& st, const FlowKey& flow, PolicyTag tag,
                          ClauseId clause);
+  // Frees a departing UE's slab flow records (slab layout; no-op otherwise).
+  // Does NOT touch the access switch.
+  void release_flow_records(UeState& st);
 
   std::uint32_t bs_index_;
   AddressPlan plan_;
@@ -145,9 +175,12 @@ class LocalAgent {
   AccessSwitch* access_;
   PathRequester path_requester_;
 
-  std::unordered_map<UeId, UeState> ues_;
-  std::unordered_set<LocalUeId> used_ids_;
-  std::unordered_set<LocalUeId> quarantine_;
+  bool slab_;  // layout captured at construction (mem::slab_enabled())
+  mem::SlabMap<UeId, UeState> ues_;
+  mem::Slab<FlowRec> flow_slab_;                 // slab layout
+  FlatMap<FlowKey, mem::Handle> flow_index_;     // slab layout
+  FlatSet<LocalUeId> used_ids_;
+  FlatSet<LocalUeId> quarantine_;
   std::uint16_t next_id_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

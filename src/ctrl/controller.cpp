@@ -102,9 +102,9 @@ std::vector<NodeId> Controller::select_instances(std::uint32_t bs,
 
 std::vector<NodeId> Controller::select_instances_locked(
     std::uint32_t bs, ClauseId clause) const {
-  if (const auto it = selected_.find(SlowState::PathKey{clause, bs});
-      it != selected_.end())
-    return it->second;
+  if (const std::vector<NodeId>* sel =
+          selected_.find(SlowState::PathKey{clause, bs}))
+    return *sel;
   const PolicyClause& c = policy_->clause(clause);
   const std::uint32_t pod = topo_->pod_of_bs(bs);
   std::vector<NodeId> out;
@@ -195,14 +195,12 @@ Controller::InstalledPath Controller::install_path_locked(
 PolicyTag Controller::request_policy_path_locked(std::uint32_t bs,
                                                  ClauseId clause) {
   const SlowState::PathKey key{clause, bs};
-  if (const auto it = installed_.find(key); it != installed_.end())
-    return it->second.tag;
+  if (const InstalledPath* p = installed_.find(key)) return p->tag;
 
   std::optional<PolicyTag> hint;
-  if (const auto h = clause_hints_.find(clause); h != clause_hints_.end())
-    hint = h->second;
+  if (const PolicyTag* h = clause_hints_.find(clause)) hint = *h;
   const auto path = install_path_locked(bs, clause, hint);
-  installed_.emplace(key, path);
+  installed_.try_emplace(key, path);
   clause_hints_[clause] = path.tag;
   store_.put_path(clause, bs, path.tag);
   return path.tag;
@@ -240,8 +238,7 @@ PolicyTag Controller::request_m2m_path(std::uint32_t src_bs,
                                        ClauseId clause) {
   sc::WriteLock lock(mu_);
   const M2mKey key{clause, src_bs, dst_bs};
-  if (const auto it = m2m_installed_.find(key); it != m2m_installed_.end())
-    return it->second;
+  if (const PolicyTag* tag = m2m_installed_.find(key)) return *tag;
 
   // Both directions of a connection must traverse the same middlebox
   // instances (section 2.1), so instance selection is symmetric in the
@@ -257,7 +254,7 @@ PolicyTag Controller::request_m2m_path(std::uint32_t src_bs,
   const auto r =
       engine_.install(path, dst_bs, topo_->bs_prefix(dst_bs), std::nullopt);
   ++path_installs_;
-  m2m_installed_.emplace(key, r.tag);
+  m2m_installed_.try_emplace(key, r.tag);
   return r.tag;
 }
 
@@ -265,10 +262,10 @@ Controller::Migration Controller::migrate_path(std::uint32_t bs,
                                                ClauseId clause) {
   sc::WriteLock lock(mu_);
   const SlowState::PathKey key{clause, bs};
-  const auto it = installed_.find(key);
-  if (it == installed_.end())
+  InstalledPath* found = installed_.find(key);
+  if (found == nullptr)
     throw std::invalid_argument("migrate_path: path not installed");
-  const PolicyTag old_tag = it->second.tag;
+  const PolicyTag old_tag = found->tag;
 
   // Phase 1: install the new version under a fresh tag.  Forcing "no hint"
   // is not enough (the engine may legally reuse any tag not used by this
@@ -279,10 +276,12 @@ Controller::Migration Controller::migrate_path(std::uint32_t bs,
   // Phase 2: flip what new flows see (classifier tag in the store).
   store_.put_path(clause, bs, fresh.tag);
   // Old rules stay installed until drained (phase 3, drain_old_path).
-  InstalledPath old = it->second;
-  it->second = fresh;
+  // `found` stays valid across install_path_locked: slab values have stable
+  // addresses and installed_ itself was not touched.
+  InstalledPath old = *found;
+  *found = fresh;
   clause_hints_[clause] = fresh.tag;
-  draining_.emplace(DrainKey{key, old_tag}, old);
+  draining_.try_emplace(DrainKey{key, old_tag}, old);
   if (listener_) listener_(bs, clause, fresh.tag);
   return Migration{old_tag, fresh.tag};
 }
@@ -290,12 +289,13 @@ Controller::Migration Controller::migrate_path(std::uint32_t bs,
 void Controller::drain_old_path(std::uint32_t bs, ClauseId clause,
                                 PolicyTag old_tag) {
   sc::WriteLock lock(mu_);
-  const auto it = draining_.find(DrainKey{{clause, bs}, old_tag});
-  if (it == draining_.end())
+  const DrainKey key{{clause, bs}, old_tag};
+  const InstalledPath* old = draining_.find(key);
+  if (old == nullptr)
     throw std::invalid_argument("drain_old_path: nothing draining");
-  engine_.remove(it->second.up);
-  engine_.remove(it->second.down);
-  draining_.erase(it);
+  engine_.remove(old->up);
+  engine_.remove(old->down);
+  draining_.erase(key);
 }
 
 Controller::RecompactResult Controller::recompact() {
@@ -310,13 +310,17 @@ Controller::RecompactResult Controller::recompact() {
   // Clause-major order maximizes tag sharing on the rebuild.
   std::vector<SlowState::PathKey> keys;
   keys.reserve(installed_.size());
-  for (const auto& [key, path] : installed_) keys.push_back(key);
+  installed_.for_each(
+      [&](const SlowState::PathKey& key, const InstalledPath&) {
+        keys.push_back(key);
+      });
   std::sort(keys.begin(), keys.end(), [](const auto& a, const auto& b) {
     return std::tie(a.clause, a.bs) < std::tie(b.clause, b.bs);
   });
   std::vector<M2mKey> m2m_keys;
   m2m_keys.reserve(m2m_installed_.size());
-  for (const auto& [key, tag] : m2m_installed_) m2m_keys.push_back(key);
+  m2m_installed_.for_each(
+      [&](const M2mKey& key, const PolicyTag&) { m2m_keys.push_back(key); });
   std::sort(m2m_keys.begin(), m2m_keys.end(),
             [](const auto& a, const auto& b) {
               return std::tie(a.clause, a.src, a.dst) <
@@ -332,11 +336,9 @@ Controller::RecompactResult Controller::recompact() {
 
   for (const auto& key : keys) {
     std::optional<PolicyTag> hint;
-    if (const auto h = clause_hints_.find(key.clause);
-        h != clause_hints_.end())
-      hint = h->second;
+    if (const PolicyTag* h = clause_hints_.find(key.clause)) hint = *h;
     const auto path = install_path_locked(key.bs, key.clause, hint);
-    installed_.emplace(key, path);
+    installed_.try_emplace(key, path);
     clause_hints_[key.clause] = path.tag;
     store_.put_path(key.clause, key.bs, path.tag);
     if (listener_) listener_(key.bs, key.clause, path.tag);
@@ -350,12 +352,23 @@ Controller::RecompactResult Controller::recompact() {
                                       topo_->access_switch(key.dst));
     const auto r = engine_.install(path, key.dst, topo_->bs_prefix(key.dst),
                                    std::nullopt);
-    m2m_installed_.emplace(key, r.tag);
+    m2m_installed_.try_emplace(key, r.tag);
   }
 
   result.rules_after = engine_.total_rules();
   result.tags_after = engine_.tags_in_use();
   return result;
+}
+
+Controller::MemoryFootprint Controller::memory_footprint() const {
+  sc::ReadLock lock(mu_);
+  MemoryFootprint m;
+  m.store_primary = store_.primary_bytes_resident();
+  m.store_total = store_.bytes_resident();
+  m.path_maps = installed_.bytes_resident() + m2m_installed_.bytes_resident() +
+                clause_hints_.bytes_resident() + draining_.bytes_resident() +
+                instance_load_.bytes_resident() + selected_.bytes_resident();
+  return m;
 }
 
 namespace {
@@ -378,8 +391,9 @@ std::uint64_t Controller::state_fingerprint() const {
   // Installed gateway paths, canonical order.
   std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint16_t>> paths;
   paths.reserve(installed_.size());
-  for (const auto& [key, p] : installed_)
+  installed_.for_each([&](const SlowState::PathKey& key, const InstalledPath& p) {
     paths.emplace_back(key.clause.value(), key.bs, p.tag.value());
+  });
   std::sort(paths.begin(), paths.end());
   f.mix(paths.size());
   for (const auto& [clause, bs, tag] : paths) {
@@ -393,8 +407,9 @@ std::uint64_t Controller::state_fingerprint() const {
                          std::uint16_t>>
       m2m;
   m2m.reserve(m2m_installed_.size());
-  for (const auto& [key, tag] : m2m_installed_)
+  m2m_installed_.for_each([&](const M2mKey& key, const PolicyTag& tag) {
     m2m.emplace_back(key.clause.value(), key.src, key.dst, tag.value());
+  });
   std::sort(m2m.begin(), m2m.end());
   f.mix(m2m.size());
   for (const auto& [clause, src, dst, tag] : m2m) {
@@ -407,8 +422,9 @@ std::uint64_t Controller::state_fingerprint() const {
   // Middlebox load assignment.
   std::vector<std::pair<std::uint32_t, std::uint64_t>> loads;
   loads.reserve(instance_load_.size());
-  for (const auto& [node, n] : instance_load_)
+  instance_load_.for_each([&](const NodeId& node, const std::uint64_t& n) {
     loads.emplace_back(node.value(), n);
+  });
   std::sort(loads.begin(), loads.end());
   for (const auto& [node, n] : loads) {
     f.mix(node);

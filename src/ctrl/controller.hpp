@@ -42,6 +42,7 @@
 #include "core/engine.hpp"
 #include "ctrl/control_plane.hpp"
 #include "ctrl/store.hpp"
+#include "mem/slab_map.hpp"
 #include "policy/policy.hpp"
 #include "topo/cellular.hpp"
 #include "topo/routing.hpp"
@@ -215,6 +216,18 @@ class Controller : public ControlPlane {
     return engine_.perf();
   }
 
+  // Resident footprint of the controller's own per-UE / per-path state, in
+  // bytes (million-UE bench input; see DESIGN.md section 15).  `store_primary`
+  // is what one serving primary holds (location map + one slow replica);
+  // `store_total` adds the standby slow replicas; `path_maps` covers the
+  // installed/m2m/hint/drain/load/selection maps.
+  struct MemoryFootprint {
+    std::uint64_t store_primary = 0;
+    std::uint64_t store_total = 0;
+    std::uint64_t path_maps = 0;
+  };
+  [[nodiscard]] MemoryFootprint memory_footprint() const SC_EXCLUDES(mu_);
+
   // Order-insensitive hash of the externally observable control-plane
   // state (installed paths and their tags, engine table sizes, store
   // versions, attached UEs).  Two controllers that processed the same
@@ -250,8 +263,8 @@ class Controller : public ControlPlane {
       std::uint32_t bs, ClauseId clause) const SC_REQUIRES_SHARED(mu_);
   [[nodiscard]] std::uint64_t instance_load_locked(NodeId mb) const
       SC_REQUIRES_SHARED(mu_) {
-    const auto it = instance_load_.find(mb);
-    return it == instance_load_.end() ? 0 : it->second;
+    const std::uint64_t* load = instance_load_.find(mb);
+    return load == nullptr ? 0 : *load;
   }
 
   const CellularTopology* topo_;  // immutable topology, never rebound
@@ -266,7 +279,7 @@ class Controller : public ControlPlane {
   ControlStore store_ SC_GUARDED_BY(mu_);
 
   mutable sc::SharedMutex mu_;
-  std::unordered_map<SlowState::PathKey, InstalledPath, SlowState::PathKeyHash>
+  mem::SlabMap<SlowState::PathKey, InstalledPath, SlowState::PathKeyHash>
       installed_ SC_GUARDED_BY(mu_);
   struct M2mKey {
     ClauseId clause;
@@ -281,10 +294,10 @@ class Controller : public ControlPlane {
           (static_cast<std::uint64_t>(k.src) << 20) ^ k.dst);
     }
   };
-  std::unordered_map<M2mKey, PolicyTag, M2mKeyHash> m2m_installed_
+  mem::SlabMap<M2mKey, PolicyTag, M2mKeyHash> m2m_installed_
       SC_GUARDED_BY(mu_);
   // Per-clause tag hints so new base stations try the clause's tag first.
-  std::unordered_map<ClauseId, PolicyTag> clause_hints_ SC_GUARDED_BY(mu_);
+  mem::SlabMap<ClauseId, PolicyTag> clause_hints_ SC_GUARDED_BY(mu_);
   // Old path versions kept alive while their flows drain (migrate_path).
   struct DrainKey {
     SlowState::PathKey key;
@@ -298,15 +311,15 @@ class Controller : public ControlPlane {
           (static_cast<std::uint64_t>(k.key.bs) << 12) ^ k.tag.value());
     }
   };
-  std::unordered_map<DrainKey, InstalledPath, DrainKeyHash> draining_
+  mem::SlabMap<DrainKey, InstalledPath, DrainKeyHash> draining_
       SC_GUARDED_BY(mu_);
   // Paths assigned per middlebox node (kLeastLoaded placement input).
-  std::unordered_map<NodeId, std::uint64_t> instance_load_ SC_GUARDED_BY(mu_);
+  mem::SlabMap<NodeId, std::uint64_t> instance_load_ SC_GUARDED_BY(mu_);
   // Memoized instance selection per installed (clause, bs) path.  Written
   // only by install_path_locked (writer lock); readers see an immutable map
   // under the shared lock.
-  mutable std::unordered_map<SlowState::PathKey, std::vector<NodeId>,
-                             SlowState::PathKeyHash>
+  mutable mem::SlabMap<SlowState::PathKey, std::vector<NodeId>,
+                       SlowState::PathKeyHash>
       selected_ SC_GUARDED_BY(mu_);
   ClassifierListener listener_ SC_GUARDED_BY(mu_);
   std::uint64_t path_installs_ SC_GUARDED_BY(mu_) = 0;

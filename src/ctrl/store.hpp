@@ -9,6 +9,12 @@
 //     new primary rebuilds the location map by querying each base station's
 //     local agent.
 //
+// Storage layout: per-UE and per-path records live in mem::SlabMap --
+// contiguous slab storage keyed through a flat index, one heap node and one
+// pointer chase cheaper per subscriber than the node-based maps it replaced
+// (ROADMAP item 2; SOFTCELL_SLAB=0 restores the legacy layout for
+// differential fingerprint comparison).
+//
 // Thread safety: ControlStore is NOT internally synchronized.  It is owned
 // by exactly one Controller (one shard of the runtime) and every access
 // happens under that controller's mutex -- the capability is expressed at
@@ -26,9 +32,9 @@
 #include <functional>
 #include <optional>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
+#include "mem/slab_map.hpp"
 #include "packet/prefix.hpp"
 #include "policy/policy.hpp"
 #include "util/ids.hpp"
@@ -44,7 +50,6 @@ struct UeLocation {
 
 // Slow state: replicated synchronously.
 struct SlowState {
-  std::unordered_map<UeId, SubscriberProfile> profiles;
   // Installed policy paths: (clause, bs) -> primary tag.
   struct PathKey {
     ClauseId clause;
@@ -57,8 +62,14 @@ struct SlowState {
           (static_cast<std::uint64_t>(k.clause.value()) << 32) | k.bs);
     }
   };
-  std::unordered_map<PathKey, PolicyTag, PathKeyHash> paths;
+
+  mem::SlabMap<UeId, SubscriberProfile> profiles;
+  mem::SlabMap<PathKey, PolicyTag, PathKeyHash> paths;
   std::uint64_t version = 0;
+
+  [[nodiscard]] std::size_t bytes_resident() const {
+    return profiles.bytes_resident() + paths.bytes_resident();
+  }
 };
 
 // A store with `replicas` synchronized copies of the slow state and a
@@ -78,9 +89,9 @@ class ControlStore {
   // rehashes and fail_primary() (which destroys the primary replica a
   // returned pointer would dangle into).
   [[nodiscard]] std::optional<SubscriberProfile> profile(UeId ue) const {
-    const auto it = primary().profiles.find(ue);
-    if (it == primary().profiles.end()) return std::nullopt;
-    return it->second;
+    const SubscriberProfile* p = primary().profiles.find(ue);
+    if (p == nullptr) return std::nullopt;
+    return *p;
   }
 
   void put_path(ClauseId clause, std::uint32_t bs, PolicyTag tag) {
@@ -88,9 +99,9 @@ class ControlStore {
   }
   [[nodiscard]] std::optional<PolicyTag> path(ClauseId clause,
                                               std::uint32_t bs) const {
-    const auto it = primary().paths.find({clause, bs});
-    if (it == primary().paths.end()) return std::nullopt;
-    return it->second;
+    const PolicyTag* t = primary().paths.find({clause, bs});
+    if (t == nullptr) return std::nullopt;
+    return *t;
   }
   void erase_path(ClauseId clause, std::uint32_t bs) {
     mutate([&](SlowState& s) { s.paths.erase({clause, bs}); });
@@ -100,16 +111,21 @@ class ControlStore {
   void set_location(UeId ue, UeLocation loc) { locations_[ue] = loc; }
   void clear_location(UeId ue) { locations_.erase(ue); }
   [[nodiscard]] std::optional<UeLocation> location(UeId ue) const {
-    const auto it = locations_.find(ue);
-    if (it == locations_.end()) return std::nullopt;
-    return it->second;
+    const UeLocation* loc = locations_.find(ue);
+    if (loc == nullptr) return std::nullopt;
+    return *loc;
   }
   [[nodiscard]] std::size_t attached_ues() const { return locations_.size(); }
   // Iterates the location map (fleet partition audits / rebuilds).  `fn`
   // must not mutate the store; collect first, then write.
   template <typename Fn>
   void for_each_location(Fn&& fn) const {
-    for (const auto& [ue, loc] : locations_) fn(ue, loc);
+    locations_.for_each([&](UeId ue, const UeLocation& loc) { fn(ue, loc); });
+  }
+
+  void reserve_ues(std::size_t n) {
+    locations_.reserve(n);
+    for (auto& s : slow_) s.profiles.reserve(n);
   }
 
   // --- failover -------------------------------------------------------------
@@ -145,6 +161,17 @@ class ControlStore {
     return true;
   }
 
+  // Resident footprint of the whole store / of what one primary actually
+  // serves from (fast state + one slow replica); the bench reports both.
+  [[nodiscard]] std::size_t bytes_resident() const {
+    std::size_t total = locations_.bytes_resident();
+    for (const auto& s : slow_) total += s.bytes_resident();
+    return total;
+  }
+  [[nodiscard]] std::size_t primary_bytes_resident() const {
+    return locations_.bytes_resident() + primary().bytes_resident();
+  }
+
  private:
   [[nodiscard]] const SlowState& primary() const { return slow_.front(); }
 
@@ -159,7 +186,7 @@ class ControlStore {
   }
 
   std::vector<SlowState> slow_;
-  std::unordered_map<UeId, UeLocation> locations_;
+  mem::SlabMap<UeId, UeLocation> locations_;
 };
 
 }  // namespace softcell

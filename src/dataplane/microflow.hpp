@@ -8,9 +8,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
 #include "packet/packet.hpp"
+#include "util/flat_map.hpp"
 #include "util/ids.hpp"
 
 namespace softcell {
@@ -46,14 +46,21 @@ class MicroflowTable {
   [[nodiscard]] std::size_t size() const { return rules_.size(); }
 
   // Iteration support (mobility copies a UE's microflow rules to the new
-  // access switch, section 5.1).
-  [[nodiscard]] const std::unordered_map<FlowKey, MicroflowAction>& rules()
-      const {
+  // access switch, section 5.1).  Consumers must stay content-based: the
+  // flat table's iteration order depends on the install/remove history.
+  [[nodiscard]] const FlatMap<FlowKey, MicroflowAction>& rules() const {
     return rules_;
   }
 
+  // Resident footprint of the rule table (million-UE bench).
+  [[nodiscard]] std::size_t bytes_resident() const {
+    return rules_.size() *
+           (sizeof(std::pair<FlowKey, MicroflowAction>) +
+            4 * sizeof(std::uint32_t) / 3);
+  }
+
  private:
-  std::unordered_map<FlowKey, MicroflowAction> rules_;
+  FlatMap<FlowKey, MicroflowAction> rules_;
 };
 
 }  // namespace softcell

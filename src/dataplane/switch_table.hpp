@@ -286,13 +286,26 @@ class SwitchTable {
   [[nodiscard]] std::unordered_map<PolicyTag, std::uint32_t>
   debug_recount_tag_usage(Direction dir) const {
     std::unordered_map<PolicyTag, std::uint32_t> out;
+    // Pre-size to the maintained index: the recount covers the same tags
+    // when the index is correct, which is the overwhelmingly common case.
+    out.reserve(tag_usage_[static_cast<int>(dir)].size());
+    for_each_recounted_tag(dir, [&out](PolicyTag tag, std::uint32_t n) {
+      out[tag] += n;
+    });
+    return out;
+  }
+
+  // Visitor form for callers that only iterate the recount: no map is
+  // materialized.  May invoke `fn` more than once per tag (once per class
+  // contributing rules); consumers accumulate or collect-and-sort.
+  template <typename Fn>
+  void for_each_recounted_tag(Direction dir, Fn&& fn) const {
     for (const auto& [key, cls] : classes_) {
       if (key.dir != dir) continue;
       const auto n = static_cast<std::uint32_t>(cls.by_prefix.size() +
                                                 (cls.def ? 1 : 0));
-      if (n != 0) out[key.tag] += n;
+      if (n != 0) fn(key.tag, n);
     }
-    return out;
   }
 
  private:

@@ -1,0 +1,34 @@
+#include "mem/slab.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace softcell::mem {
+
+namespace {
+
+bool read_env_flag() {
+  // Exactly "0" disables the slab layout; anything else (including unset)
+  // keeps it on.  Same convention as SOFTCELL_FASTPATH in core/engine.cpp.
+  if (const char* env = std::getenv("SOFTCELL_SLAB");
+      env && env[0] == '0' && env[1] == '\0')
+    return false;
+  return true;
+}
+
+bool& flag() {
+  static bool value = read_env_flag();
+  return value;
+}
+
+}  // namespace
+
+bool slab_enabled() { return flag(); }
+
+ScopedSlabLayout::ScopedSlabLayout(bool enabled) : previous_(flag()) {
+  flag() = enabled;
+}
+
+ScopedSlabLayout::~ScopedSlabLayout() { flag() = previous_; }
+
+}  // namespace softcell::mem

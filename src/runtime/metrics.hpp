@@ -31,9 +31,10 @@ namespace softcell {
 
 class LatencyHistogram {
  public:
-  // Bucket 47 tops out at ~2^48 ns (~3 days); everything above saturates.
-  // Geometry lives in telemetry/registry.hpp so the registry's histograms
-  // and the exporters agree with us bucket for bucket.
+  // Log-linear geometry: 4 sub-buckets per power-of-two octave, topping
+  // out at ~2^48 ns (~3 days); everything above saturates into the last
+  // bucket.  Geometry lives in telemetry/registry.hpp so the registry's
+  // histograms and the exporters agree with us bucket for bucket.
   static constexpr std::size_t kBuckets = telemetry::kHistogramBuckets;
 
   void record(std::uint64_t nanos) {

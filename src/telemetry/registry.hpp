@@ -5,7 +5,8 @@
 //
 //   Counter    monotonic u64, per-thread shards folded on read
 //   Gauge      last-written i64 (single atomic; writes are rare)
-//   Histogram  48 power-of-two buckets, per-thread shards folded on read
+//   Histogram  log-linear buckets (4 per octave), per-thread shards folded
+//              on read
 //
 // Writers touch only their own cache-line-separated slot with relaxed
 // atomics, so instrumentation never contends; readers fold all slots into
@@ -38,17 +39,30 @@
 namespace softcell::telemetry {
 
 // ---------------------------------------------------------------------------
-// Shared histogram geometry.  Power-of-two buckets: bucket b covers
-// [2^b, 2^(b+1)); the top bucket absorbs overflow.  This is the geometry
-// runtime::LatencyHistogram has always used -- it now delegates here so
-// every histogram in the tree (and every exported quantile) agrees.
+// Shared histogram geometry.  Log-linear: each power-of-two octave is split
+// into 4 equal-width sub-buckets (HDR-histogram style), bounding the
+// quantile overestimate at 25% instead of the 100% a pure power-of-two
+// geometry allows.  Values below 4 get one bucket each (an octave narrower
+// than a sub-bucket cannot be split); the top bucket absorbs overflow at
+// the same ~2^48 range the old 48-bucket geometry covered.  This is the
+// geometry runtime::LatencyHistogram delegates to, so every histogram in
+// the tree (and every exported quantile) agrees.
 
-inline constexpr std::size_t kHistogramBuckets = 48;
+inline constexpr std::size_t kHistogramSubBucketBits = 2;  // 4 per octave
+
+// 4 unit buckets + 46 octaves ([2^2, 2^48)) x 4 sub-buckets.
+inline constexpr std::size_t kHistogramBuckets = 188;
 
 [[nodiscard]] constexpr std::size_t histogram_bucket_of(
     std::uint64_t value) noexcept {
+  if (value < 4) return static_cast<std::size_t>(value);
+  const std::size_t octave =
+      static_cast<std::size_t>(std::bit_width(value)) - 1;
+  const std::size_t sub = static_cast<std::size_t>(
+      (value >> (octave - kHistogramSubBucketBits)) &
+      ((std::size_t{1} << kHistogramSubBucketBits) - 1));
   const std::size_t b =
-      value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value)) - 1;
+      4 + ((octave - kHistogramSubBucketBits) << kHistogramSubBucketBits) + sub;
   return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
 }
 
@@ -56,8 +70,14 @@ inline constexpr std::size_t kHistogramBuckets = 48;
 // that land in it -- a conservative (pessimistic) estimate.
 [[nodiscard]] constexpr std::uint64_t histogram_bucket_upper(
     std::size_t bucket) noexcept {
-  return bucket + 1 >= 64 ? ~std::uint64_t{0}
-                          : (std::uint64_t{1} << (bucket + 1));
+  if (bucket < 4) return bucket + 1;
+  const std::size_t rel = bucket - 4;
+  const std::size_t octave =
+      (rel >> kHistogramSubBucketBits) + kHistogramSubBucketBits;
+  const std::uint64_t sub =
+      rel & ((std::size_t{1} << kHistogramSubBucketBits) - 1);
+  return (std::uint64_t{1} << octave) +
+         ((sub + 1) << (octave - kHistogramSubBucketBits));
 }
 
 // Upper bound of the bucket holding quantile q (0.0 .. 1.0) of the folded

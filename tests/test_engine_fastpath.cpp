@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -66,9 +67,29 @@ class EngineFastpathTest : public ::testing::Test {
       const SwitchTable& tb = b.table(sw);
       ASSERT_EQ(ta.rule_count(), tb.rule_count()) << "switch " << n;
       for (const Direction dir : {Direction::kUplink, Direction::kDownlink}) {
-        const auto ra = ta.debug_recount_tag_usage(dir);
-        const auto rb = tb.debug_recount_tag_usage(dir);
-        ASSERT_EQ(ra, rb) << "switch " << n;
+        // Iterate-only comparison via the visitor form: collect and sort
+        // instead of materializing two maps per (switch, direction).
+        auto collect = [dir](const SwitchTable& t) {
+          std::vector<std::pair<PolicyTag, std::uint32_t>> v;
+          t.for_each_recounted_tag(
+              dir, [&v](PolicyTag tag, std::uint32_t cnt) {
+                v.emplace_back(tag, cnt);
+              });
+          std::sort(v.begin(), v.end(),
+                    [](const auto& x, const auto& y) {
+                      return x.first.value() < y.first.value();
+                    });
+          // Merge per-class contributions of the same tag.
+          std::vector<std::pair<PolicyTag, std::uint32_t>> merged;
+          for (const auto& [tag, cnt] : v) {
+            if (!merged.empty() && merged.back().first == tag)
+              merged.back().second += cnt;
+            else
+              merged.emplace_back(tag, cnt);
+          }
+          return merged;
+        };
+        ASSERT_EQ(collect(ta), collect(tb)) << "switch " << n;
       }
     }
   }

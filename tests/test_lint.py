@@ -49,7 +49,7 @@ class FixtureCorpus(unittest.TestCase):
 
     def test_report_is_machine_readable(self):
         self.assertEqual(self.report["version"], 1)
-        self.assertEqual(self.report["files_scanned"], 7)
+        self.assertEqual(self.report["files_scanned"], 8)
         for f in self.findings:
             for key in ("rule", "path", "line", "message", "snippet"):
                 self.assertIn(key, f)
@@ -96,6 +96,13 @@ class FixtureCorpus(unittest.TestCase):
         self.assert_fires("controller-construct", "bad_controller_construct",
                           5)
 
+    def test_node_map_hotpath_fires(self):
+        # unordered_map/map keyed by UeId, FlowKey, LocalUeId and
+        # PublicEndpoint; the slab-container, off-key, comment and string
+        # controls stay silent.
+        self.assert_fires("node-map-hotpath", "agent_bad_node_map_hotpath",
+                          4)
+
     def test_no_cross_contamination(self):
         # No rule fires on another rule's fixture (each bad file isolates
         # one failure class).
@@ -107,6 +114,7 @@ class FixtureCorpus(unittest.TestCase):
             "iostream-write": "iostream",
             "metrics-direct": "metrics_direct",
             "controller-construct": "controller_construct",
+            "node-map-hotpath": "node_map_hotpath",
         }
         for f in self.findings:
             self.assertIn(

@@ -135,21 +135,53 @@ TEST(Snapshot, DuplicateNamesMerge) {
 }
 
 TEST(HistogramGeometry, MatchesRuntimeConvention) {
+  // Unit buckets below the first splittable octave.
   EXPECT_EQ(histogram_bucket_of(0), 0u);
-  EXPECT_EQ(histogram_bucket_of(1), 0u);
-  EXPECT_EQ(histogram_bucket_of(2), 1u);
-  EXPECT_EQ(histogram_bucket_of(3), 1u);
-  EXPECT_EQ(histogram_bucket_of(4), 2u);
+  EXPECT_EQ(histogram_bucket_of(1), 1u);
+  EXPECT_EQ(histogram_bucket_of(2), 2u);
+  EXPECT_EQ(histogram_bucket_of(3), 3u);
+  // First log-linear octave [4, 8): one value per sub-bucket.
+  EXPECT_EQ(histogram_bucket_of(4), 4u);
+  EXPECT_EQ(histogram_bucket_of(7), 7u);
+  // Octave [16, 32): sub-bucket width 4.
+  EXPECT_EQ(histogram_bucket_of(16), 12u);
+  EXPECT_EQ(histogram_bucket_of(19), 12u);
+  EXPECT_EQ(histogram_bucket_of(20), 13u);
   EXPECT_EQ(histogram_bucket_of(~std::uint64_t{0}), kHistogramBuckets - 1);
-  EXPECT_EQ(histogram_bucket_upper(0), 2u);
-  EXPECT_EQ(histogram_bucket_upper(2), 8u);
+  EXPECT_EQ(histogram_bucket_upper(0), 1u);
+  EXPECT_EQ(histogram_bucket_upper(2), 3u);
+  EXPECT_EQ(histogram_bucket_upper(12), 20u);
 
   std::vector<std::uint64_t> buckets(kHistogramBuckets, 0);
-  buckets[0] = 50;  // values in [1,2)
-  buckets[4] = 50;  // values in [16,32)
+  buckets[1] = 50;   // value 1
+  buckets[12] = 50;  // values in [16,20)
   EXPECT_EQ(histogram_quantile_upper(buckets, 0.25), 2u);
-  EXPECT_EQ(histogram_quantile_upper(buckets, 0.99), 32u);
+  EXPECT_EQ(histogram_quantile_upper(buckets, 0.99), 20u);
   EXPECT_EQ(histogram_quantile_upper({}, 0.5), 0u);
+}
+
+TEST(HistogramGeometry, LogLinearBoundaries) {
+  // Each bucket's exclusive upper bound is the next bucket's first value,
+  // buckets tile the range with no gaps or overlaps, and the quantile
+  // overestimate is bounded by one sub-bucket width (25%).
+  for (std::size_t b = 0; b + 1 < kHistogramBuckets; ++b) {
+    const std::uint64_t upper = histogram_bucket_upper(b);
+    EXPECT_EQ(histogram_bucket_of(upper), b + 1) << "bucket " << b;
+    EXPECT_EQ(histogram_bucket_of(upper - 1), b) << "bucket " << b;
+    EXPECT_LT(histogram_bucket_upper(b), histogram_bucket_upper(b + 1));
+  }
+  // Sub-bucket width never exceeds 25% of the bucket's lower bound (for
+  // values past the unit buckets).
+  for (std::size_t b = 5; b + 1 < kHistogramBuckets; ++b) {
+    const std::uint64_t lo = histogram_bucket_upper(b - 1);
+    const std::uint64_t width = histogram_bucket_upper(b) - lo;
+    EXPECT_LE(width * 4, lo + width) << "bucket " << b;
+  }
+  // The top bucket saturates: everything past ~2^48 lands in it.
+  EXPECT_EQ(histogram_bucket_upper(kHistogramBuckets - 1),
+            std::uint64_t{1} << 48);
+  EXPECT_EQ(histogram_bucket_of(std::uint64_t{1} << 60),
+            kHistogramBuckets - 1);
 }
 
 // ---------------------------------------------------------------------------

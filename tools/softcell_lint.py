@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """softcell-verify Part B: project-specific lint rules for the SoftCell tree.
 
-Seven rules encode invariants the type system cannot see (DESIGN.md
+Eight rules encode invariants the type system cannot see (DESIGN.md
 section 12, "Static guarantees"):
 
   epoch-bump        Tag-class mutations in the dataplane switch table
@@ -55,6 +55,17 @@ section 12, "Static guarantees"):
                     References, pointers and the Controller* derived types
                     (ShardedController, ControllerOptions, ControllerFleet)
                     stay free.
+
+  node-map-hotpath  Per-UE / per-flow resident state (maps keyed by UeId,
+                    LocalUeId, FlowKey or PublicEndpoint) in the hot
+                    directories (agent/, ctrl/, dataplane/, packet/) must
+                    live in the slab layout (Slab/SlabMap/FlatMap), not in
+                    node-based std::unordered_map / std::map -- at a
+                    million resident UEs the per-node allocation overhead
+                    dominates the footprint (DESIGN.md section 15).  The
+                    files that deliberately keep the legacy layout behind
+                    the SOFTCELL_SLAB=0 hatch carry a file-wide
+                    `// sc-lint: slab-owner(...)` marker.
 
 Usage:
   python3 tools/softcell_lint.py [--root DIR] [--report FILE]
@@ -353,6 +364,42 @@ def check_controller_construct(path: str, lines: list[str]) -> list[Finding]:
     return out
 
 
+# --- rule: node-map-hotpath --------------------------------------------------
+# The slab migration (DESIGN.md section 15) moved per-UE / per-flow resident
+# state out of node-based maps; this rule keeps it out.  Scope is the hot
+# directories by path segment (mirroring epoch-bump's substring convention so
+# the fixture can carry the segment in its file name).  Files that own the
+# legacy SOFTCELL_SLAB=0 layout declare it with a file-wide
+# `// sc-lint: slab-owner(...)` marker (a comment, parsed from raw text),
+# exactly the metrics-owner exemption shape.
+
+_SLAB_OWNER = re.compile(r"sc-lint:\s*slab-owner\([^)]*\)")
+_NODE_MAP_HOTPATH = re.compile(
+    r"\bstd::(?:unordered_(?:multi)?map|multimap|map)\s*<\s*"
+    r"(?:\w+::)*(?:LocalUeId|UeId|FlowKey|PublicEndpoint)\s*[,>]"
+)
+_NODE_MAP_DIRS = ("agent", "ctrl", "dataplane", "packet")
+
+
+def check_node_map_hotpath(path: str, raw_lines: list[str],
+                           stripped: list[str]) -> list[Finding]:
+    if not any(d in path for d in _NODE_MAP_DIRS):
+        return []
+    if any(_SLAB_OWNER.search(raw) for raw in raw_lines):
+        return []  # declared owner of the legacy node-map layout
+    out = []
+    for i, line in enumerate(stripped):
+        m = _NODE_MAP_HOTPATH.search(line)
+        if m:
+            out.append(Finding(
+                "node-map-hotpath", path, i + 1,
+                f"{m.group(0).strip()}: per-UE/per-flow resident state in "
+                "hot directories uses the slab layout (Slab/SlabMap/"
+                "FlatMap); node maps live only in sc-lint: slab-owner(...) "
+                "files behind the SOFTCELL_SLAB=0 hatch", line))
+    return out
+
+
 RULES = {
     "epoch-bump": "tag-class mutations must bump the structural epoch",
     "naked-mutex": "std:: sync primitives only inside util/annotations.hpp",
@@ -362,6 +409,8 @@ RULES = {
     "metrics-direct": "perf-counter structs mutated only in their owner file",
     "controller-construct":
         "Controller built only by the sim/ and cluster/ composition roots",
+    "node-map-hotpath":
+        "per-UE/per-flow state in hot dirs uses slabs, not node maps",
 }
 
 
@@ -382,6 +431,7 @@ def scan_file(root: Path, file: Path) -> list[Finding]:
     findings += check_iostream(rel, stripped_lines)
     findings += check_metrics_direct(rel, raw_lines, stripped_lines)
     findings += check_controller_construct(rel, stripped_lines)
+    findings += check_node_map_hotpath(rel, raw_lines, stripped_lines)
     return findings
 
 
