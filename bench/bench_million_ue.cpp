@@ -2,6 +2,10 @@
 // diurnal day that attaches 1,000,000 UEs across a k=8 fabric (1536 base
 // stations), arm a re-arming idle timer per UE on the hierarchical timer
 // wheel, open microflows for a 1/64 slice, and hold everything resident.
+// On top of the monotone attach ramp, the day carries churn: a 1/16 slice
+// detaches and re-attaches at a different base station (detach / re-idle
+// churn) and a 1/32 slice rides mid-day handoff storms -- the resident
+// population is worked, not just grown.
 //
 // Reported per storage layout (slab vs SOFTCELL_SLAB=0 node maps):
 //   * control-plane resident bytes/UE (primary store + path maps; the
@@ -37,6 +41,12 @@ struct ScaleParams {
   double duration_s = 86'400.0;
   double idle_period_s = 21'600.0;  // 6 h; each UE re-arms until day end
   std::uint32_t flow_stride = 64;   // 1/64 of UEs open a microflow
+  // Churn on the resident population (ROADMAP item 2 headroom): a 1/16
+  // slice detaches one idle period after arrival and re-attaches at a
+  // different base station a period later (detach / re-idle churn), and a
+  // 1/32 slice rides a handoff storm to its ring neighbor mid-day.
+  std::uint32_t churn_stride = 16;
+  std::uint32_t storm_stride = 32;
 };
 
 struct LayoutResult {
@@ -44,9 +54,12 @@ struct LayoutResult {
   std::uint64_t events = 0;
   std::uint64_t timer_fires = 0;
   std::uint64_t flows = 0;
+  std::uint64_t detaches = 0;     // churn slice: detach events executed
+  std::uint64_t reattaches = 0;   // churn slice: re-attach events executed
+  std::uint64_t handoffs = 0;     // storm slice: completed handoffs
   double wall_s = 0;
   std::uint64_t fingerprint = 0;
-  std::uint64_t ctrl_bytes = 0;   // primary store + path maps
+  std::uint64_t ctrl_bytes = 0;   // primary store(s) + path maps
   std::uint64_t agent_bytes = 0;  // sum over agents (UE + flow state)
 };
 
@@ -112,7 +125,7 @@ LayoutResult run_layout(bool slab, const ScaleParams& p,
   for (std::uint32_t i = 0; i < p.num_ues; ++i) {
     const double t = attach_times[i];
     const std::uint32_t bs = i % num_bs;
-    q.at(t, [&, i, bs] {
+    q.at(t, [&, i, bs, t] {
       SubscriberProfile prof;
       prof.plan = static_cast<BillingPlan>(i % 3);
       prof.device = static_cast<DeviceClass>(i % 5);
@@ -133,6 +146,35 @@ LayoutResult run_layout(bool slab, const ScaleParams& p,
         const auto bearer = q.timer_after(60.0, [] {});
         (void)q.cancel_timer(bearer);
       }
+      // Detach / re-idle churn: this slice goes idle-deep one period after
+      // arrival and comes back at a different base station a period later
+      // -- the control plane must absorb sustained location churn on the
+      // resident population, not just monotone growth.
+      if (i % p.churn_stride == 1 &&
+          t + 2 * p.idle_period_s < p.duration_s) {
+        q.at(t + p.idle_period_s, [&, ue] {
+          net.detach(ue);
+          ++out.detaches;
+        });
+        q.at(t + 2 * p.idle_period_s, [&, ue, bs] {
+          net.attach(ue, (bs + 7) % num_bs);
+          ++out.reattaches;
+        });
+      }
+      // Handoff storm: this slice moves to its ring neighbor mid-day, all
+      // within one simulated minute per storm wave (4 waves), exercising
+      // shortcut install/teardown bursts against resident state.
+      if (i % p.storm_stride == 3) {
+        const double wave =
+            p.duration_s * (0.55 + 0.1 * static_cast<double>(i % 4));
+        if (wave > t + p.idle_period_s) {
+          q.at(wave, [&, ue, bs] {
+            const auto ticket = net.handoff(ue, (bs + 1) % num_bs);
+            net.complete_handoff(ticket);
+            ++out.handoffs;
+          });
+        }
+      }
     });
   }
 
@@ -143,20 +185,31 @@ LayoutResult run_layout(bool slab, const ScaleParams& p,
           .count();
   out.flows = flows;
 
-  out.fingerprint = net.controller().state_fingerprint();
+  // Mode-independent fingerprint (shard-brain fold-ins included) so the
+  // cross-layout check holds in both brain modes.
+  out.fingerprint = net.control_fingerprint();
   const auto fp = net.controller().memory_footprint();
   out.ctrl_bytes = fp.store_primary + fp.path_maps;
+  if (const auto* brain = net.brain()) {
+    // Shard-brain mode: UE locations live on the per-shard stores, not the
+    // core's, so resident control bytes are the shard stores' sum.
+    for (std::size_t s = 0; s < brain->shard_count(); ++s)
+      out.ctrl_bytes += brain->shard(s).store_primary_bytes_resident();
+  }
   for (std::uint32_t bs = 0; bs < num_bs; ++bs)
     out.agent_bytes += net.agent(bs).bytes_resident();
 
   std::printf(
       "  %-4s | %9llu events %.2fs wall (%8.0f ev/s) | %7llu timer fires |"
-      " %6llu flows (%llu denied)\n",
+      " %6llu flows (%llu denied) | churn %llu-%llu | %llu handoffs\n",
       out.layout.c_str(), static_cast<unsigned long long>(out.events),
       out.wall_s, static_cast<double>(out.events) / out.wall_s,
       static_cast<unsigned long long>(out.timer_fires),
       static_cast<unsigned long long>(flows),
-      static_cast<unsigned long long>(denied));
+      static_cast<unsigned long long>(denied),
+      static_cast<unsigned long long>(out.detaches),
+      static_cast<unsigned long long>(out.reattaches),
+      static_cast<unsigned long long>(out.handoffs));
   std::printf(
       "       | ctrl %.1f B/UE (store %llu + paths %llu) | agents %.1f B/UE\n",
       static_cast<double>(out.ctrl_bytes) / p.num_ues,
@@ -217,6 +270,9 @@ int main(int argc, char** argv) {
         .u64("events", r->events)
         .u64("timer_fires", r->timer_fires)
         .u64("flows", r->flows)
+        .u64("detaches", r->detaches)
+        .u64("reattaches", r->reattaches)
+        .u64("handoffs", r->handoffs)
         .num("wall_s", r->wall_s, 3)
         .num("events_per_s", static_cast<double>(r->events) / r->wall_s, 0)
         .u64("ctrl_bytes", r->ctrl_bytes)

@@ -16,7 +16,7 @@
 #      cross-layout fingerprint check (slab vs SOFTCELL_SLAB=0 node maps)
 #      is the exit code, and the JSON envelope is validated
 #   6. ASan + TSan + UBSan rebuilds running the
-#      concurrency|chaos|cluster|slab labels with a trimmed corpus
+#      concurrency|chaos|cluster|slab|shardbrain labels with a trimmed corpus
 #      (SOFTCELL_CHAOS_SEEDS)
 #
 # Every stage runs even if an earlier one fails; a per-stage
@@ -137,6 +137,29 @@ run_stage "scale (smoke, cross-layout)" bash -c \
 
 if [[ "$PERF" == 1 ]]; then
   run_stage "bench (perf smoke)" bash -c 'cd build && ctest --output-on-failure -L perf'
+  # Runtime-scaling honesty gate: run the full sweep and check its own
+  # verdict.  On a host that can actually run the sweep concurrently
+  # (valid_scaling true) the pipeline must reach >= 2.0x speedup at the
+  # widest worker count; on smaller hosts the bench reports speedup_vs_1
+  # as null and the gate only checks that it did NOT fake a number.
+  run_stage "bench (runtime scaling gate)" bash -c \
+    './build/bench/bench_runtime_scaling build/bench/PERF_runtime.json &&
+     python3 - build/bench/PERF_runtime.json <<'"'"'PY'"'"'
+import json, sys
+d = json.load(open(sys.argv[1]))
+rows = d["results"]
+last = max(rows, key=lambda r: r["workers"])
+if d["meta"]["valid_scaling"]:
+    speedup = last["speedup_vs_1"]
+    if speedup is None or speedup < 2.0:
+        sys.exit(f"FAIL: valid_scaling host but speedup_vs_1 at "
+                 f"{last['workers']} workers is {speedup} (< 2.0)")
+    print(f"scaling gate: {speedup:.2f}x at {last['workers']} workers")
+else:
+    if any(r["speedup_vs_1"] is not None and r["workers"] > 1 for r in rows):
+        sys.exit("FAIL: valid_scaling is false but speedup_vs_1 is not null")
+    print("scaling gate: oversubscribed host, speedup honestly null")
+PY'
 fi
 
 if [[ "$FAST" == 0 ]]; then
@@ -144,16 +167,16 @@ if [[ "$FAST" == 0 ]]; then
   # the instrumented runs stay in the seconds range.
   run_stage "asan configure" cmake -B build-asan -S . -DSOFTCELL_SANITIZE=address
   run_stage "asan build"     cmake --build build-asan -j
-  run_stage "asan tests (concurrency|chaos|cluster|slab)" \
-    bash -c 'cd build-asan && SOFTCELL_CHAOS_SEEDS=40 ctest --output-on-failure -L "concurrency|chaos|cluster|slab"'
+  run_stage "asan tests (concurrency|chaos|cluster|slab|shardbrain)" \
+    bash -c 'cd build-asan && SOFTCELL_CHAOS_SEEDS=40 ctest --output-on-failure -L "concurrency|chaos|cluster|slab|shardbrain"'
   run_stage "tsan configure" cmake -B build-tsan -S . -DSOFTCELL_SANITIZE=thread
   run_stage "tsan build"     cmake --build build-tsan -j
-  run_stage "tsan tests (concurrency|chaos|cluster|slab)" \
-    bash -c 'cd build-tsan && SOFTCELL_CHAOS_SEEDS=25 ctest --output-on-failure -L "concurrency|chaos|cluster|slab"'
+  run_stage "tsan tests (concurrency|chaos|cluster|slab|shardbrain)" \
+    bash -c 'cd build-tsan && SOFTCELL_CHAOS_SEEDS=25 ctest --output-on-failure -L "concurrency|chaos|cluster|slab|shardbrain"'
   run_stage "ubsan configure" cmake -B build-ubsan -S . -DSOFTCELL_SANITIZE=undefined
   run_stage "ubsan build"     cmake --build build-ubsan -j
-  run_stage "ubsan tests (concurrency|chaos|cluster|slab)" \
-    bash -c 'cd build-ubsan && SOFTCELL_CHAOS_SEEDS=40 ctest --output-on-failure -L "concurrency|chaos|cluster|slab"'
+  run_stage "ubsan tests (concurrency|chaos|cluster|slab|shardbrain)" \
+    bash -c 'cd build-ubsan && SOFTCELL_CHAOS_SEEDS=40 ctest --output-on-failure -L "concurrency|chaos|cluster|slab|shardbrain"'
 fi
 
 echo

@@ -433,7 +433,7 @@ class Runner {
     ++failovers_;
     net_->fail_controller_primary_and_recover();
     if (twin_) twin_->fail_controller_primary_and_recover();
-    dig_.mix(net_->controller().state_fingerprint());
+    dig_.mix(net_->control_fingerprint());
   }
 
   void do_restart(const Step& s) {
@@ -637,7 +637,7 @@ class Runner {
       dig_.mix(fleet->logical_clock());
     }
 
-    dig_.mix(net_->controller().state_fingerprint());
+    dig_.mix(net_->control_fingerprint());
     dig_.mix(engine.total_rules());
     dig_.mix(engine.tags_allocated());
     const ofp::FaultStats fs = mirror.fault_stats();

@@ -6,6 +6,12 @@
 
 #include "telemetry/trace.hpp"
 
+// sc-lint: commit-owner(Controller) -- the switch-table engine is mutated
+// only here; every cross-shard install reaches these call sites through
+// the CoreCommitter's single-writer commit stage (DESIGN.md section 16),
+// which is what keeps the published PathView snapshots and the state
+// fingerprint in step with the table.
+
 namespace softcell {
 
 Controller::Controller(const CellularTopology& topo, ServicePolicy policy,
@@ -384,7 +390,8 @@ struct Fnv {
 };
 }  // namespace
 
-std::uint64_t Controller::state_fingerprint() const {
+std::uint64_t Controller::state_fingerprint(std::uint64_t fold_store_writes,
+                                            std::uint64_t fold_attached) const {
   sc::ReadLock lock(mu_);
   Fnv f;
 
@@ -442,12 +449,34 @@ std::uint64_t Controller::state_fingerprint() const {
   f.mix(engine_.total_rules());
   f.mix(engine_.tags_in_use());
 
-  // Store + lifecycle counters.
-  f.mix(store_.version());
-  f.mix(store_.attached_ues());
+  // Store + lifecycle counters.  The fold-ins account for writes that the
+  // shard-brain partition routed to per-shard stores instead of this one
+  // (zero for the legacy single-brain controller).
+  f.mix(store_.version() + fold_store_writes);
+  f.mix(store_.attached_ues() + fold_attached);
   f.mix(draining_.size());
   f.mix(path_installs_);
   return f.h;
+}
+
+std::shared_ptr<const PathView> Controller::export_path_view(
+    std::uint64_t version) const {
+  sc::ReadLock lock(mu_);
+  auto view = std::make_shared<PathView>();
+  view->version = version;
+  view->paths.reserve(installed_.size());
+  installed_.for_each(
+      [&](const SlowState::PathKey& key, const InstalledPath& p) {
+        view->paths.try_emplace(PathView::key(key.clause, key.bs), p.tag);
+      });
+  view->m2m.reserve(m2m_installed_.size());
+  m2m_installed_.for_each([&](const M2mKey& key, const PolicyTag& tag) {
+    view->m2m.try_emplace(
+        PathView::M2mKey{key.clause.value(), key.src, key.dst}, tag);
+  });
+  view->core_rules = engine_.total_rules();
+  view->core_tags = engine_.tags_in_use();
+  return view;
 }
 
 void Controller::fail_primary_replica() {

@@ -42,6 +42,7 @@
 #include "core/engine.hpp"
 #include "ctrl/control_plane.hpp"
 #include "ctrl/store.hpp"
+#include "dataplane/path_view.hpp"
 #include "mem/slab_map.hpp"
 #include "policy/policy.hpp"
 #include "topo/cellular.hpp"
@@ -234,7 +235,27 @@ class Controller : public ControlPlane {
   // per-shard request sequence -- regardless of worker count or
   // duplicate-miss coalescing -- hash identically; the runtime stress
   // tests assert exactly that.
-  [[nodiscard]] std::uint64_t state_fingerprint() const SC_EXCLUDES(mu_);
+  //
+  // The fold-in parameters exist for the shard-brain partition (DESIGN.md
+  // section 16): there the per-UE store writes and attachments live on the
+  // ShardEngines' stores, not this controller's, so the brain passes their
+  // sums and the fingerprint comes out bit-identical to the legacy
+  // single-brain run (whose one store saw every write).  Default arguments
+  // keep the legacy meaning for every existing caller.
+  [[nodiscard]] std::uint64_t state_fingerprint(
+      std::uint64_t fold_store_writes = 0,
+      std::uint64_t fold_attached = 0) const SC_EXCLUDES(mu_);
+
+  // Snapshot of the installed (clause, bs) -> tag and m2m half-path maps as
+  // an immutable PathView -- the commit stage publishes this to shard-side
+  // classifier readers after every batch (RCU; see dataplane/path_view.hpp).
+  // The view's tag map is definitionally equal to the store's path map:
+  // both are written only by request_policy_path/migrate_path/recompact
+  // under the writer lock.
+  // `version` stamps the snapshot (the committer passes its publish
+  // counter); callers that only want the maps can leave it 0.
+  [[nodiscard]] std::shared_ptr<const PathView> export_path_view(
+      std::uint64_t version = 0) const SC_EXCLUDES(mu_);
 
   // The middlebox instances serving the (clause, bs) path.  Once a path is
   // installed its selection is memoized, so mobility and verification always

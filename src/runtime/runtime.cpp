@@ -7,7 +7,7 @@
 
 namespace softcell {
 
-ControlPlaneRuntime::ControlPlaneRuntime(ShardedController& controller,
+ControlPlaneRuntime::ControlPlaneRuntime(ControlBrain& controller,
                                          RuntimeOptions options)
     : controller_(controller), options_(options) {
   pending_.reserve(controller_.shard_count());

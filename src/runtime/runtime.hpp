@@ -36,8 +36,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "runtime/control_brain.hpp"
 #include "runtime/metrics.hpp"
-#include "runtime/sharded_controller.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/annotations.hpp"
 
@@ -90,8 +90,10 @@ struct RuntimeOptions {
 
 class ControlPlaneRuntime {
  public:
-  ControlPlaneRuntime(ShardedController& controller,
-                      RuntimeOptions options = {});
+  // The runtime pipelines over any brain implementation: the legacy
+  // per-shard-clone ShardedController or the partitioned ShardBrain
+  // (shard-local engines + single-writer commit stage).
+  ControlPlaneRuntime(ControlBrain& controller, RuntimeOptions options = {});
   ~ControlPlaneRuntime();
 
   ControlPlaneRuntime(const ControlPlaneRuntime&) = delete;
@@ -117,7 +119,7 @@ class ControlPlaneRuntime {
   [[nodiscard]] unsigned worker_of(std::size_t shard) const {
     return static_cast<unsigned>(shard % pool_->worker_count());
   }
-  [[nodiscard]] ShardedController& controller() { return controller_; }
+  [[nodiscard]] ControlBrain& controller() { return controller_; }
   // Aggregated shard metrics (counts, coalescing, latency percentiles).
   [[nodiscard]] MetricsSnapshot metrics() const {
     return controller_.aggregate_metrics();
@@ -153,7 +155,7 @@ class ControlPlaneRuntime {
               std::function<void(Response&&)>& done, Response&& response);
   void complete_one();
 
-  ShardedController& controller_;
+  ControlBrain& controller_;
   RuntimeOptions options_;
   std::vector<std::unique_ptr<ShardPending>> pending_;
   std::unique_ptr<ThreadPool<Job>> pool_;

@@ -1,0 +1,180 @@
+// ShardBrain: the partitioned controller brain (DESIGN.md section 16).
+//
+// The legacy runtime scaled by cloning the whole Controller per shard --
+// N disjoint rule universes, fine for control-plane throughput but not a
+// model of one network: the paper's architecture has ONE set of core and
+// gateway switches whose tables every flow shares (Fig. 4's port
+// embedding splits state between BS-local and core switches, not between
+// controller clones).  ShardBrain keeps that single rule universe while
+// still letting N shards proceed in parallel:
+//
+//   * per-UE state (profiles, locations, classifier compilation) lives on
+//     the UE's ShardEngine -- shard(ue) = splitmix64(ue) % N, same routing
+//     as the legacy ShardedController, no cross-shard locks;
+//   * shared core state (policy paths, m2m half-paths, the tag namespace
+//     and the core/gateway switch rows) lives on ONE core Controller owned
+//     by the CoreCommitter, which serializes cross-shard installs through
+//     a single-writer flat-combining commit stage and publishes the
+//     resulting (clause, bs) -> tag map to readers as RCU PathView
+//     snapshots;
+//   * the read path (fetch_classifiers) never touches the core lock: it
+//     loads the current PathView and compiles against the shard's own
+//     store.
+//
+// Mode selection: the brain is the default; SOFTCELL_SHARD_BRAIN=0 falls
+// back to the legacy per-shard-clone ShardedController (same convention
+// as SOFTCELL_SLAB / SOFTCELL_FASTPATH).  The two modes are
+// fingerprint-identical by construction -- state_fingerprint() folds the
+// shard stores' write counts and attachments into the core fingerprint so
+// it comes out bit-equal to a legacy single-brain run; the shardbrain
+// differential test corpus asserts this across randomized chaos schedules.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ctrl/control_plane.hpp"
+#include "ctrl/core_committer.hpp"
+#include "ctrl/shard_engine.hpp"
+#include "runtime/control_brain.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/snapshot.hpp"
+#include "telemetry/registry.hpp"
+
+namespace softcell {
+
+// True unless SOFTCELL_SHARD_BRAIN=0 (exactly "0"): partitioned brain on
+// by default, legacy per-shard-clone controller on opt-out.
+[[nodiscard]] bool shard_brain_enabled();
+
+// Scoped override for tests that pin one mode (differential corpus runs
+// the same schedule under both).  Restores the previous mode on exit.
+class ScopedBrainMode {
+ public:
+  explicit ScopedBrainMode(bool enabled);
+  ~ScopedBrainMode();
+
+  ScopedBrainMode(const ScopedBrainMode&) = delete;
+  ScopedBrainMode& operator=(const ScopedBrainMode&) = delete;
+
+ private:
+  bool previous_;
+};
+
+struct ShardBrainOptions {
+  std::size_t shards = 4;
+  ControllerOptions controller;
+};
+
+class ShardBrain final : public ControlPlane, public ControlBrain {
+ public:
+  ShardBrain(const CellularTopology& topo, ServicePolicy policy,
+             ShardBrainOptions options = {});
+
+  [[nodiscard]] std::size_t shard_count() const override {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t shard_of(UeId ue) const override;
+
+  // --- UE-keyed request API (ControlPlane + ControlBrain) -------------------
+  void provision_subscriber(UeId ue, const SubscriberProfile& profile)
+      override;
+  void attach_ue(UeId ue, std::uint32_t bs, LocalUeId local) override;
+  void detach_ue(UeId ue) override;
+  void update_location(UeId ue, std::uint32_t bs, LocalUeId local) override;
+  [[nodiscard]] std::optional<UeLocation> ue_location(UeId ue) const override;
+  [[nodiscard]] std::vector<PacketClassifier> fetch_classifiers(
+      UeId ue, std::uint32_t bs) const override;
+
+  // Path requests check the current PathView first (warm hit: no commit,
+  // no core lock) and fall through to the commit stage on miss.
+  PolicyTag request_policy_path(UeId ue, std::uint32_t bs,
+                                ClauseId clause) override;
+  std::vector<PolicyTag> request_policy_paths(
+      UeId ue, std::span<const Controller::PathRequest> requests) override;
+  PolicyTag request_m2m_path(UeId src_ue, std::uint32_t src_bs,
+                             std::uint32_t dst_bs, ClauseId clause) override;
+
+  // --- UE-less ControlPlane surface (simulation agents) ---------------------
+  PolicyTag request_policy_path(std::uint32_t bs, ClauseId clause) override;
+  PolicyTag request_m2m_path(std::uint32_t src_bs, std::uint32_t dst_bs,
+                             ClauseId clause) override;
+  [[nodiscard]] std::vector<NodeId> select_instances(
+      std::uint32_t bs, ClauseId clause) const override;
+
+  // --- policy snapshot (RCU swap, mirrors ShardedController) ----------------
+  [[nodiscard]] std::shared_ptr<const ServicePolicy> policy_snapshot() const {
+    return policy_.load();
+  }
+  [[nodiscard]] std::uint64_t policy_version() const {
+    return policy_.version();
+  }
+  std::uint64_t update_policy(ServicePolicy next);
+
+  // --- failover (quiescent; same protocol as the legacy controller) ---------
+  void fail_primary_replica();
+  void rebuild_locations(
+      const std::function<void(
+          const std::function<void(UeId, UeLocation)>&)>& query);
+
+  // --- metrics --------------------------------------------------------------
+  [[nodiscard]] ShardMetrics& metrics(std::size_t shard) override {
+    return metrics_[shard];
+  }
+  [[nodiscard]] const ShardMetrics& metrics(std::size_t shard) const override {
+    return metrics_[shard];
+  }
+  [[nodiscard]] MetricsSnapshot aggregate_metrics() const override;
+
+  // Bit-identical to the legacy single-brain fingerprint over the same
+  // request history (see the header comment and DESIGN.md section 16).
+  [[nodiscard]] std::uint64_t state_fingerprint() const override;
+  [[nodiscard]] std::uint64_t canonical_fingerprint() override;
+
+  // --- introspection --------------------------------------------------------
+  // The shared core controller (rule universe).  Same quiescence contract
+  // as Controller::engine(); the simulation harness binds its mirror and
+  // forwarding walk here.
+  [[nodiscard]] Controller& core() { return committer_.core(); }
+  [[nodiscard]] const Controller& core() const { return committer_.core(); }
+  [[nodiscard]] CoreCommitter& committer() { return committer_; }
+  [[nodiscard]] std::shared_ptr<const PathView> path_view() const {
+    return committer_.view();
+  }
+  [[nodiscard]] ShardEngine& shard(std::size_t i) { return *shards_[i]; }
+  [[nodiscard]] const ShardEngine& shard(std::size_t i) const {
+    return *shards_[i];
+  }
+
+  // Out-of-band core mutations that change installed tags (migrate_path,
+  // recompact called directly on core() by quiescent maintenance code)
+  // bypass the commit stage, so the published PathView would go stale.
+  // Callers -- the simulation wires the core's classifier listener here --
+  // mark the view stale and the next view consumer republishes before
+  // reading.  Commits themselves never need this (they republish inline).
+  void mark_view_stale() {
+    view_stale_.store(true, std::memory_order_release);
+  }
+
+ private:
+  // Every view consumption goes through here: heals a stale view first
+  // (at most one republish per staleness event; concurrent healers race on
+  // the exchange and the losers just read the healed snapshot).
+  [[nodiscard]] std::shared_ptr<const PathView> current_view() const;
+
+
+  VersionedSnapshot<ServicePolicy> policy_;
+  CoreCommitter committer_;
+  mutable std::atomic<bool> view_stale_{false};
+  std::vector<std::unique_ptr<ShardEngine>> shards_;
+  std::unique_ptr<ShardMetrics[]> metrics_;
+  // Publishes aggregate_metrics() into the telemetry registry on collect();
+  // declared last so it unregisters before the state it reads dies.
+  telemetry::Registry::CollectorHandle collector_;
+};
+
+}  // namespace softcell

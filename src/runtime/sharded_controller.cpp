@@ -152,4 +152,9 @@ std::uint64_t ShardedController::state_fingerprint() const {
   return h;
 }
 
+std::uint64_t ShardedController::canonical_fingerprint() {
+  for (auto& shard : shards_) shard->recompact();
+  return state_fingerprint();
+}
+
 }  // namespace softcell

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "ctrl/controller.hpp"
+#include "runtime/control_brain.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/snapshot.hpp"
 #include "telemetry/registry.hpp"
@@ -60,34 +61,42 @@ struct ShardedControllerOptions {
   ControllerOptions controller;
 };
 
-class ShardedController {
+// Implements ControlBrain (the runtime's brain interface) as the legacy
+// per-shard-clone partition; the ShardBrain (runtime/shard_brain.hpp) is
+// the single-rule-universe alternative.  SOFTCELL_SHARD_BRAIN selects
+// between them in the simulation harness.
+class ShardedController final : public ControlBrain {
  public:
   ShardedController(const CellularTopology& topo, ServicePolicy policy,
                     ShardedControllerOptions options = {});
 
-  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
-  [[nodiscard]] std::size_t shard_of(UeId ue) const;
+  [[nodiscard]] std::size_t shard_count() const override {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t shard_of(UeId ue) const override;
   [[nodiscard]] Controller& shard(std::size_t i) { return *shards_[i]; }
   [[nodiscard]] const Controller& shard(std::size_t i) const {
     return *shards_[i];
   }
 
   // --- UE-keyed request API (routes to the owning shard) --------------------
-  void provision_subscriber(UeId ue, const SubscriberProfile& profile);
-  void attach_ue(UeId ue, std::uint32_t bs, LocalUeId local);
-  void detach_ue(UeId ue);
-  void update_location(UeId ue, std::uint32_t bs, LocalUeId local);
-  [[nodiscard]] std::optional<UeLocation> ue_location(UeId ue) const;
+  void provision_subscriber(UeId ue, const SubscriberProfile& profile)
+      override;
+  void attach_ue(UeId ue, std::uint32_t bs, LocalUeId local) override;
+  void detach_ue(UeId ue) override;
+  void update_location(UeId ue, std::uint32_t bs, LocalUeId local) override;
+  [[nodiscard]] std::optional<UeLocation> ue_location(UeId ue) const override;
   [[nodiscard]] std::vector<PacketClassifier> fetch_classifiers(
-      UeId ue, std::uint32_t bs) const;
-  PolicyTag request_policy_path(UeId ue, std::uint32_t bs, ClauseId clause);
+      UeId ue, std::uint32_t bs) const override;
+  PolicyTag request_policy_path(UeId ue, std::uint32_t bs,
+                                ClauseId clause) override;
   // Batched variant: all requests are routed to `ue`'s shard and installed
   // under one lock acquisition in (bs, clause) order (see
   // Controller::request_policy_paths).  Returns tags in request order.
   std::vector<PolicyTag> request_policy_paths(
-      UeId ue, std::span<const Controller::PathRequest> requests);
+      UeId ue, std::span<const Controller::PathRequest> requests) override;
   PolicyTag request_m2m_path(UeId src_ue, std::uint32_t src_bs,
-                             std::uint32_t dst_bs, ClauseId clause);
+                             std::uint32_t dst_bs, ClauseId clause) override;
 
   // --- policy snapshot (RCU swap; never stalls the request path) ------------
   [[nodiscard]] std::shared_ptr<const ServicePolicy> policy_snapshot() const {
@@ -101,16 +110,21 @@ class ShardedController {
   std::uint64_t update_policy(ServicePolicy next);
 
   // --- metrics --------------------------------------------------------------
-  [[nodiscard]] ShardMetrics& metrics(std::size_t shard) {
+  [[nodiscard]] ShardMetrics& metrics(std::size_t shard) override {
     return metrics_[shard];
   }
-  [[nodiscard]] const ShardMetrics& metrics(std::size_t shard) const {
+  [[nodiscard]] const ShardMetrics& metrics(std::size_t shard) const override {
     return metrics_[shard];
   }
-  [[nodiscard]] MetricsSnapshot aggregate_metrics() const;
+  [[nodiscard]] MetricsSnapshot aggregate_metrics() const override;
 
   // Combined state hash over all shards (see Controller::state_fingerprint).
-  [[nodiscard]] std::uint64_t state_fingerprint() const;
+  [[nodiscard]] std::uint64_t state_fingerprint() const override;
+  // Recompacts every shard (deterministic clause-major rebuild), then
+  // fingerprints: the result is independent of install interleaving, so
+  // runs with different worker counts or coalescing schedules compare
+  // equal (see ControlBrain::canonical_fingerprint).
+  [[nodiscard]] std::uint64_t canonical_fingerprint() override;
 
  private:
   VersionedSnapshot<ServicePolicy> policy_;

@@ -25,6 +25,7 @@
 #include "ofp/mirror.hpp"
 #include "packet/nat.hpp"
 #include "runtime/runtime.hpp"
+#include "runtime/shard_brain.hpp"
 #include "runtime/sharded_controller.hpp"
 #include "topo/cellular.hpp"
 
@@ -43,6 +44,10 @@ struct SoftCellConfig {
   // the scaling bench measures (coalescing, metrics, shard affinity).
   // 0 (default): inline calls, byte-for-byte the pre-runtime behaviour.
   unsigned runtime_workers = 0;
+  // Brain shard count when the partitioned shard-brain is active (see
+  // SOFTCELL_SHARD_BRAIN; runtime/shard_brain.hpp).  0: the brain default
+  // (4).  Ignored in legacy-brain and fleet modes.
+  unsigned runtime_shards = 0;
   // Subscribe an ofp::Mirror to the controller's engine: every rule
   // mutation is serialized as a flow-mod and replayed into per-switch
   // agents on mirror()->sync().  The chaos harness uses this (with wire
@@ -141,9 +146,22 @@ class SoftCellNetwork {
   // --- introspection -----------------------------------------------------------------
   [[nodiscard]] const CellularTopology& topology() const { return topo_; }
   // In fleet mode this is replica 0 (the mirror's pinned engine source);
-  // control-plane traffic goes through cp_, not this reference.
+  // in shard-brain mode it is the brain's shared core controller.
+  // Control-plane traffic goes through cp_, not this reference.
   [[nodiscard]] Controller& controller() { return controller_; }
   [[nodiscard]] const Controller& controller() const { return controller_; }
+  // The partitioned brain, or nullptr in legacy-brain / fleet modes.
+  [[nodiscard]] ShardBrain* brain() { return brain_.get(); }
+  [[nodiscard]] const ShardBrain* brain() const { return brain_.get(); }
+  // Mode-independent control-plane state hash: in shard-brain mode the
+  // per-shard store writes and attachments are folded into the core
+  // fingerprint, so the value is bit-identical to what the same request
+  // history produces in legacy mode (the shardbrain differential corpus
+  // asserts this).
+  [[nodiscard]] std::uint64_t control_fingerprint() const {
+    if (brain_) return brain_->state_fingerprint();
+    return controller_.state_fingerprint();
+  }
   // The controller fleet, or nullptr when cluster_controllers == 0.
   [[nodiscard]] cluster::ControllerFleet* fleet() { return fleet_.get(); }
   [[nodiscard]] const cluster::ControllerFleet* fleet() const {
@@ -206,12 +224,18 @@ class SoftCellNetwork {
   SoftCellConfig config_;
   CellularTopology topo_;
   PortCodec codec_;
-  // The packet-forwarding walk needs a single rule universe, so the e2e
-  // harness runs one shard; controller_ aliases that shard (see the shard
-  // ownership rules in runtime/sharded_controller.hpp).
-  ShardedController sharded_;
+  // The packet-forwarding walk needs a single rule universe.  In
+  // shard-brain mode (the default) that is the brain's core controller --
+  // N ShardEngines own the per-UE state, one CoreCommitter serializes
+  // installs into the shared core.  With SOFTCELL_SHARD_BRAIN=0 the legacy
+  // one-shard ShardedController is built instead (byte-for-byte the old
+  // behaviour); in fleet mode the idle legacy shard keeps the telemetry
+  // collector registered and the fleet replicas do the work.  Exactly one
+  // of brain_/sharded_ is non-null.
+  std::unique_ptr<ShardedController> sharded_;
+  std::unique_ptr<ShardBrain> brain_;
   std::unique_ptr<cluster::ControllerFleet> fleet_;  // fleet mode only
-  Controller& controller_;  // shard 0, or fleet replica 0
+  Controller& controller_;  // shard 0, brain core, or fleet replica 0
   ControlPlane& cp_;        // where control-plane calls actually go
   std::unique_ptr<ControlPlaneRuntime> runtime_;
   std::unique_ptr<ofp::Mirror> mirror_;

@@ -1,0 +1,44 @@
+// ScopedTimerNs: RAII wall-clock span recorded into a telemetry Histogram.
+//
+// The commit stage (ctrl/core_committer.cpp) and other latency series
+// want "time this block took, in nanoseconds, into that histogram" without
+// scattering steady_clock arithmetic at every call site.  The timer reads
+// steady_clock once at construction and once at destruction and records
+// the difference; it records on every exit path, including exceptional
+// unwinds, so failed operations still contribute to the latency series.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "telemetry/registry.hpp"
+
+namespace softcell::telemetry {
+
+inline std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(Histogram& sink)
+      : sink_(sink), start_ns_(steady_now_ns()) {}
+  ~ScopedTimerNs() { sink_.record(steady_now_ns() - start_ns_); }
+
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+  // Nanoseconds elapsed so far (for callers that also want the value).
+  [[nodiscard]] std::uint64_t elapsed_ns() const {
+    return steady_now_ns() - start_ns_;
+  }
+
+ private:
+  Histogram& sink_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace softcell::telemetry

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/shard_brain.hpp"
 #include "util/rng.hpp"
 
 namespace softcell {
@@ -178,9 +179,23 @@ RuntimeBenchResult bench_runtime_pipeline(const CellularTopology& topo,
                           ServiceAction{true, seq, QosClass::kBestEffort}));
   }
 
-  ShardedControllerOptions shard_opts;
-  shard_opts.shards = config.shards;
-  ShardedController controller(topo, std::move(policy), shard_opts);
+  // Mode-dependent brain: the partitioned shard brain by default, the
+  // legacy per-shard-clone controller under SOFTCELL_SHARD_BRAIN=0 (the
+  // bench measures whichever mode the process runs in).
+  std::unique_ptr<ShardBrain> brain;
+  std::unique_ptr<ShardedController> legacy;
+  if (shard_brain_enabled()) {
+    brain = std::make_unique<ShardBrain>(
+        topo, std::move(policy), ShardBrainOptions{.shards = config.shards});
+  } else {
+    ShardedControllerOptions shard_opts;
+    shard_opts.shards = config.shards;
+    legacy = std::make_unique<ShardedController>(topo, std::move(policy),
+                                                 shard_opts);
+  }
+  ControlBrain& controller =
+      brain ? static_cast<ControlBrain&>(*brain)
+            : static_cast<ControlBrain&>(*legacy);
 
   // Provision and attach the subscriber base outside the timed region (UE
   // arrival is a different event class than flow handling).
@@ -230,7 +245,11 @@ RuntimeBenchResult bench_runtime_pipeline(const CellularTopology& topo,
   RuntimeBenchResult result;
   result.total = MicroBenchResult{config.requests, seconds};
   result.metrics = runtime.metrics();
-  result.fingerprint = controller.state_fingerprint();
+  // Canonical (recompact-then-fingerprint) so the value is independent of
+  // the commit interleaving at the shard brain's single core: worker
+  // counts and modes land on the same final rule universe, so the bench's
+  // determinism cross-check stays meaningful in both modes.
+  result.fingerprint = controller.canonical_fingerprint();
   return result;
 }
 

@@ -76,7 +76,10 @@ struct RuntimeBenchConfig {
 struct RuntimeBenchResult {
   MicroBenchResult total;
   MetricsSnapshot metrics;       // per-shard counters + latency histogram
-  std::uint64_t fingerprint = 0; // final sharded state (determinism check)
+  // Canonical (recompact-then-fingerprint) final control state: identical
+  // across worker counts AND across brain modes (shard brain vs legacy
+  // clones), so it doubles as the cross-mode determinism oracle.
+  std::uint64_t fingerprint = 0;
 };
 RuntimeBenchResult bench_runtime_pipeline(const CellularTopology& topo,
                                           const RuntimeBenchConfig& config);

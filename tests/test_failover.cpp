@@ -33,10 +33,12 @@ TEST_F(FailoverTest, ControllerFailoverRebuildsLocationsFromAgents) {
 
   net_.fail_controller_primary_and_recover();
 
+  // serving_bs reads through the active control plane (shard stores in
+  // shard-brain mode, the single store in legacy mode).
   for (const auto& [ue, bs] : placed) {
-    const auto loc = net_.controller().ue_location(ue);
+    const auto loc = net_.serving_bs(ue);
     ASSERT_TRUE(loc) << "lost UE " << ue.value();
-    EXPECT_EQ(loc->bs, bs);
+    EXPECT_EQ(*loc, bs);
   }
   EXPECT_TRUE(net_.controller().store().replicas_consistent());
 }
@@ -121,9 +123,9 @@ TEST_F(FailoverTest, RepeatedFailoverWithThreeReplicas) {
   net_.fail_controller_primary_and_recover();
   net_.fail_controller_primary_and_recover();  // two of three replicas gone
   ASSERT_TRUE(net_.send_uplink(flow).delivered);
-  const auto loc = net_.controller().ue_location(ue);
+  const auto loc = net_.serving_bs(ue);
   ASSERT_TRUE(loc);
-  EXPECT_EQ(loc->bs, 1u);
+  EXPECT_EQ(*loc, 1u);
 }
 
 }  // namespace

@@ -49,7 +49,7 @@ class FixtureCorpus(unittest.TestCase):
 
     def test_report_is_machine_readable(self):
         self.assertEqual(self.report["version"], 1)
-        self.assertEqual(self.report["files_scanned"], 8)
+        self.assertEqual(self.report["files_scanned"], 9)
         for f in self.findings:
             for key in ("rule", "path", "line", "message", "snippet"):
                 self.assertIn(key, f)
@@ -96,6 +96,12 @@ class FixtureCorpus(unittest.TestCase):
         self.assert_fires("controller-construct", "bad_controller_construct",
                           5)
 
+    def test_cross_shard_direct_fires(self):
+        # Member and accessor receivers, install / install_ue_shortcut /
+        # remove; the remove_listener, lookup, comment and string controls
+        # stay silent.
+        self.assert_fires("cross-shard-direct", "bad_cross_shard_direct", 4)
+
     def test_node_map_hotpath_fires(self):
         # unordered_map/map keyed by UeId, FlowKey, LocalUeId and
         # PublicEndpoint; the slab-container, off-key, comment and string
@@ -114,6 +120,7 @@ class FixtureCorpus(unittest.TestCase):
             "iostream-write": "iostream",
             "metrics-direct": "metrics_direct",
             "controller-construct": "controller_construct",
+            "cross-shard-direct": "cross_shard_direct",
             "node-map-hotpath": "node_map_hotpath",
         }
         for f in self.findings:

@@ -1,0 +1,82 @@
+// Churned-state fingerprint regression (ROADMAP item 2 headroom): the
+// million-UE bench no longer only grows the population -- it detaches,
+// re-attaches, and storms handoffs over resident state.  This test pins
+// the invariant the bench's cross-layout exit code relies on, at test
+// scale: the control fingerprint after a churned day is identical across
+// storage layouts (slab vs node maps), across brain modes (shard brain vs
+// legacy clones), and across repeat runs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/slab.hpp"
+#include "runtime/shard_brain.hpp"
+#include "sim/network.hpp"
+
+namespace softcell {
+namespace {
+
+// A miniature of bench_million_ue's churned diurnal day: attach a
+// population, open flows for a slice, detach + re-attach a slice at a
+// different base station, and run a handoff storm over another slice.
+std::uint64_t churned_fingerprint() {
+  SoftCellNetwork net(SoftCellConfig{.topo = {.k = 4, .seed = 91}},
+                      make_table1_policy());
+  const std::uint32_t num_bs = net.topology().num_base_stations();
+  constexpr std::uint32_t kUes = 240;
+
+  std::vector<UeId> ues;
+  ues.reserve(kUes);
+  for (std::uint32_t i = 0; i < kUes; ++i) {
+    SubscriberProfile p;
+    p.plan = static_cast<BillingPlan>(i % 3);
+    p.device = static_cast<DeviceClass>(i % 5);
+    const UeId ue = net.add_subscriber(p);
+    net.attach(ue, i % num_bs);
+    ues.push_back(ue);
+    if (i % 8 == 0) {
+      const auto flow = net.open_flow(ue, 0x08000001u + i, 80);
+      EXPECT_TRUE(net.send_uplink(flow, TcpFlag::kSyn).delivered);
+    }
+  }
+  // Detach / re-idle churn: a quarter of the population leaves and comes
+  // back somewhere else.
+  for (std::uint32_t i = 1; i < kUes; i += 4) {
+    net.detach(ues[i]);
+    net.attach(ues[i], (i + 7) % num_bs);
+  }
+  // Handoff storm over an eighth of the resident population.
+  for (std::uint32_t i = 3; i < kUes; i += 8) {
+    const auto ticket = net.handoff(ues[i], ((i % num_bs) + 1) % num_bs);
+    net.complete_handoff(ticket);
+  }
+  return net.control_fingerprint();
+}
+
+TEST(ScaleChurn, FingerprintIdenticalAcrossLayoutsModesAndRuns) {
+  std::uint64_t reference = 0;
+  {
+    mem::ScopedSlabLayout layout(true);
+    ScopedBrainMode mode(true);
+    reference = churned_fingerprint();
+  }
+  {
+    mem::ScopedSlabLayout layout(false);  // node maps, same history
+    ScopedBrainMode mode(true);
+    EXPECT_EQ(churned_fingerprint(), reference) << "node layout diverged";
+  }
+  {
+    mem::ScopedSlabLayout layout(true);  // legacy brain, same history
+    ScopedBrainMode mode(false);
+    EXPECT_EQ(churned_fingerprint(), reference) << "legacy brain diverged";
+  }
+  {
+    mem::ScopedSlabLayout layout(true);  // repeat run: determinism
+    ScopedBrainMode mode(true);
+    EXPECT_EQ(churned_fingerprint(), reference) << "repeat run diverged";
+  }
+}
+
+}  // namespace
+}  // namespace softcell

@@ -1,0 +1,56 @@
+// Known-bad fixture for the cross-shard-direct rule: direct switch-table
+// mutations through an engine receiver, in a file that does not carry the
+// commit-owner exemption marker.  Expected findings: 4 (the two
+// installs, the shortcut install, and the remove).  The read-only calls,
+// the off-verb receiver, and the comment/string controls stay silent.
+//
+// NOT part of the build; only tools/softcell_lint.py reads this file.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace softcell::lintfixture {
+
+struct FakeResult {
+  std::uint64_t path = 0;
+  std::uint16_t tag = 0;
+};
+
+struct FakeEngine {
+  FakeResult install(int path, int bs, int origin, std::optional<int> reuse) {
+    return {static_cast<std::uint64_t>(path + bs + origin + !!reuse), 1};
+  }
+  std::uint64_t install_ue_shortcut(int dir, int tag, int prefix) {
+    return static_cast<std::uint64_t>(dir + tag + prefix);
+  }
+  void remove(std::uint64_t) {}
+  void remove_listener(int) {}  // off-verb control: never matches
+  int lookup(int key) const { return key; }  // read control: never matches
+};
+
+struct FakeBrain {
+  FakeEngine engine_;
+  FakeEngine& engine() { return engine_; }
+};
+
+inline std::uint64_t mutate_rows_behind_the_committers_back(FakeBrain& brain,
+                                                            FakeBrain* ptr) {
+  // FINDING: member-receiver install outside the commit-owner file.
+  const auto up = brain.engine_.install(1, 2, 3, std::nullopt);
+  // FINDING: accessor-receiver shortcut install through a pointer.
+  const auto cut = ptr->engine().install_ue_shortcut(0, up.tag, 24);
+  // FINDING: accessor-receiver install.
+  const auto down = brain.engine().install(4, 5, 6, up.tag);
+  // FINDING: member-receiver remove through a pointer.
+  ptr->engine_.remove(down.path);
+
+  // Controls -- none of these may fire:
+  brain.engine_.remove_listener(7);          // off-verb suffix
+  const int hit = brain.engine().lookup(9);  // read-only call
+  // prose control: engine_.install(...) named in a comment stays silent
+  const char* doc = "engine_.remove(id) in a string literal stays silent";
+  return cut + static_cast<std::uint64_t>(hit) + (doc ? 1u : 0u);
+}
+
+}  // namespace softcell::lintfixture

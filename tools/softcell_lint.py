@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """softcell-verify Part B: project-specific lint rules for the SoftCell tree.
 
-Eight rules encode invariants the type system cannot see (DESIGN.md
+Nine rules encode invariants the type system cannot see (DESIGN.md
 section 12, "Static guarantees"):
 
   epoch-bump        Tag-class mutations in the dataplane switch table
@@ -54,6 +54,19 @@ section 12, "Static guarantees"):
                     over the same topology silently double-own every UE.
                     References, pointers and the Controller* derived types
                     (ShardedController, ControllerOptions, ControllerFleet)
+                    stay free.
+
+  cross-shard-direct
+                    Core switch-table rows are mutated (engine install /
+                    install_ue_shortcut / remove) only inside the file that
+                    owns the commit stage, marked with
+                    `// sc-lint: commit-owner(...)`.  Since the shard-brain
+                    split (DESIGN.md section 16), every cross-shard install
+                    is serialized through the CoreCommitter's single-writer
+                    combiner; a direct engine mutation elsewhere slips rows
+                    past that total order, so the published PathView
+                    snapshots and the state fingerprint silently diverge
+                    from the table.  Reads (lookup, stats, classifiers)
                     stay free.
 
   node-map-hotpath  Per-UE / per-flow resident state (maps keyed by UeId,
@@ -364,6 +377,41 @@ def check_controller_construct(path: str, lines: list[str]) -> list[Finding]:
     return out
 
 
+# --- rule: cross-shard-direct ------------------------------------------------
+# The commit-stage owner file is identified by a file-wide
+# `// sc-lint: commit-owner(...)` marker (a comment, parsed from the raw
+# text -- the metrics-owner exemption shape).  Everywhere else, calls that
+# mutate switch-table rows through an engine receiver are findings.  The
+# receiver spellings are the codebase's three: the `engine_` member, a bare
+# `engine` local/parameter, and the `engine()` accessor (any qualifier,
+# `.` or `->`).  `remove_listener`, `install`-prefixed identifiers that are
+# not calls, and read-only calls (lookup, stats, classifiers) never match.
+
+_COMMIT_OWNER = re.compile(r"sc-lint:\s*commit-owner\([^)]*\)")
+_CROSS_SHARD_DIRECT = re.compile(
+    r"\bengine_?(?:\s*\(\s*\))?\s*(?:\.|->)\s*"
+    r"(?:install(?:_ue_shortcut)?|remove)\s*\("
+)
+
+
+def check_cross_shard_direct(path: str, raw_lines: list[str],
+                             stripped: list[str]) -> list[Finding]:
+    if any(_COMMIT_OWNER.search(raw) for raw in raw_lines):
+        return []  # the declared owner of the commit stage
+    out = []
+    for i, line in enumerate(stripped):
+        m = _CROSS_SHARD_DIRECT.search(line)
+        if m:
+            out.append(Finding(
+                "cross-shard-direct", path, i + 1,
+                f"{m.group(0).strip()}: switch-table rows are mutated only "
+                "in the sc-lint: commit-owner(...) file; a direct engine "
+                "install/remove bypasses the commit stage's single-writer "
+                "total order and desyncs the published PathView snapshots",
+                line))
+    return out
+
+
 # --- rule: node-map-hotpath --------------------------------------------------
 # The slab migration (DESIGN.md section 15) moved per-UE / per-flow resident
 # state out of node-based maps; this rule keeps it out.  Scope is the hot
@@ -409,6 +457,8 @@ RULES = {
     "metrics-direct": "perf-counter structs mutated only in their owner file",
     "controller-construct":
         "Controller built only by the sim/ and cluster/ composition roots",
+    "cross-shard-direct":
+        "engine rows mutated only by the commit-owner file",
     "node-map-hotpath":
         "per-UE/per-flow state in hot dirs uses slabs, not node maps",
 }
@@ -431,6 +481,7 @@ def scan_file(root: Path, file: Path) -> list[Finding]:
     findings += check_iostream(rel, stripped_lines)
     findings += check_metrics_direct(rel, raw_lines, stripped_lines)
     findings += check_controller_construct(rel, stripped_lines)
+    findings += check_cross_shard_direct(rel, raw_lines, stripped_lines)
     findings += check_node_map_hotpath(rel, raw_lines, stripped_lines)
     return findings
 
