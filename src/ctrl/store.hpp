@@ -38,6 +38,7 @@
 #include "packet/prefix.hpp"
 #include "policy/policy.hpp"
 #include "util/ids.hpp"
+#include "util/lifetime.hpp"
 
 namespace softcell {
 
@@ -173,7 +174,9 @@ class ControlStore {
   }
 
  private:
-  [[nodiscard]] const SlowState& primary() const { return slow_.front(); }
+  [[nodiscard]] const SlowState& primary() const SC_LIFETIMEBOUND {
+    return slow_.front();
+  }
 
   void mutate(const std::function<void(SlowState&)>& fn) {
     // Synchronous replication: the write hits every replica, then the

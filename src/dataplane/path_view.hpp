@@ -22,6 +22,7 @@
 
 #include "util/flat_map.hpp"
 #include "util/ids.hpp"
+#include "util/lifetime.hpp"
 
 namespace softcell {
 
@@ -54,13 +55,18 @@ struct PathView {
   std::size_t core_rules = 0;
   std::size_t core_tags = 0;
 
-  [[nodiscard]] const PolicyTag* path(ClauseId clause,
-                                      std::uint32_t bs) const {
+  // SC_LIFETIMEBOUND: under Clang, binding the result to the lifetime of
+  // *this rejects the PR 8 shape (`view()->path(...)` on a temporary
+  // snapshot) at compile time; cross-statement escapes are the analyzer's
+  // rvalue-snapshot-deref checker (DESIGN.md §17.1).
+  [[nodiscard]] const PolicyTag* path(ClauseId clause, std::uint32_t bs)
+      const SC_LIFETIMEBOUND {
     const auto it = paths.find(key(clause, bs));
     return it == paths.end() ? nullptr : &it->second;
   }
   [[nodiscard]] const PolicyTag* m2m_tag(ClauseId clause, std::uint32_t src,
-                                         std::uint32_t dst) const {
+                                         std::uint32_t dst)
+      const SC_LIFETIMEBOUND {
     const auto it = m2m.find(M2mKey{clause.value(), src, dst});
     return it == m2m.end() ? nullptr : &it->second;
   }

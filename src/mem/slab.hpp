@@ -34,6 +34,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/lifetime.hpp"
+
 namespace softcell::mem {
 
 // Index+generation handle into a Slab.  A default-constructed Handle is
@@ -109,10 +111,10 @@ class Slab {
     return Handle{idx, gen_[idx]};
   }
 
-  [[nodiscard]] T* get(Handle h) {
+  [[nodiscard]] T* get(Handle h) SC_LIFETIMEBOUND {
     return valid(h) ? slot_ptr(h.index) : nullptr;
   }
-  [[nodiscard]] const T* get(Handle h) const {
+  [[nodiscard]] const T* get(Handle h) const SC_LIFETIMEBOUND {
     return valid(h) ? slot_ptr(h.index) : nullptr;
   }
   [[nodiscard]] bool valid(Handle h) const {

@@ -29,6 +29,7 @@
 
 #include "mem/slab.hpp"
 #include "util/flat_map.hpp"
+#include "util/lifetime.hpp"
 
 namespace softcell::mem {
 
@@ -44,7 +45,7 @@ class SlabMap {
   }
   [[nodiscard]] bool empty() const { return size() == 0; }
 
-  [[nodiscard]] V* find(const K& key) {
+  [[nodiscard]] V* find(const K& key) SC_LIFETIMEBOUND {
     if (slab_mode_) {
       const auto it = index_.find(key);
       return it == index_.end() ? nullptr : slab_.get(it->second);
@@ -52,19 +53,19 @@ class SlabMap {
     const auto it = node_.find(key);
     return it == node_.end() ? nullptr : &it->second;
   }
-  [[nodiscard]] const V* find(const K& key) const {
+  [[nodiscard]] const V* find(const K& key) const SC_LIFETIMEBOUND {
     return const_cast<SlabMap*>(this)->find(key);
   }
   [[nodiscard]] bool contains(const K& key) const {
     return slab_mode_ ? index_.contains(key) : node_.contains(key);
   }
 
-  [[nodiscard]] V& at(const K& key) {
+  [[nodiscard]] V& at(const K& key) SC_LIFETIMEBOUND {
     V* v = find(key);
     if (v == nullptr) throw std::out_of_range("SlabMap::at");
     return *v;
   }
-  [[nodiscard]] const V& at(const K& key) const {
+  [[nodiscard]] const V& at(const K& key) const SC_LIFETIMEBOUND {
     const V* v = find(key);
     if (v == nullptr) throw std::out_of_range("SlabMap::at");
     return *v;
@@ -81,7 +82,9 @@ class SlabMap {
     return {&it->second, fresh};
   }
 
-  V& operator[](const K& key) { return *try_emplace(key).first; }
+  V& operator[](const K& key) SC_LIFETIMEBOUND {
+    return *try_emplace(key).first;
+  }
 
   std::size_t erase(const K& key) {
     if (slab_mode_) {

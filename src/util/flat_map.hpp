@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/lifetime.hpp"
+
 namespace softcell {
 
 template <typename K, typename V, typename Hash = std::hash<K>>
@@ -40,10 +42,14 @@ class FlatMap {
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
 
-  [[nodiscard]] iterator begin() { return entries_.data(); }
-  [[nodiscard]] iterator end() { return entries_.data() + entries_.size(); }
-  [[nodiscard]] const_iterator begin() const { return entries_.data(); }
-  [[nodiscard]] const_iterator end() const {
+  [[nodiscard]] iterator begin() SC_LIFETIMEBOUND { return entries_.data(); }
+  [[nodiscard]] iterator end() SC_LIFETIMEBOUND {
+    return entries_.data() + entries_.size();
+  }
+  [[nodiscard]] const_iterator begin() const SC_LIFETIMEBOUND {
+    return entries_.data();
+  }
+  [[nodiscard]] const_iterator end() const SC_LIFETIMEBOUND {
     return entries_.data() + entries_.size();
   }
 
@@ -57,11 +63,11 @@ class FlatMap {
     if (index_size_for(n) > index_.size()) rehash(index_size_for(n));
   }
 
-  [[nodiscard]] iterator find(const K& key) {
+  [[nodiscard]] iterator find(const K& key) SC_LIFETIMEBOUND {
     const std::size_t slot = find_slot(key);
     return slot == kNoSlot ? end() : entries_.data() + index_[slot];
   }
-  [[nodiscard]] const_iterator find(const K& key) const {
+  [[nodiscard]] const_iterator find(const K& key) const SC_LIFETIMEBOUND {
     const std::size_t slot = find_slot(key);
     return slot == kNoSlot ? end() : entries_.data() + index_[slot];
   }
@@ -69,18 +75,20 @@ class FlatMap {
     return find_slot(key) != kNoSlot;
   }
 
-  [[nodiscard]] V& at(const K& key) {
+  [[nodiscard]] V& at(const K& key) SC_LIFETIMEBOUND {
     const std::size_t slot = find_slot(key);
     if (slot == kNoSlot) throw std::out_of_range("FlatMap::at");
     return entries_[index_[slot]].second;
   }
-  [[nodiscard]] const V& at(const K& key) const {
+  [[nodiscard]] const V& at(const K& key) const SC_LIFETIMEBOUND {
     const std::size_t slot = find_slot(key);
     if (slot == kNoSlot) throw std::out_of_range("FlatMap::at");
     return entries_[index_[slot]].second;
   }
 
-  V& operator[](const K& key) { return try_emplace(key).first->second; }
+  V& operator[](const K& key) SC_LIFETIMEBOUND {
+    return try_emplace(key).first->second;
+  }
 
   template <typename... Args>
   std::pair<iterator, bool> try_emplace(const K& key, Args&&... args) {

@@ -48,8 +48,9 @@ class FixtureCorpus(unittest.TestCase):
         self.assertEqual(self.proc.returncode, 1, self.proc.stderr)
 
     def test_report_is_machine_readable(self):
-        self.assertEqual(self.report["version"], 1)
-        self.assertEqual(self.report["files_scanned"], 9)
+        self.assertEqual(self.report["version"], 2)
+        self.assertEqual(self.report["files_scanned"], 10)
+        self.assertEqual(self.report["stale_suppressions"], [])
         for f in self.findings:
             for key in ("rule", "path", "line", "message", "snippet"):
                 self.assertIn(key, f)
@@ -109,6 +110,28 @@ class FixtureCorpus(unittest.TestCase):
         self.assert_fires("node-map-hotpath", "agent_bad_node_map_hotpath",
                           4)
 
+    def test_stale_owner_markers_fire(self):
+        # A file-wide owner marker that exempts no diagnostics is itself a
+        # finding, one per marker line (metrics-owner, commit-owner,
+        # slab-owner), at the marker's location.
+        stale = [f for f in self.findings
+                 if "stale_owner_marker" in f["path"]]
+        self.assertEqual(
+            sorted(f["rule"] for f in stale),
+            ["cross-shard-direct", "metrics-direct", "node-map-hotpath"],
+            json.dumps(stale, indent=2))
+        for f in stale:
+            self.assertIn("stale sc-lint marker", f["message"])
+
+    def test_live_owner_marker_stays_silent(self):
+        # src/core/engine.cpp carries metrics-owner AND mutates AggPerf:
+        # the marker is load-bearing, so neither the exempted findings nor
+        # a stale-marker diagnostic may surface.
+        proc = run_lint(str(REPO / "src" / "core" / "engine.cpp"),
+                        "--suppressions", "/dev/null")
+        self.assertEqual(proc.returncode, 0,
+                         f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+
     def test_no_cross_contamination(self):
         # No rule fires on another rule's fixture (each bad file isolates
         # one failure class).
@@ -124,6 +147,11 @@ class FixtureCorpus(unittest.TestCase):
             "node-map-hotpath": "node_map_hotpath",
         }
         for f in self.findings:
+            if "stale sc-lint marker" in f["message"]:
+                # Stale-marker diagnostics reuse the exempted rule's name
+                # and live in the dedicated stale-marker fixture.
+                self.assertIn("stale_owner_marker", Path(f["path"]).stem)
+                continue
             self.assertIn(
                 fixture_of[f["rule"]],
                 Path(f["path"]).stem,
@@ -168,6 +196,48 @@ class SourceTreeClean(unittest.TestCase):
                 "test_lint.py\n" for f in findings))
             proc = run_lint(str(fixture), "--suppressions", str(sup))
             self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_stale_suppression_fails(self):
+        # An entry whose target file was scanned but which matches no
+        # diagnostic is a hard failure, not a note.
+        fixture = FIXTURES / "bad_iostream.cpp"
+        with tempfile.TemporaryDirectory() as tmp:
+            report = Path(tmp) / "r.json"
+            run_lint(str(fixture), "--report", str(report),
+                     "--suppressions", "/dev/null")
+            findings = json.loads(report.read_text())["findings"]
+            sup = Path(tmp) / "sup.txt"
+            sup.write_text("".join(
+                f"{f['rule']} {f['path']}:{f['line']} fixture exercised by "
+                "test_lint.py\n" for f in findings) +
+                f"iostream-write {findings[0]['path']}:9999 gone\n")
+            proc = run_lint(str(fixture), "--report", str(report),
+                            "--suppressions", str(sup))
+            self.assertEqual(proc.returncode, 1, proc.stdout)
+            self.assertIn("stale-suppression:", proc.stdout)
+            stale = json.loads(report.read_text())["stale_suppressions"]
+            self.assertEqual(stale, [{"rule": "iostream-write",
+                                      "path": findings[0]["path"],
+                                      "line": 9999}])
+
+    def test_out_of_scope_suppression_tolerated(self):
+        # Entries pointing at files NOT scanned in this invocation are left
+        # alone -- single-file runs must not false-fail on the rest of the
+        # committed table.
+        fixture = FIXTURES / "bad_iostream.cpp"
+        with tempfile.TemporaryDirectory() as tmp:
+            report = Path(tmp) / "r.json"
+            run_lint(str(fixture), "--report", str(report),
+                     "--suppressions", "/dev/null")
+            findings = json.loads(report.read_text())["findings"]
+            sup = Path(tmp) / "sup.txt"
+            sup.write_text("".join(
+                f"{f['rule']} {f['path']}:{f['line']} fixture exercised by "
+                "test_lint.py\n" for f in findings) +
+                "naked-mutex src/not/scanned.cpp:10 other file\n")
+            proc = run_lint(str(fixture), "--suppressions", str(sup))
+            self.assertEqual(proc.returncode, 0,
+                             f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,68 @@
+// softcell-analyze fixture: MUST trigger handle-across-mutation (twice).
+//
+// Self-contained stand-ins with the real spellings: mem::Slab recycles a
+// slot on erase (generation bump), FlatMap moves its dense array on
+// rehash -- in both cases a previously derived pointer/reference is
+// dangling after the mutation.
+
+namespace softcell {
+namespace mem {
+
+struct Handle {
+  unsigned index = 0;
+  unsigned generation = 0;
+};
+
+template <typename T>
+struct Slab {
+  T* get(Handle h) {
+    (void)h;
+    return &value_;
+  }
+  bool erase(Handle h) {
+    (void)h;
+    return true;
+  }
+  void clear() {}
+  T value_{};
+};
+
+}  // namespace mem
+
+template <typename K, typename V>
+struct FlatMap {
+  V* find(const K& key) {
+    (void)key;
+    return &value_;
+  }
+  V& at(const K& key) {
+    (void)key;
+    return value_;
+  }
+  bool try_emplace(const K& key, const V& v) {
+    (void)key;
+    (void)v;
+    return true;
+  }
+  void erase(const K& key) { (void)key; }
+  V value_{};
+};
+
+struct Rec {
+  unsigned value = 0;
+};
+
+unsigned bad_use_after_erase(mem::Slab<Rec>& slab, mem::Handle h,
+                             mem::Handle victim) {
+  Rec* rec = slab.get(h);
+  slab.erase(victim);  // may recycle the slot 'rec' points into
+  return rec->value;   // BAD: no generation recheck after the mutation
+}
+
+unsigned bad_ref_across_insert(FlatMap<unsigned, Rec>& map, unsigned key) {
+  Rec& rec = map.at(key);
+  map.try_emplace(key + 1, Rec{});  // rehash moves the dense array
+  return rec.value;                 // BAD: reference not re-derived
+}
+
+}  // namespace softcell

@@ -1,0 +1,49 @@
+// softcell-analyze fixture: MUST trigger lock-order-cycle.
+//
+// Two classes acquire each other's sc:: mutexes in opposite orders
+// through method calls: Leader::poke holds Leader::mu_ while acquiring
+// Follower::mu_, and Follower::poke does the reverse.  Neither edge is
+// in the (empty, for this fixture) declared ordering.
+
+namespace softcell {
+namespace sc {
+
+struct Mutex {};
+
+struct LockGuard {
+  explicit LockGuard(Mutex& mu) { (void)mu; }
+};
+
+}  // namespace sc
+
+struct Follower;
+
+struct Leader {
+  sc::Mutex mu_;
+  Follower* peer = nullptr;
+  void poke();
+  void touched();
+};
+
+struct Follower {
+  sc::Mutex mu_;
+  Leader* peer = nullptr;
+  void poke();
+  void touched();
+};
+
+void Leader::poke() {
+  sc::LockGuard lock(mu_);  // Leader::mu_ held...
+  peer->touched();          // ...while Follower::mu_ is acquired
+}
+
+void Leader::touched() { sc::LockGuard lock(mu_); }
+
+void Follower::poke() {
+  sc::LockGuard lock(mu_);  // Follower::mu_ held...
+  peer->touched();          // ...while Leader::mu_ is acquired -> cycle
+}
+
+void Follower::touched() { sc::LockGuard lock(mu_); }
+
+}  // namespace softcell

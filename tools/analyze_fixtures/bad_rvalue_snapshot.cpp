@@ -1,0 +1,39 @@
+// softcell-analyze fixture: MUST trigger rvalue-snapshot-deref (twice).
+//
+// Reproduces the literal PR 8 warm-hit use-after-free (DESIGN.md §12.4):
+// the shared_ptr<PathView> snapshot is a *temporary*, so the view -- and
+// the PolicyTag the returned pointer aims into -- can retire
+// mid-statement once a racing commit republishes.
+#include <memory>
+
+namespace softcell {
+
+struct PolicyTag {
+  unsigned value = 0;
+};
+
+struct PathView {
+  PolicyTag tag;
+  const PolicyTag* path(unsigned clause, unsigned bs) const {
+    (void)clause;
+    (void)bs;
+    return &tag;
+  }
+};
+
+struct Committer {
+  std::shared_ptr<const PathView> view_;
+  std::shared_ptr<const PathView> view() const { return view_; }
+};
+
+unsigned warm_hit(const Committer& committer, unsigned clause, unsigned bs) {
+  if (const PolicyTag* tag = committer.view()->path(clause, bs))  // BAD
+    return tag->value;
+  return 0;
+}
+
+const PathView* escape(const Committer& committer) {
+  return committer.view().get();  // BAD: raw pointer outlives the temporary
+}
+
+}  // namespace softcell

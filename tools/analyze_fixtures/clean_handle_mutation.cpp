@@ -1,0 +1,64 @@
+// softcell-analyze fixture: MUST be clean for handle-across-mutation.
+//
+// The two sanctioned shapes: re-derive the pointer after the mutation
+// (the generation recheck), or finish every use before mutating.
+
+namespace softcell {
+namespace mem {
+
+struct Handle {
+  unsigned index = 0;
+  unsigned generation = 0;
+};
+
+template <typename T>
+struct Slab {
+  T* get(Handle h) {
+    (void)h;
+    return &value_;
+  }
+  bool erase(Handle h) {
+    (void)h;
+    return true;
+  }
+  void clear() {}
+  T value_{};
+};
+
+}  // namespace mem
+
+template <typename K, typename V>
+struct FlatMap {
+  V* find(const K& key) {
+    (void)key;
+    return &value_;
+  }
+  V& at(const K& key) {
+    (void)key;
+    return value_;
+  }
+  void erase(const K& key) { (void)key; }
+  V value_{};
+};
+
+struct Rec {
+  unsigned value = 0;
+};
+
+unsigned clean_rederive(mem::Slab<Rec>& slab, mem::Handle h,
+                        mem::Handle victim) {
+  Rec* rec = slab.get(h);
+  unsigned first = rec->value;
+  slab.erase(victim);
+  rec = slab.get(h);  // OK: re-derived (generation recheck) after erase
+  return first + rec->value;
+}
+
+unsigned clean_read_before(FlatMap<unsigned, Rec>& map, unsigned key) {
+  Rec& rec = map.at(key);
+  unsigned v = rec.value;  // every use precedes the mutation
+  map.erase(key);
+  return v;
+}
+
+}  // namespace softcell

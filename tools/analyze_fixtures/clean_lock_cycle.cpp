@@ -1,0 +1,61 @@
+// softcell-analyze fixture: MUST be clean for lock-order-cycle.
+//
+// The real CoreCommitter choreography: submit() drops the stage lock
+// (UniqueLock::unlock) before calling into the core, so holding
+// Core::mu_ while calling back into Committer::enqueue is the ONLY
+// observed direction -- no cycle.  An analyzer that does not model the
+// mid-scope unlock would see Committer::mu_ -> Core::mu_ too and report
+// a false cycle; this fixture pins the unlock modelling.
+
+namespace softcell {
+namespace sc {
+
+struct Mutex {};
+
+struct LockGuard {
+  explicit LockGuard(Mutex& mu) { (void)mu; }
+};
+
+struct UniqueLock {
+  explicit UniqueLock(Mutex& mu) { (void)mu; }
+  void lock() {}
+  void unlock() {}
+};
+
+}  // namespace sc
+
+struct Core;
+
+struct Committer {
+  sc::Mutex mu_;
+  Core* core = nullptr;
+  void submit();
+  void enqueue();
+};
+
+struct Core {
+  sc::Mutex mu_;
+  Committer* committer = nullptr;
+  void apply();
+  void notify();
+};
+
+void Committer::submit() {
+  sc::UniqueLock lock(mu_);
+  // Drop the stage lock before calling into the core (flat-combining
+  // leader hand-off): no Committer::mu_ -> Core::mu_ edge exists.
+  lock.unlock();
+  core->apply();
+  lock.lock();
+}
+
+void Committer::enqueue() { sc::LockGuard lock(mu_); }
+
+void Core::apply() { sc::LockGuard lock(mu_); }
+
+void Core::notify() {
+  sc::LockGuard lock(mu_);
+  committer->enqueue();  // Core::mu_ -> Committer::mu_, one direction only
+}
+
+}  // namespace softcell

@@ -1,0 +1,45 @@
+// softcell-analyze fixture: MUST be clean for rvalue-snapshot-deref.
+//
+// The three sanctioned shapes: pin the snapshot in a named local before
+// dereferencing (the PR 8 fix), return it by value, or pass it as a call
+// argument (the full-expression keeps the control block alive).
+#include <memory>
+
+namespace softcell {
+
+struct PolicyTag {
+  unsigned value = 0;
+};
+
+struct PathView {
+  PolicyTag tag;
+  const PolicyTag* path(unsigned clause, unsigned bs) const {
+    (void)clause;
+    (void)bs;
+    return &tag;
+  }
+};
+
+struct Committer {
+  std::shared_ptr<const PathView> view_;
+  std::shared_ptr<const PathView> view() const { return view_; }
+};
+
+unsigned warm_hit_pinned(const Committer& committer, unsigned clause,
+                         unsigned bs) {
+  const auto view = committer.view();  // pinned: outlives the dereference
+  if (const PolicyTag* tag = view->path(clause, bs)) return tag->value;
+  return 0;
+}
+
+std::shared_ptr<const PathView> forward(const Committer& committer) {
+  return committer.view();  // OK: ownership transfers to the caller
+}
+
+void consume(std::shared_ptr<const PathView> view);
+
+void pass_through(const Committer& committer) {
+  consume(committer.view());  // OK: alive for the whole full-expression
+}
+
+}  // namespace softcell

@@ -324,10 +324,30 @@ _METRICS_DIRECT = re.compile(
 )
 
 
+def _marker_line(marker_re: re.Pattern, raw_lines: list[str]) -> int | None:
+    """1-based line of the first file-wide owner marker, or None."""
+    for i, raw in enumerate(raw_lines):
+        if marker_re.search(raw):
+            return i + 1
+    return None
+
+
+def _audit_owner_marker(rule: str, marker: str, path: str, line: int,
+                        would_fire: list[Finding]) -> list[Finding]:
+    """A file-wide owner marker that exempts nothing is stale: the code it
+    justified has moved, and a stale exemption silently disables the rule
+    for whatever lands in the file next (the sc-analyze stale-suppression
+    audit, applied to sc-lint's markers)."""
+    if would_fire:
+        return []  # marker is load-bearing
+    return [Finding(
+        rule, path, line,
+        f"stale sc-lint marker: '{marker}' exempts no {rule} diagnostics "
+        "in this file -- remove the marker", "")]
+
+
 def check_metrics_direct(path: str, raw_lines: list[str],
                          stripped: list[str]) -> list[Finding]:
-    if any(_METRICS_OWNER.search(raw) for raw in raw_lines):
-        return []  # the declared owner of the struct's increments
     out = []
     for i, line in enumerate(stripped):
         m = _METRICS_DIRECT.search(line)
@@ -337,6 +357,10 @@ def check_metrics_direct(path: str, raw_lines: list[str],
                 f"{m.group(0).strip()}: perf-counter structs are mutated "
                 "only in their sc-lint: metrics-owner(...) file; read them "
                 "via accessors or telemetry registry collectors", line))
+    marker = _marker_line(_METRICS_OWNER, raw_lines)
+    if marker is not None:
+        return _audit_owner_marker("metrics-direct", "metrics-owner", path,
+                                   marker, out)
     return out
 
 
@@ -396,8 +420,6 @@ _CROSS_SHARD_DIRECT = re.compile(
 
 def check_cross_shard_direct(path: str, raw_lines: list[str],
                              stripped: list[str]) -> list[Finding]:
-    if any(_COMMIT_OWNER.search(raw) for raw in raw_lines):
-        return []  # the declared owner of the commit stage
     out = []
     for i, line in enumerate(stripped):
         m = _CROSS_SHARD_DIRECT.search(line)
@@ -409,6 +431,10 @@ def check_cross_shard_direct(path: str, raw_lines: list[str],
                 "install/remove bypasses the commit stage's single-writer "
                 "total order and desyncs the published PathView snapshots",
                 line))
+    marker = _marker_line(_COMMIT_OWNER, raw_lines)
+    if marker is not None:
+        return _audit_owner_marker("cross-shard-direct", "commit-owner",
+                                   path, marker, out)
     return out
 
 
@@ -433,8 +459,6 @@ def check_node_map_hotpath(path: str, raw_lines: list[str],
                            stripped: list[str]) -> list[Finding]:
     if not any(d in path for d in _NODE_MAP_DIRS):
         return []
-    if any(_SLAB_OWNER.search(raw) for raw in raw_lines):
-        return []  # declared owner of the legacy node-map layout
     out = []
     for i, line in enumerate(stripped):
         m = _NODE_MAP_HOTPATH.search(line)
@@ -445,6 +469,10 @@ def check_node_map_hotpath(path: str, raw_lines: list[str],
                 "hot directories uses the slab layout (Slab/SlabMap/"
                 "FlatMap); node maps live only in sc-lint: slab-owner(...) "
                 "files behind the SOFTCELL_SLAB=0 hatch", line))
+    marker = _marker_line(_SLAB_OWNER, raw_lines)
+    if marker is not None:
+        return _audit_owner_marker("node-map-hotpath", "slab-owner", path,
+                                   marker, out)
     return out
 
 
@@ -578,25 +606,44 @@ def main(argv: list[str]) -> int:
 
     for finding in active:
         print(finding)
-    for key in sorted(set(suppressions) - used_suppressions):
-        print(f"softcell-lint: note: unused suppression {key[0]} "
-              f"{key[1]}:{key[2]}", file=sys.stderr)
+
+    # Stale-suppression audit: an unused entry whose target file WAS
+    # scanned matches no diagnostic, so the code it justified has moved --
+    # hard failure (prune the entry).  Entries pointing at files outside
+    # this run's scope are left alone so single-file invocations don't
+    # false-fail on the rest of the table.
+    scanned_rels = set()
+    for f in files:
+        try:
+            rel_root = root if f.is_relative_to(root) else f.parent
+        except AttributeError:  # pragma: no cover (py<3.9)
+            rel_root = root
+        scanned_rels.add(f.relative_to(rel_root).as_posix())
+    stale = [key for key in sorted(set(suppressions) - used_suppressions)
+             if key[1] in scanned_rels]
+    for key in stale:
+        print(f"stale-suppression: {sup_path}: '{key[0]} {key[1]}:{key[2]}' "
+              "matches no diagnostic -- remove it")
 
     if args.report:
         report = {
-            "version": 1,
+            "version": 2,
             "files_scanned": len(files),
             "findings": [f.to_json() for f in active],
             "suppressed": [
                 dict(f.to_json(), justification=suppressions[f.key()])
                 for f in suppressed
             ],
+            "stale_suppressions": [
+                {"rule": k[0], "path": k[1], "line": k[2]} for k in stale
+            ],
         }
         args.report.parent.mkdir(parents=True, exist_ok=True)
         args.report.write_text(json.dumps(report, indent=2) + "\n")
 
-    if active:
-        print(f"softcell-lint: {len(active)} finding(s) "
+    if active or stale:
+        print(f"softcell-lint: {len(active)} finding(s), "
+              f"{len(stale)} stale suppression(s) "
               f"({len(suppressed)} suppressed) in {len(files)} files",
               file=sys.stderr)
         return 1
