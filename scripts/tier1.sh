@@ -17,9 +17,16 @@
 #   5b. scale -- the million-UE bench under SOFTCELL_SMOKE=1: its built-in
 #      cross-layout fingerprint check (slab vs SOFTCELL_SLAB=0 node maps)
 #      is the exit code, and the JSON envelope is validated
+#   5c. net -- the TCP serving front end end-to-end: softcell-serverd is
+#      started as a real separate process (--port 0 + --port-file for
+#      race-free discovery), the wire cbench drives it over loopback with
+#      SOFTCELL_WIRE_PORT (fingerprint parity vs the in-process run is the
+#      bench's own exit code), the SIGTERM graceful drain must exit 0, the
+#      softcell-bench-1 envelope is validated, and `ctest -L net` runs the
+#      directed partial-read/short-write/backpressure/drain suite
 #   6. ASan + TSan + UBSan rebuilds running the
-#      concurrency|chaos|cluster|slab|shardbrain labels with a trimmed corpus
-#      (SOFTCELL_CHAOS_SEEDS)
+#      concurrency|chaos|cluster|slab|shardbrain labels (ASan and TSan
+#      additionally rerun `net`) with a trimmed corpus (SOFTCELL_CHAOS_SEEDS)
 #
 # Every stage runs even if an earlier one fails; a per-stage
 # PASS/FAIL/SKIP summary is printed at the end and the script exits
@@ -182,6 +189,54 @@ run_stage "scale (smoke, cross-layout)" bash -c \
      build/bench/SMOKE_scale.json &&
    python3 -c "import json,sys; d=json.load(open(\"build/bench/SMOKE_scale.json\")); sys.exit(0 if d[\"schema\"]==\"softcell-bench-1\" and d[\"meta\"][\"fingerprints_match\"] and d[\"meta\"][\"ctrl_bytes_target_met\"] else 1)"'
 
+# --- net stage ---------------------------------------------------------------
+# The serving front end across a real process boundary.  serverd and the
+# bench both use the WireConfig defaults, so the provisioning matches and
+# the bench's fingerprint-parity check (wire run vs identical in-process
+# run) is armed.  serverd must be backgrounded directly (not via a
+# compound command) so $! is its PID and SIGTERM reaches it.
+run_stage "net (serverd + wire smoke)" bash -c '
+  set -u
+  cmake --build build -j --target softcell-serverd bench_wire_cbench || exit 1
+  port_file=build/bench/TIER1_net.port
+  rm -f "$port_file" build/bench/SMOKE_net.json
+  ./build/apps/softcell-serverd --port 0 --port-file "$port_file" &
+  serverd_pid=$!
+  for _ in $(seq 1 200); do
+    [[ -s "$port_file" ]] && break
+    kill -0 "$serverd_pid" 2>/dev/null || break
+    sleep 0.05
+  done
+  if [[ ! -s "$port_file" ]]; then
+    echo "FAIL: serverd never published its port" >&2
+    kill "$serverd_pid" 2>/dev/null
+    exit 1
+  fi
+  SOFTCELL_SMOKE=1 SOFTCELL_WIRE_PORT=$(cat "$port_file") \
+    ./build/bench/bench_wire_cbench build/bench/SMOKE_net.json
+  bench_rc=$?
+  kill -TERM "$serverd_pid"
+  wait "$serverd_pid"
+  drain_rc=$?
+  if [[ "$bench_rc" -ne 0 ]]; then
+    echo "FAIL: wire cbench exit $bench_rc (parity or transport failure)" >&2
+    exit 1
+  fi
+  if [[ "$drain_rc" -ne 0 ]]; then
+    echo "FAIL: serverd SIGTERM drain exit $drain_rc (expected 0)" >&2
+    exit 1
+  fi
+  python3 -c "
+import json, sys
+d = json.load(open(\"build/bench/SMOKE_net.json\"))
+ok = (d[\"schema\"] == \"softcell-bench-1\"
+      and d[\"meta\"][\"external_server\"]
+      and d[\"meta\"][\"fingerprint_parity\"]
+      and len(d[\"results\"]) >= 1)
+sys.exit(0 if ok else 1)
+"'
+run_stage "tests (net)" bash -c 'cd build && ctest --output-on-failure -L net'
+
 if [[ "$PERF" == 1 ]]; then
   run_stage "bench (perf smoke)" bash -c 'cd build && ctest --output-on-failure -L perf'
   # Runtime-scaling honesty gate: run the full sweep and check its own
@@ -214,12 +269,12 @@ if [[ "$FAST" == 0 ]]; then
   # the instrumented runs stay in the seconds range.
   run_stage "asan configure" cmake -B build-asan -S . -DSOFTCELL_SANITIZE=address
   run_stage "asan build"     cmake --build build-asan -j
-  run_stage "asan tests (concurrency|chaos|cluster|slab|shardbrain)" \
-    bash -c 'cd build-asan && SOFTCELL_CHAOS_SEEDS=40 ctest --output-on-failure -L "concurrency|chaos|cluster|slab|shardbrain"'
+  run_stage "asan tests (concurrency|chaos|cluster|slab|shardbrain|net)" \
+    bash -c 'cd build-asan && SOFTCELL_CHAOS_SEEDS=40 ctest --output-on-failure -L "concurrency|chaos|cluster|slab|shardbrain|net"'
   run_stage "tsan configure" cmake -B build-tsan -S . -DSOFTCELL_SANITIZE=thread
   run_stage "tsan build"     cmake --build build-tsan -j
-  run_stage "tsan tests (concurrency|chaos|cluster|slab|shardbrain)" \
-    bash -c 'cd build-tsan && SOFTCELL_CHAOS_SEEDS=25 ctest --output-on-failure -L "concurrency|chaos|cluster|slab|shardbrain"'
+  run_stage "tsan tests (concurrency|chaos|cluster|slab|shardbrain|net)" \
+    bash -c 'cd build-tsan && SOFTCELL_CHAOS_SEEDS=25 ctest --output-on-failure -L "concurrency|chaos|cluster|slab|shardbrain|net"'
   run_stage "ubsan configure" cmake -B build-ubsan -S . -DSOFTCELL_SANITIZE=undefined
   run_stage "ubsan build"     cmake --build build-ubsan -j
   run_stage "ubsan tests (concurrency|chaos|cluster|slab|shardbrain)" \

@@ -1,0 +1,96 @@
+// softcell::net -- single-threaded epoll event loop.
+//
+// One thread owns every fd: handlers are registered, modified and removed
+// only from the loop thread (asserted), so per-connection state needs no
+// locking.  The two cross-thread entry points are post() -- enqueue a task
+// and wake the loop via an eventfd -- and stop().  This is the standard
+// reactor shape (DESIGN.md section 18): the runtime's worker completions
+// never touch a socket directly; they post the reply batch back to the
+// loop, which is the single owner of fd lifecycle (lint rule raw-socket
+// pins the syscalls to this directory).
+//
+// Registration hands back a monotonically increasing token rather than the
+// fd itself: the kernel reuses fd numbers immediately after close(), and a
+// stale epoll event dispatched by number could land on the wrong, newly
+// accepted connection.  Tokens are never reused, so a stale event finds no
+// entry and is dropped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/annotations.hpp"
+
+namespace softcell::net {
+
+class EventLoop {
+ public:
+  // Bitmask passed to handlers; values match EPOLLIN/EPOLLOUT/EPOLLERR,
+  // re-exported so headers outside src/net/ never include <sys/epoll.h>.
+  static constexpr std::uint32_t kReadable = 0x001;   // EPOLLIN
+  static constexpr std::uint32_t kWritable = 0x004;   // EPOLLOUT
+  static constexpr std::uint32_t kError = 0x008;      // EPOLLERR
+  static constexpr std::uint32_t kHangup = 0x010;     // EPOLLHUP
+
+  using FdHandler = std::function<void(std::uint32_t events)>;
+  using Task = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // True once the epoll and wakeup fds exist; false means the constructor
+  // failed (callers bail out instead of running a dead loop).
+  [[nodiscard]] bool ok() const { return epoll_fd_ >= 0 && wake_fd_ >= 0; }
+
+  // --- loop-thread-only fd registration -------------------------------------
+  // (Also legal before run() starts, from the thread that will own setup.)
+
+  // Registers fd; returns a token for modify/remove, 0 on failure.  The
+  // loop never closes the fd -- the caller owns its lifetime.
+  [[nodiscard]] std::uint64_t add(int fd, std::uint32_t events, FdHandler fn);
+  bool modify(std::uint64_t token, std::uint32_t events);
+  void remove(std::uint64_t token);
+  [[nodiscard]] std::size_t watched() const { return entries_.size(); }
+
+  // --- any-thread entry points ----------------------------------------------
+
+  // Enqueues `task` to run on the loop thread and wakes it.  Tasks run in
+  // post order, after the fd events of the iteration that picks them up.
+  void post(Task task);
+
+  // Makes run() return after the current iteration.
+  void stop();
+
+  // Blocks, dispatching events and posted tasks, until stop().
+  void run();
+
+  [[nodiscard]] bool in_loop_thread() const {
+    return std::this_thread::get_id() == loop_thread_;
+  }
+
+ private:
+  struct Entry {
+    int fd = -1;
+    FdHandler fn;
+  };
+
+  void drain_tasks();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread::id loop_thread_;  // set by run(); default = no loop running
+  std::uint64_t next_token_ = 1;
+  std::unordered_map<std::uint64_t, Entry> entries_;  // loop thread only
+
+  sc::Mutex mu_;
+  std::vector<Task> tasks_ SC_GUARDED_BY(mu_);
+  bool stop_requested_ SC_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace softcell::net

@@ -1,49 +1,6 @@
 #include "ofp/flowmod.hpp"
 
-#include <cstring>
-
 namespace softcell::ofp {
-
-namespace {
-
-// Little-endian primitive writers/readers (explicit, host-order agnostic).
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-}
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i)
-    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
-}
-
-std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t at) {
-  return static_cast<std::uint16_t>(in[at] | (in[at + 1] << 8));
-}
-std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
-  std::uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) v = (v << 8) | in[at + static_cast<size_t>(i)];
-  return v;
-}
-
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i)
-    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
-}
-std::uint64_t get_u64(std::span<const std::uint8_t> in, std::size_t at) {
-  std::uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) v = (v << 8) | in[at + static_cast<size_t>(i)];
-  return v;
-}
-
-void put_header(std::vector<std::uint8_t>& out, MsgType type,
-                std::uint16_t length, std::uint32_t xid) {
-  out.push_back(MsgHeader::kVersion);
-  out.push_back(static_cast<std::uint8_t>(type));
-  put_u16(out, length);
-  put_u32(out, xid);
-}
-
-}  // namespace
 
 std::vector<std::uint8_t> encode_flow_mod(const FlowMod& mod) {
   std::vector<std::uint8_t> out;
@@ -71,25 +28,6 @@ std::vector<std::uint8_t> encode_flow_mod(const FlowMod& mod) {
   put_u16(out, 0);  // reserved
   put_u32(out, 0);  // reserved / future cookie
   return out;
-}
-
-std::vector<std::uint8_t> encode_control(MsgType type, std::uint32_t xid) {
-  std::vector<std::uint8_t> out;
-  out.reserve(kHeaderSize);
-  put_header(out, type, kHeaderSize, xid);
-  return out;
-}
-
-std::optional<MsgHeader> peek_header(std::span<const std::uint8_t> frame) {
-  if (frame.size() < kHeaderSize) return std::nullopt;
-  MsgHeader h;
-  h.version = frame[0];
-  h.type = frame[1];
-  h.length = get_u16(frame, 2);
-  h.xid = get_u32(frame, 4);
-  if (h.version != MsgHeader::kVersion) return std::nullopt;
-  if (h.length < kHeaderSize || h.length > frame.size()) return std::nullopt;
-  return h;
 }
 
 std::optional<FlowMod> decode_flow_mod(std::span<const std::uint8_t> frame) {

@@ -7,6 +7,11 @@
 // validates every field so a corrupted or truncated frame can never reach a
 // switch table.  Barriers provide the ordering fence consistent updates
 // rely on (Reitblatt et al., referenced in paper section 3.2).
+//
+// Framing (MsgHeader/MsgType, header peek, control frames, the
+// FrameAssembler for fragmented streams) lives in ofp/codec.hpp, shared
+// with the socket transport in src/net/; this header owns the messages
+// whose payloads need the engine's RuleOp.
 #pragma once
 
 #include <cstdint>
@@ -15,27 +20,9 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "ofp/codec.hpp"
 
 namespace softcell::ofp {
-
-// Message framing: every message starts with this fixed header.
-struct MsgHeader {
-  static constexpr std::uint8_t kVersion = 1;
-  std::uint8_t version = kVersion;
-  std::uint8_t type = 0;      // MsgType
-  std::uint16_t length = 0;   // total message length in bytes
-  std::uint32_t xid = 0;      // transaction id
-};
-
-enum class MsgType : std::uint8_t {
-  kFlowMod = 1,
-  kBarrierRequest = 2,
-  kBarrierReply = 3,
-  kEchoRequest = 4,
-  kEchoReply = 5,
-  kStatsRequest = 6,
-  kStatsReply = 7,
-};
 
 // Per-switch table statistics (the controller's monitoring input; see
 // paper section 5.1 -- the controller learns active microflows and load
@@ -60,19 +47,10 @@ struct FlowMod {
   friend bool operator==(const FlowMod&, const FlowMod&) = default;
 };
 
-inline constexpr std::size_t kHeaderSize = 8;
 inline constexpr std::size_t kFlowModSize = kHeaderSize + 32;
 
 // Encodes one flow-mod into its wire frame.
 [[nodiscard]] std::vector<std::uint8_t> encode_flow_mod(const FlowMod& mod);
-
-// Encodes barrier / echo control frames.
-[[nodiscard]] std::vector<std::uint8_t> encode_control(MsgType type,
-                                                       std::uint32_t xid);
-
-// Peeks the header of a frame; nullopt if truncated or wrong version.
-[[nodiscard]] std::optional<MsgHeader> peek_header(
-    std::span<const std::uint8_t> frame);
 
 // Decodes a flow-mod frame; nullopt on any validation failure (wrong type,
 // bad length, out-of-range enums, non-canonical prefix).

@@ -8,6 +8,7 @@
 
 #include "runtime/shard_brain.hpp"
 #include "util/rng.hpp"
+#include "workload/wire_workload.hpp"
 
 namespace softcell {
 
@@ -167,35 +168,17 @@ AgentBenchResult bench_agent_flows(const AgentBenchConfig& config) {
 
 RuntimeBenchResult bench_runtime_pipeline(const CellularTopology& topo,
                                           const RuntimeBenchConfig& config) {
-  // Provider-based policy, one clause per provider, so each subscriber
-  // profile maps to its own policy path (same scheme as bench_agent_flows).
-  ServicePolicy policy;
+  // Provider-based policy (one clause per provider) and the brain-mode
+  // selection both come from the shared wire-workload builder, so this
+  // bench, the in-process reference run and softcell-serverd agree on the
+  // controller they measure (SOFTCELL_SHARD_BRAIN=0 selects the legacy
+  // per-shard-clone controller in all of them).
   std::vector<ClauseId> clause_ids;
   clause_ids.reserve(config.num_clauses);
-  for (std::uint32_t c = 0; c < config.num_clauses; ++c) {
-    std::vector<MbType> seq{0u, 1u + (c % (topo.num_middlebox_types() - 1))};
-    clause_ids.push_back(
-        policy.add_clause(10 + c, Predicate::provider_is(100 + c),
-                          ServiceAction{true, seq, QosClass::kBestEffort}));
-  }
-
-  // Mode-dependent brain: the partitioned shard brain by default, the
-  // legacy per-shard-clone controller under SOFTCELL_SHARD_BRAIN=0 (the
-  // bench measures whichever mode the process runs in).
-  std::unique_ptr<ShardBrain> brain;
-  std::unique_ptr<ShardedController> legacy;
-  if (shard_brain_enabled()) {
-    brain = std::make_unique<ShardBrain>(
-        topo, std::move(policy), ShardBrainOptions{.shards = config.shards});
-  } else {
-    ShardedControllerOptions shard_opts;
-    shard_opts.shards = config.shards;
-    legacy = std::make_unique<ShardedController>(topo, std::move(policy),
-                                                 shard_opts);
-  }
-  ControlBrain& controller =
-      brain ? static_cast<ControlBrain&>(*brain)
-            : static_cast<ControlBrain&>(*legacy);
+  BrainBundle bundle(topo,
+                     make_wire_policy(topo, config.num_clauses, &clause_ids),
+                     config.shards);
+  ControlBrain& controller = bundle.brain();
 
   // Provision and attach the subscriber base outside the timed region (UE
   // arrival is a different event class than flow handling).

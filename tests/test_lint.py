@@ -49,7 +49,7 @@ class FixtureCorpus(unittest.TestCase):
 
     def test_report_is_machine_readable(self):
         self.assertEqual(self.report["version"], 2)
-        self.assertEqual(self.report["files_scanned"], 10)
+        self.assertEqual(self.report["files_scanned"], 11)
         self.assertEqual(self.report["stale_suppressions"], [])
         for f in self.findings:
             for key in ("rule", "path", "line", "message", "snippet"):
@@ -110,6 +110,12 @@ class FixtureCorpus(unittest.TestCase):
         self.assert_fires("node-map-hotpath", "agent_bad_node_map_hotpath",
                           4)
 
+    def test_raw_socket_fires(self):
+        # Two socket system headers plus the five global-scope syscalls;
+        # the qualified-name, member-call, comment and string controls stay
+        # silent.
+        self.assert_fires("raw-socket", "bad_raw_socket", 7)
+
     def test_stale_owner_markers_fire(self):
         # A file-wide owner marker that exempts no diagnostics is itself a
         # finding, one per marker line (metrics-owner, commit-owner,
@@ -145,6 +151,7 @@ class FixtureCorpus(unittest.TestCase):
             "controller-construct": "controller_construct",
             "cross-shard-direct": "cross_shard_direct",
             "node-map-hotpath": "node_map_hotpath",
+            "raw-socket": "raw_socket",
         }
         for f in self.findings:
             if "stale sc-lint marker" in f["message"]:

@@ -526,5 +526,207 @@ TEST(FaultLayer, MirrorSyncConvergesOverLossyWire) {
   }
 }
 
+// --- FrameAssembler: stream reassembly fuzz ----------------------------------
+
+// A valid multi-frame stream mixing every frame shape the serving plane
+// speaks, plus the frame boundaries for cross-checking reassembly.
+std::vector<std::uint8_t> sample_stream(std::vector<std::size_t>* bounds) {
+  std::vector<std::uint8_t> stream;
+  auto mark = [&] { bounds->push_back(stream.size()); };
+  encode_packet_in_into(stream, {.xid = 1,
+                                 .kind = PacketInMsg::Kind::kFetchClassifiers,
+                                 .ue = UeId(7),
+                                 .bs = 3});
+  mark();
+  {
+    PacketInReply reply;
+    reply.xid = 2;
+    reply.kind = PacketInMsg::Kind::kPolicyPath;
+    reply.tag = PolicyTag(513);
+    reply.digest = 0x1122334455667788ull;
+    encode_packet_in_reply_into(stream, reply);
+  }
+  mark();
+  const auto echo = encode_control(MsgType::kEchoRequest, 3);
+  stream.insert(stream.end(), echo.begin(), echo.end());
+  mark();
+  const auto mod = encode_flow_mod(FlowMod{4, sample_op()});
+  stream.insert(stream.end(), mod.begin(), mod.end());
+  mark();
+  {
+    ServerStatsMsg stats;
+    stats.xid = 5;
+    stats.fingerprint = 0xABCDEF0123456789ull;
+    stats.packet_ins = 42;
+    encode_server_stats_into(stream, stats);
+  }
+  mark();
+  return stream;
+}
+
+// Collects every complete frame currently decodable, copied out.
+std::vector<std::vector<std::uint8_t>> drain_frames(FrameAssembler& fa) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  std::span<const std::uint8_t> frame;
+  while (fa.next(frame) == FrameAssembler::Status::kFrame)
+    frames.emplace_back(frame.begin(), frame.end());
+  return frames;
+}
+
+// Real sockets deliver any fragmentation; the assembler must reproduce the
+// exact frame sequence no matter where the stream is cut.  Splits the
+// sample stream at EVERY byte boundary (two fragments), and also feeds it
+// one byte at a time.
+TEST(FrameAssembler, ReassemblesAcrossEveryByteBoundary) {
+  std::vector<std::size_t> bounds;
+  const auto stream = sample_stream(&bounds);
+
+  // Reference frames: whole stream in one shot.
+  FrameAssembler ref;
+  ref.feed(stream);
+  const auto expected = drain_frames(ref);
+  ASSERT_EQ(expected.size(), bounds.size());
+  for (std::size_t f = 0; f < bounds.size(); ++f) {
+    const std::size_t begin = f == 0 ? 0 : bounds[f - 1];
+    EXPECT_EQ(expected[f],
+              std::vector<std::uint8_t>(stream.begin() + begin,
+                                        stream.begin() + bounds[f]));
+  }
+
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    FrameAssembler fa;
+    fa.feed(std::span(stream).first(cut));
+    auto frames = drain_frames(fa);
+    fa.feed(std::span(stream).subspan(cut));
+    auto rest = drain_frames(fa);
+    frames.insert(frames.end(), rest.begin(), rest.end());
+    ASSERT_EQ(frames, expected) << "cut at byte " << cut;
+    EXPECT_EQ(fa.buffered(), 0u);
+  }
+
+  FrameAssembler trickle;
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (const std::uint8_t byte : stream) {
+    trickle.feed(std::span(&byte, 1));
+    auto got = drain_frames(trickle);
+    frames.insert(frames.end(), got.begin(), got.end());
+  }
+  EXPECT_EQ(frames, expected);
+}
+
+// Random-sized fragments over a longer randomized stream.
+TEST(FrameAssembler, ReassemblesRandomFragmentation) {
+  Rng rng(11);
+  std::vector<std::uint8_t> stream;
+  std::size_t expected_frames = 0;
+  for (int i = 0; i < 200; ++i, ++expected_frames) {
+    switch (rng.next_below(3)) {
+      case 0:
+        encode_packet_in_into(
+            stream, {.xid = static_cast<std::uint32_t>(i),
+                     .kind = PacketInMsg::Kind::kPolicyPath,
+                     .ue = UeId(static_cast<std::uint32_t>(rng.next_below(1000))),
+                     .bs = static_cast<std::uint32_t>(rng.next_below(16)),
+                     .clause = ClauseId(static_cast<std::uint32_t>(
+                         rng.next_below(32)))});
+        break;
+      case 1: {
+        PacketInReply reply;
+        reply.xid = static_cast<std::uint32_t>(i);
+        reply.digest = rng.next_u64();
+        encode_packet_in_reply_into(stream, reply);
+        break;
+      }
+      default: {
+        const auto bytes = encode_control(MsgType::kEchoReply,
+                                          static_cast<std::uint32_t>(i));
+        stream.insert(stream.end(), bytes.begin(), bytes.end());
+      }
+    }
+  }
+  FrameAssembler fa;
+  std::size_t fed = 0;
+  std::size_t frames = 0;
+  std::uint32_t next_xid = 0;
+  while (fed < stream.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(1 + rng.next_below(37), stream.size() - fed);
+    fa.feed(std::span(stream).subspan(fed, n));
+    fed += n;
+    for (const auto& frame : drain_frames(fa)) {
+      const auto h = peek_header(frame);
+      ASSERT_TRUE(h);
+      EXPECT_EQ(h->xid, next_xid++);  // in-order, none lost or duplicated
+      ++frames;
+    }
+  }
+  EXPECT_EQ(frames, expected_frames);
+  EXPECT_EQ(fa.buffered(), 0u);
+}
+
+// Broken framing is unrecoverable for a length-prefixed stream: wrong
+// version or a length below the header size must report kBad (transport
+// drops the connection), never resync or spin.
+TEST(FrameAssembler, ReportsBadFraming) {
+  {
+    FrameAssembler fa;
+    std::vector<std::uint8_t> bytes(kHeaderSize, 0);
+    bytes[0] = MsgHeader::kVersion + 1;
+    fa.feed(bytes);
+    std::span<const std::uint8_t> frame;
+    EXPECT_EQ(fa.next(frame), FrameAssembler::Status::kBad);
+  }
+  {
+    FrameAssembler fa;
+    std::vector<std::uint8_t> bytes;
+    put_header(bytes, MsgType::kEchoRequest, kHeaderSize - 1, 9);
+    fa.feed(bytes);
+    std::span<const std::uint8_t> frame;
+    EXPECT_EQ(fa.next(frame), FrameAssembler::Status::kBad);
+    EXPECT_EQ(fa.next(frame), FrameAssembler::Status::kBad);  // stays bad
+  }
+}
+
+// The serving-plane payload codecs round-trip and reject malformed bytes.
+TEST(PacketInCodec, RoundTripsAndValidates) {
+  const PacketInMsg msg{.xid = 77,
+                        .kind = PacketInMsg::Kind::kPolicyPath,
+                        .ue = UeId(123456),
+                        .bs = 9,
+                        .clause = ClauseId(31)};
+  const auto bytes = encode_packet_in(msg);
+  EXPECT_EQ(bytes.size(), kPacketInSize);
+  const auto back = decode_packet_in(bytes);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(*back, msg);
+
+  auto bad_kind = bytes;
+  bad_kind[8] = 2;
+  EXPECT_FALSE(decode_packet_in(bad_kind));
+
+  PacketInReply reply;
+  reply.xid = 78;
+  reply.ok = false;
+  reply.kind = PacketInMsg::Kind::kPolicyPath;
+  reply.tag = PolicyTag{};  // invalid tag must survive the round-trip
+  reply.classifier_count = 4;
+  reply.digest = 0xFEEDFACECAFEBEEFull;
+  const auto rbytes = encode_packet_in_reply(reply);
+  const auto rback = decode_packet_in_reply(rbytes);
+  ASSERT_TRUE(rback);
+  EXPECT_EQ(*rback, reply);
+  EXPECT_FALSE(rback->tag.valid());
+
+  ServerStatsMsg stats;
+  stats.xid = 80;
+  stats.fingerprint = 0x123456789ABCDEF0ull;
+  stats.packet_ins = 1;
+  stats.replies = 2;
+  stats.drops = 3;
+  const auto sback = decode_server_stats(encode_server_stats(stats));
+  ASSERT_TRUE(sback);
+  EXPECT_EQ(*sback, stats);
+}
+
 }  // namespace
 }  // namespace softcell

@@ -1,0 +1,33 @@
+// Fixture: raw-socket must fire.  Socket/epoll syscalls and their system
+// headers outside a `net` path segment -- transport code growing outside
+// the one layer (src/net/) whose fd lifecycle, partial-read/short-write
+// handling and NetStats accounting are actually tested over real loopback
+// sockets (DESIGN.md section 18).  The file never compiles as part of the
+// build; the lint test feeds it to softcell_lint.py and asserts the
+// findings.  The rule scopes by path segment, so this fixture lives
+// outside any `net` directory.
+
+#include <sys/socket.h>   // must fire (header)
+#include <netinet/tcp.h>  // must fire (header)
+
+int bad_transport() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);  // must fire
+  ::connect(fd, nullptr, 0);                         // must fire
+  ::send(fd, "x", 1, 0);                             // must fire
+  char buf[8];
+  ::recv(fd, buf, sizeof buf, 0);                    // must fire
+  return ::epoll_create1(0);                         // must fire
+}
+
+// Control: qualified names and member calls are not syscalls and must NOT
+// fire -- the `::` anchor requires global scope.
+void good_channel(Transport& transport, Channel& chan, Peer* peer) {
+  transport::connect(chan);  // namespace-qualified, not ::connect
+  chan.send(1);
+  peer->recv(2);
+  chan.bind_shard(3);
+}
+
+// Control: prose and strings mentioning the syscalls must NOT fire.
+const char* kDoc = "::socket(AF_INET) and #include <sys/socket.h> belong "
+                   "under src/net/";

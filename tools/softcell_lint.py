@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """softcell-verify Part B: project-specific lint rules for the SoftCell tree.
 
-Nine rules encode invariants the type system cannot see (DESIGN.md
+Ten rules encode invariants the type system cannot see (DESIGN.md
 section 12, "Static guarantees"):
 
   epoch-bump        Tag-class mutations in the dataplane switch table
@@ -79,6 +79,15 @@ section 12, "Static guarantees"):
                     files that deliberately keep the legacy layout behind
                     the SOFTCELL_SLAB=0 hatch carry a file-wide
                     `// sc-lint: slab-owner(...)` marker.
+
+  raw-socket        Socket and epoll syscalls (::socket, ::send, ::recv,
+                    ::epoll_*, ...) and their system headers live only
+                    under src/net/ -- the one transport layer whose
+                    partial-read / short-write / backpressure handling is
+                    tested over real loopback sockets (DESIGN.md
+                    section 18).  A stray syscall elsewhere bypasses the
+                    EventLoop's fd-token lifecycle and the NetStats
+                    accounting, and its error paths are never exercised.
 
 Usage:
   python3 tools/softcell_lint.py [--root DIR] [--report FILE]
@@ -476,6 +485,43 @@ def check_node_map_hotpath(path: str, raw_lines: list[str],
     return out
 
 
+# --- rule: raw-socket --------------------------------------------------------
+# Scope is a `net` path segment (src/net/ in the tree; the fixture carries
+# the segment in its own path the way epoch-bump's fixture does).  Two
+# spellings are findings everywhere else:
+#   * global-scope socket/epoll syscalls: the `::` anchor keeps qualified
+#     names (asio::connect, Channel::send) and members free;
+#   * the socket system headers themselves -- including one is the earliest
+#     tell that transport code is growing outside the transport layer.
+
+_RAW_SOCKET_CALL = re.compile(
+    r"(?<![\w>])::(?:socket|socketpair|accept4?|bind|listen|connect"
+    r"|send(?:to|msg)?|recv(?:from|msg)?|shutdown|getsockname|getpeername"
+    r"|setsockopt|getsockopt|epoll_(?:create1?|ctl|wait|pwait)|eventfd)"
+    r"\s*\("
+)
+_RAW_SOCKET_HEADER = re.compile(
+    r'#\s*include\s*[<"](?:sys/socket\.h|sys/epoll\.h|sys/eventfd\.h'
+    r'|sys/un\.h|netinet/[^>"]+|arpa/inet\.h)[>"]'
+)
+
+
+def check_raw_socket(path: str, lines: list[str]) -> list[Finding]:
+    if "net" in Path(path).parts:
+        return []  # the transport layer owns the syscall surface
+    out = []
+    for i, line in enumerate(lines):
+        m = _RAW_SOCKET_HEADER.search(line) or _RAW_SOCKET_CALL.search(line)
+        if m:
+            out.append(Finding(
+                "raw-socket", path, i + 1,
+                f"{m.group(0).strip()}: socket/epoll syscalls and headers "
+                "live only under src/net/; transport code elsewhere "
+                "bypasses the EventLoop fd lifecycle and NetStats "
+                "accounting", line))
+    return out
+
+
 RULES = {
     "epoch-bump": "tag-class mutations must bump the structural epoch",
     "naked-mutex": "std:: sync primitives only inside util/annotations.hpp",
@@ -489,6 +535,8 @@ RULES = {
         "engine rows mutated only by the commit-owner file",
     "node-map-hotpath":
         "per-UE/per-flow state in hot dirs uses slabs, not node maps",
+    "raw-socket":
+        "socket/epoll syscalls and headers only under src/net/",
 }
 
 
@@ -511,6 +559,7 @@ def scan_file(root: Path, file: Path) -> list[Finding]:
     findings += check_controller_construct(rel, stripped_lines)
     findings += check_cross_shard_direct(rel, raw_lines, stripped_lines)
     findings += check_node_map_hotpath(rel, raw_lines, stripped_lines)
+    findings += check_raw_socket(rel, stripped_lines)
     return findings
 
 
