@@ -105,7 +105,7 @@ void EventLoop::drain_tasks() {
 }
 
 void EventLoop::run() {
-  loop_thread_ = std::this_thread::get_id();
+  loop_thread_.store(std::this_thread::get_id(), std::memory_order_release);
   {
     sc::LockGuard lock(mu_);
     stop_requested_ = false;
@@ -137,7 +137,7 @@ void EventLoop::run() {
       if (stop_requested_ && tasks_.empty()) break;
     }
   }
-  loop_thread_ = std::thread::id{};
+  loop_thread_.store(std::thread::id{}, std::memory_order_release);
 }
 
 }  // namespace softcell::net

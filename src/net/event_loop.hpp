@@ -16,6 +16,7 @@
 // entry and is dropped.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <thread>
@@ -71,7 +72,8 @@ class EventLoop {
   void run();
 
   [[nodiscard]] bool in_loop_thread() const {
-    return std::this_thread::get_id() == loop_thread_;
+    return std::this_thread::get_id() ==
+           loop_thread_.load(std::memory_order_acquire);
   }
 
  private:
@@ -84,7 +86,11 @@ class EventLoop {
 
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
-  std::thread::id loop_thread_;  // set by run(); default = no loop running
+  // Written by run() at loop start/exit, read from arbitrary threads via
+  // in_loop_thread() (e.g. a drain thread deciding whether to post);
+  // atomic so the cross-thread read is not a data race.  Default-
+  // constructed id = no loop running.
+  std::atomic<std::thread::id> loop_thread_{};
   std::uint64_t next_token_ = 1;
   std::unordered_map<std::uint64_t, Entry> entries_;  // loop thread only
 

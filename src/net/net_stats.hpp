@@ -33,6 +33,10 @@ struct NetStats {
                                                      // dropped, conn kept
   std::atomic<std::uint64_t> dropped_replies{0};  // conn gone before reply
   std::atomic<std::uint64_t> decode_errors{0};    // bad frame/framing
+  std::atomic<std::uint64_t> overflow_closes{0};  // control-probe flood past
+                                                  // the hard cap, conn closed
+  std::atomic<std::uint64_t> accept_overflows{0};  // fd exhaustion: pending
+                                                   // conn accepted and closed
 
   // Publishes the counters into a telemetry sink under `prefix` (the
   // FaultStats::contribute shape; see telemetry/registry.hpp).
@@ -60,6 +64,8 @@ struct NetStats {
     sink.counter(name("backpressure_drops"), load(backpressure_drops));
     sink.counter(name("dropped_replies"), load(dropped_replies));
     sink.counter(name("decode_errors"), load(decode_errors));
+    sink.counter(name("overflow_closes"), load(overflow_closes));
+    sink.counter(name("accept_overflows"), load(accept_overflows));
   }
 };
 

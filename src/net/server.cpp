@@ -1,5 +1,6 @@
 #include "net/server.hpp"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -26,11 +27,13 @@ ControllerServer::~ControllerServer() {
     if (conn->fd >= 0) ::close(conn->fd);
   }
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (reserve_fd_ >= 0) ::close(reserve_fd_);
 }
 
 bool ControllerServer::start(std::string* err) {
   listen_fd_ = listen_loopback(options_.port, &port_, err);
   if (listen_fd_ < 0) return false;
+  reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
   listen_token_ = loop_.add(listen_fd_, EventLoop::kReadable,
                             [this](std::uint32_t ev) { on_accept(ev); });
   if (listen_token_ == 0) {
@@ -49,6 +52,20 @@ void ControllerServer::on_accept(std::uint32_t) {
         ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // fd exhaustion.  The pending connection stays in the accept
+        // queue, so the level-triggered listener would re-report this
+        // event forever; sacrifice the reserve fd to accept-and-close
+        // the head of the queue, then re-arm the reserve.
+        stats_.accept_overflows.fetch_add(1, std::memory_order_relaxed);
+        if (reserve_fd_ >= 0) {
+          ::close(reserve_fd_);
+          const int victim = ::accept4(listen_fd_, nullptr, nullptr, 0);
+          if (victim >= 0) ::close(victim);
+          reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+          continue;
+        }
+      }
       break;  // EAGAIN: accepted everything pending
     }
     if (!accepting_) {
@@ -101,6 +118,7 @@ void ControllerServer::on_conn_event(std::uint64_t id, std::uint32_t events) {
 }
 
 void ControllerServer::on_readable(Conn& conn) {
+  const std::uint64_t id = conn.id;
   bool eof = false;
   for (;;) {
     const auto buf = conn.in.writable(options_.read_chunk);
@@ -136,6 +154,10 @@ void ControllerServer::on_readable(Conn& conn) {
       close_conn(conn);
       return;
     }
+    // handle_frame flushes echo/stats replies inline, and a hard send()
+    // failure there closes -- destroys -- the conn.  Re-resolve before
+    // touching it again (same pattern as on_conn_event).
+    if (conns_.find(id) == conns_.end()) return;
   }
   if (eof) close_conn(conn);
 }
@@ -164,14 +186,25 @@ bool ControllerServer::handle_frame(Conn& conn,
       return true;
     }
     case ofp::MsgType::kEchoRequest: {
-      // Control probes bypass the backpressure cap (a client uses echo to
-      // observe a drop window, so echo itself must not be droppable).
+      // Control probes bypass the drop-and-count backpressure cap (a
+      // client uses echo to observe a drop window, so echo itself must
+      // not be droppable) -- but not the hard one: a probe flood that
+      // pushes the outbound buffer past control_outbound_limit closes
+      // the connection instead of growing it without bound.
+      if (conn.unsent() >= options_.control_outbound_limit) {
+        stats_.overflow_closes.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
       ofp::put_header(conn.out, ofp::MsgType::kEchoReply, ofp::kHeaderSize,
                       h->xid);
-      flush_conn(conn);
+      flush_conn(conn);  // may destroy conn; caller re-resolves before reuse
       return true;
     }
     case ofp::MsgType::kServerStatsRequest: {
+      if (conn.unsent() >= options_.control_outbound_limit) {
+        stats_.overflow_closes.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
       ofp::ServerStatsMsg stats;
       stats.xid = h->xid;
       stats.fingerprint = dispatcher_.fingerprint();
@@ -181,7 +214,7 @@ bool ControllerServer::handle_frame(Conn& conn,
           stats_.backpressure_drops.load(std::memory_order_relaxed) +
           stats_.dropped_replies.load(std::memory_order_relaxed);
       ofp::encode_server_stats_into(conn.out, stats);
-      flush_conn(conn);
+      flush_conn(conn);  // may destroy conn; caller re-resolves before reuse
       return true;
     }
     default:
@@ -247,7 +280,7 @@ void ControllerServer::flush_pending_replies() {
   for (Conn* conn : touched) flush_conn(*conn);
 }
 
-void ControllerServer::flush_conn(Conn& conn) {
+bool ControllerServer::flush_conn(Conn& conn) {
   while (conn.unsent() > 0) {
     const auto n = ::send(conn.fd, conn.out.data() + conn.out_pos,
                           conn.unsent(), MSG_NOSIGNAL);
@@ -261,10 +294,10 @@ void ControllerServer::flush_conn(Conn& conn) {
           loop_.modify(conn.token,
                        EventLoop::kReadable | EventLoop::kWritable);
         }
-        return;
+        return true;
       }
-      close_conn(conn);
-      return;
+      close_conn(conn);  // destroys conn
+      return false;
     }
     conn.out_pos += static_cast<std::size_t>(n);
     stats_.bytes_out.fetch_add(static_cast<std::uint64_t>(n),
@@ -276,6 +309,7 @@ void ControllerServer::flush_conn(Conn& conn) {
     conn.want_write = false;
     loop_.modify(conn.token, EventLoop::kReadable);
   }
+  return true;
 }
 
 void ControllerServer::close_conn(Conn& conn) {

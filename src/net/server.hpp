@@ -50,6 +50,12 @@ class ControllerServer {
     std::uint16_t port = 0;  // 0 = kernel-chosen ephemeral port
     // Per-connection outbound cap; replies beyond it are dropped+counted.
     std::size_t max_outbound_bytes = 1u << 20;
+    // Echo/stats replies bypass the drop cap (they are the probes a
+    // client uses to observe a drop window), but not without limit: a
+    // connection whose outbound buffer exceeds this while flooding
+    // control probes is closed (net.overflow_closes).  Must be larger
+    // than max_outbound_bytes to keep the exemption meaningful.
+    std::size_t control_outbound_limit = 4u << 20;
     std::size_t read_chunk = 64 * 1024;
     // SO_SNDBUF for accepted sockets; 0 keeps the kernel's autotuned
     // default.  Setting it pins kernel-side buffering, which makes
@@ -107,7 +113,11 @@ class ControllerServer {
   bool handle_frame(Conn& conn, std::span<const std::uint8_t> frame);
   void queue_reply(std::uint64_t conn_id, ofp::PacketInReply&& reply);
   void flush_pending_replies();
-  void flush_conn(Conn& conn);
+  // Sends what the kernel will take.  A hard send() failure closes and
+  // DESTROYS the conn; returns false in that case, true if the conn is
+  // still alive.  Callers that touch the conn (or any reference to it)
+  // afterwards must check the result or re-resolve the id in conns_.
+  bool flush_conn(Conn& conn);
   void close_conn(Conn& conn);
   // Runs fn on the loop thread and waits for it (requires a running loop).
   void run_on_loop(std::function<void()> fn);
@@ -118,6 +128,10 @@ class ControllerServer {
   NetStats stats_;
 
   int listen_fd_ = -1;
+  // Reserved fd (an open /dev/null) sacrificed under EMFILE/ENFILE so
+  // accept() can drain-and-close the pending connection instead of
+  // leaving the level-triggered listener spinning hot.
+  int reserve_fd_ = -1;
   std::uint64_t listen_token_ = 0;
   std::uint16_t port_ = 0;
   bool accepting_ = false;  // loop thread only

@@ -369,6 +369,86 @@ TEST(NetServer, SlowClientBackpressureDropsAndSurvives) {
   EXPECT_EQ(h.stats().closes.load(), 0u);
 }
 
+// Control probes bypass the drop-and-count cap but not the hard one: a
+// client that floods echo requests while never reading is closed and
+// counted once its outbound buffer passes control_outbound_limit,
+// instead of growing it without bound.
+TEST(NetServer, EchoFloodPastHardCapCloses) {
+  EchoDispatcher dispatcher;
+  net::ControllerServer::Options options;
+  options.max_outbound_bytes = 2048;
+  options.control_outbound_limit = 4096;
+  options.sndbuf_bytes = 8192;  // pin kernel buffering; see short-write test
+  ServerHarness h(dispatcher, options);
+  ASSERT_TRUE(h.ok());
+
+  net::WireConn conn;
+  std::string err;
+  ASSERT_TRUE(conn.connect(h.port(), &err)) << err;
+  const int rcvbuf = 4096;
+  ASSERT_EQ(::setsockopt(conn.fd(), SOL_SOCKET, SO_RCVBUF, &rcvbuf,
+                         sizeof(rcvbuf)),
+            0);
+
+  // ~256 KiB of echo replies against ~16 KiB of pinned kernel capacity
+  // and a 4 KiB hard cap: the server must close, not buffer the rest.
+  constexpr std::uint32_t kEchoes = 16000;
+  std::vector<std::uint8_t> echoes;
+  echoes.reserve(kEchoes * ofp::kHeaderSize);
+  for (std::uint32_t i = 0; i < kEchoes; ++i) {
+    const auto e = ofp::encode_control(ofp::MsgType::kEchoRequest, i);
+    echoes.insert(echoes.end(), e.begin(), e.end());
+  }
+  conn.send_bytes(echoes);  // may fail mid-send once the server closes
+  ASSERT_TRUE(
+      poll_until([&] { return h.stats().overflow_closes.load() >= 1; }));
+  ASSERT_TRUE(poll_until([&] { return h.stats().closes.load() == 1; }));
+  EXPECT_EQ(h.stats().conns_open.load(), 0);
+
+  // The server itself is intact: a fresh connection round-trips.
+  net::WireConn probe;
+  ASSERT_TRUE(probe.connect(h.port(), &err)) << err;
+  EXPECT_TRUE(probe.echo(1));
+}
+
+// Hard resets racing in-flight echo replies: when a flush inside the
+// frame loop hits ECONNRESET, the connection must be closed exactly once
+// and never touched again (the use-after-free regression; ASan guards
+// the Conn lifetime on every iteration).
+TEST(NetServer, AbortiveResetDuringEchoBurstSurvives) {
+  EchoDispatcher dispatcher;
+  net::ControllerServer::Options options;
+  options.sndbuf_bytes = 8192;
+  ServerHarness h(dispatcher, options);
+  ASSERT_TRUE(h.ok());
+
+  constexpr int kRounds = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    net::WireConn conn;
+    std::string err;
+    ASSERT_TRUE(conn.connect(h.port(), &err)) << err;
+    const linger lg{1, 0};  // close() sends RST, not FIN
+    ASSERT_EQ(::setsockopt(conn.fd(), SOL_SOCKET, SO_LINGER, &lg,
+                           sizeof(lg)),
+              0);
+    std::vector<std::uint8_t> burst;
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      const auto e = ofp::encode_control(ofp::MsgType::kEchoRequest, i);
+      burst.insert(burst.end(), e.begin(), e.end());
+    }
+    ASSERT_TRUE(conn.send_bytes(burst));
+    conn.close();  // RST races the server's per-frame reply flushes
+  }
+  ASSERT_TRUE(poll_until([&] {
+    return h.stats().closes.load() == kRounds &&
+           h.stats().conns_open.load() == 0;
+  }));
+  net::WireConn probe;
+  std::string err;
+  ASSERT_TRUE(probe.connect(h.port(), &err)) << err;
+  EXPECT_TRUE(probe.echo(1));
+}
+
 // The acceptance property: the same deterministic workload over loopback
 // TCP and in-process lands on the same canonical controller fingerprint,
 // and after the run the server drains gracefully and stops accepting.
